@@ -1,0 +1,102 @@
+//! Experiment E3 (§5, third experiment + Figure 2): time efficiency.
+//!
+//! Expected ordering (paper): runtime(multi-tree) > runtime(single-tree ≈
+//! top-down) > runtime(vertical) > runtime(direct-vertical).  Figure 2 plots
+//! the two vertical algorithms against each other; the companion Criterion
+//! bench `fig2_vertical` produces the statistically rigorous version of that
+//! figure, while this binary prints the full table across all algorithms.
+
+use fsm_bench::report::{markdown_table, millis};
+use fsm_bench::{run_algorithm_on, run_baselines_on, Workload};
+use fsm_core::Algorithm;
+use fsm_storage::StorageBackend;
+use fsm_types::MinSup;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize);
+    let window = 5;
+    let max_len = Some(4);
+    let repeats = 3;
+
+    println!("# Experiment E3 — time efficiency (averaged over {repeats} runs)\n");
+
+    for workload in Workload::standard_suite(scale) {
+        let minsup = match workload.kind {
+            fsm_bench::WorkloadKind::Dense => MinSup::relative(0.15),
+            _ => MinSup::relative(0.03),
+        };
+        println!("## {} ({})\n", workload.name, workload.stats());
+        let mut rows = Vec::new();
+        let mut timings = std::collections::BTreeMap::new();
+
+        for algorithm in Algorithm::ALL {
+            let mut total_mine = std::time::Duration::ZERO;
+            let mut total_capture = std::time::Duration::ZERO;
+            let mut patterns = 0;
+            for _ in 0..repeats {
+                let run = run_algorithm_on(
+                    &workload,
+                    algorithm,
+                    window,
+                    minsup,
+                    max_len,
+                    StorageBackend::DiskTemp,
+                )
+                .expect("run");
+                total_mine += run.mining_time;
+                total_capture += run.capture_time;
+                patterns = run.patterns;
+            }
+            let mine_avg = total_mine / repeats;
+            timings.insert(algorithm.key().to_string(), mine_avg);
+            rows.push(vec![
+                algorithm.key().to_string(),
+                millis(total_capture / repeats),
+                millis(mine_avg),
+                patterns.to_string(),
+            ]);
+        }
+        for run_result in run_baselines_on(&workload, window, minsup, max_len).expect("baselines") {
+            rows.push(vec![
+                run_result.label.clone(),
+                millis(run_result.capture_time),
+                millis(run_result.mining_time),
+                run_result.patterns.to_string(),
+            ]);
+        }
+
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "miner",
+                    "capture ms (stream)",
+                    "mine ms (window)",
+                    "patterns"
+                ],
+                &rows
+            )
+        );
+
+        let get = |k: &str| timings.get(k).copied().unwrap_or_default();
+        let horizontal_slowest = get("multi-tree");
+        let single = get("single-tree").min(get("top-down"));
+        let vertical = get("vertical");
+        let direct = get("direct-vertical");
+        println!(
+            "ordering check: multi-tree ({} ms) >= single/top-down ({} ms) >= vertical ({} ms) >= direct ({} ms) : {}\n",
+            millis(horizontal_slowest),
+            millis(single),
+            millis(vertical),
+            millis(direct),
+            if horizontal_slowest >= single && single >= vertical && vertical >= direct {
+                "holds"
+            } else {
+                "see Criterion bench for the statistically robust comparison"
+            }
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every experiment binary (one per table/figure of the paper, see
+//! `EXPERIMENTS.md`) builds its workloads and runners from this crate so that
+//! the same streams and the same measurement conventions are used everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod workloads;
+
+pub use report::{markdown_table, Row};
+pub use runner::{run_algorithm_on, run_baselines_on, AlgorithmRun};
+pub use workloads::{Workload, WorkloadKind};

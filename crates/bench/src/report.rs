@@ -1,0 +1,93 @@
+//! Plain-text report helpers (markdown tables and CSV rows).
+
+/// One row of a report table.
+pub type Row = Vec<String>;
+
+/// Renders a markdown table with the given header and rows.
+pub fn markdown_table(header: &[&str], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV with the given header.
+pub fn csv(header: &[&str], rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a byte count with a binary unit suffix.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn millis(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_has_header_separator_and_rows() {
+        let table = markdown_table(&["algo", "ms"], &[vec!["vertical".into(), "1.2".into()]]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("algo"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[2].contains("vertical"));
+    }
+
+    #[test]
+    fn csv_joins_cells_with_commas() {
+        let text = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn human_bytes_scales_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn millis_formats_with_three_decimals() {
+        assert_eq!(millis(std::time::Duration::from_micros(1500)), "1.500");
+    }
+}

@@ -1,0 +1,270 @@
+//! Hand-rolled argument parsing for the `fsm` command-line tool (keeps the
+//! workspace within the approved dependency set — no clap).
+
+use fsm_core::Algorithm;
+use fsm_types::{FsmError, MinSup, Result};
+
+/// Input file formats the CLI understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// FIMI transaction format: one transaction per line, integer item ids.
+    Fimi,
+    /// N-Triples linked-data format; resource-linking triples become edges.
+    NTriples,
+}
+
+/// Output condensation selected by the user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputKind {
+    /// Every frequent connected collection.
+    #[default]
+    All,
+    /// Closed collections only.
+    Closed,
+    /// Maximal collections only.
+    Maximal,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Path of the input file.
+    pub input: String,
+    /// Input format (inferred from the extension when not given).
+    pub format: InputFormat,
+    /// Mining algorithm.
+    pub algorithm: Algorithm,
+    /// Minimum support.
+    pub minsup: MinSup,
+    /// Window size in batches.
+    pub window: usize,
+    /// Transactions per batch.
+    pub batch_size: usize,
+    /// Optional cap on pattern cardinality.
+    pub max_len: Option<usize>,
+    /// Optional top-k selection applied after mining.
+    pub top_k: Option<usize>,
+    /// Output condensation.
+    pub output: OutputKind,
+    /// Emit CSV instead of human-readable lines.
+    pub csv: bool,
+    /// For N-Triples input: group triples into one graph per N statements
+    /// (`None` means group by subject).
+    pub group_size: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            input: String::new(),
+            format: InputFormat::Fimi,
+            algorithm: Algorithm::DirectVertical,
+            minsup: MinSup::Relative(0.05),
+            window: 5,
+            batch_size: 1000,
+            max_len: None,
+            top_k: None,
+            output: OutputKind::All,
+            csv: false,
+            group_size: None,
+        }
+    }
+}
+
+/// Usage text printed for `--help` and on parse errors.
+pub const USAGE: &str = "\
+fsm — frequent connected subgraph mining from graph streams
+
+USAGE:
+  fsm mine --input <FILE> [OPTIONS]
+
+OPTIONS:
+  --input <FILE>        FIMI (.dat/.txt) or N-Triples (.nt) input file
+  --format <fimi|ntriples>   override format inference
+  --algorithm <NAME>    multi-tree | single-tree | top-down | vertical |
+                        direct-vertical        (default: direct-vertical)
+  --minsup <VALUE>      absolute count (e.g. 20) or fraction (e.g. 0.05)
+  --window <N>          sliding window size in batches     (default: 5)
+  --batch-size <N>      transactions per batch             (default: 1000)
+  --max-len <N>         cap on pattern cardinality
+  --top-k <N>           report only the k best-supported patterns
+  --closed | --maximal  condensed output
+  --csv                 emit CSV (edges,support) instead of text
+  --group-size <N>      N-Triples only: one graph per N linking statements
+                        (default: one graph per subject)
+  --help                show this message
+";
+
+/// Parses the CLI arguments (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Options> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Err(FsmError::config(USAGE));
+    }
+    if args[0] != "mine" {
+        return Err(FsmError::config(format!(
+            "unknown command '{}'\n\n{USAGE}",
+            args[0]
+        )));
+    }
+    let mut options = Options::default();
+    let mut format_given = false;
+    let mut iter = args[1..].iter().peekable();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| FsmError::config(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--input" => options.input = value("--input")?,
+            "--format" => {
+                format_given = true;
+                options.format = match value("--format")?.as_str() {
+                    "fimi" => InputFormat::Fimi,
+                    "ntriples" | "nt" => InputFormat::NTriples,
+                    other => return Err(FsmError::config(format!("unknown format '{other}'"))),
+                };
+            }
+            "--algorithm" => {
+                options.algorithm = match value("--algorithm")?.as_str() {
+                    "multi-tree" => Algorithm::MultiTree,
+                    "single-tree" => Algorithm::SingleTree,
+                    "top-down" => Algorithm::TopDown,
+                    "vertical" => Algorithm::Vertical,
+                    "direct-vertical" | "direct" => Algorithm::DirectVertical,
+                    other => return Err(FsmError::config(format!("unknown algorithm '{other}'"))),
+                };
+            }
+            "--minsup" => {
+                let raw = value("--minsup")?;
+                options.minsup = parse_minsup(&raw)?;
+            }
+            "--window" => options.window = parse_number(&value("--window")?, "--window")?,
+            "--batch-size" => {
+                options.batch_size = parse_number(&value("--batch-size")?, "--batch-size")?
+            }
+            "--max-len" => options.max_len = Some(parse_number(&value("--max-len")?, "--max-len")?),
+            "--top-k" => options.top_k = Some(parse_number(&value("--top-k")?, "--top-k")?),
+            "--group-size" => {
+                options.group_size = Some(parse_number(&value("--group-size")?, "--group-size")?)
+            }
+            "--closed" => options.output = OutputKind::Closed,
+            "--maximal" => options.output = OutputKind::Maximal,
+            "--csv" => options.csv = true,
+            "--help" | "-h" => return Err(FsmError::config(USAGE)),
+            other => {
+                return Err(FsmError::config(format!(
+                    "unknown option '{other}'\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    if options.input.is_empty() {
+        return Err(FsmError::config(format!("--input is required\n\n{USAGE}")));
+    }
+    if !format_given && (options.input.ends_with(".nt") || options.input.ends_with(".ntriples")) {
+        options.format = InputFormat::NTriples;
+    }
+    if options.window == 0 || options.batch_size == 0 {
+        return Err(FsmError::config(
+            "--window and --batch-size must be positive",
+        ));
+    }
+    Ok(options)
+}
+
+fn parse_minsup(raw: &str) -> Result<MinSup> {
+    if let Ok(count) = raw.parse::<u64>() {
+        return Ok(MinSup::absolute(count));
+    }
+    match raw.parse::<f64>() {
+        Ok(fraction) if fraction > 0.0 && fraction <= 1.0 => Ok(MinSup::relative(fraction)),
+        _ => Err(FsmError::config(format!(
+            "--minsup must be a positive integer or a fraction in (0, 1], got '{raw}'"
+        ))),
+    }
+}
+
+fn parse_number(raw: &str, flag: &str) -> Result<usize> {
+    raw.parse()
+        .map_err(|_| FsmError::config(format!("{flag} expects a number, got '{raw}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(text: &str) -> Vec<String> {
+        text.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn minimal_invocation_uses_defaults() {
+        let options = parse(&to_args("mine --input data.dat")).unwrap();
+        assert_eq!(options.input, "data.dat");
+        assert_eq!(options.format, InputFormat::Fimi);
+        assert_eq!(options.algorithm, Algorithm::DirectVertical);
+        assert_eq!(options.window, 5);
+        assert_eq!(options.output, OutputKind::All);
+        assert!(!options.csv);
+    }
+
+    #[test]
+    fn every_flag_is_parsed() {
+        let options = parse(&to_args(
+            "mine --input log.nt --algorithm vertical --minsup 0.1 --window 3 \
+             --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6",
+        ))
+        .unwrap();
+        assert_eq!(options.format, InputFormat::NTriples, "inferred from .nt");
+        assert_eq!(options.algorithm, Algorithm::Vertical);
+        assert_eq!(options.minsup, MinSup::Relative(0.1));
+        assert_eq!(options.window, 3);
+        assert_eq!(options.batch_size, 50);
+        assert_eq!(options.max_len, Some(4));
+        assert_eq!(options.top_k, Some(10));
+        assert_eq!(options.output, OutputKind::Closed);
+        assert!(options.csv);
+        assert_eq!(options.group_size, Some(6));
+    }
+
+    #[test]
+    fn absolute_and_relative_minsup() {
+        assert_eq!(
+            parse(&to_args("mine --input x --minsup 20"))
+                .unwrap()
+                .minsup,
+            MinSup::Absolute(20)
+        );
+        assert_eq!(
+            parse(&to_args("mine --input x --minsup 0.5"))
+                .unwrap()
+                .minsup,
+            MinSup::Relative(0.5)
+        );
+        assert!(parse(&to_args("mine --input x --minsup -3")).is_err());
+        assert!(parse(&to_args("mine --input x --minsup 1.5")).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&to_args("--help")).is_err());
+        assert!(parse(&to_args("frobnicate --input x")).is_err());
+        assert!(parse(&to_args("mine")).is_err(), "missing --input");
+        assert!(parse(&to_args("mine --input x --algorithm nope")).is_err());
+        assert!(parse(&to_args("mine --input x --window 0")).is_err());
+        assert!(parse(&to_args("mine --input x --format weird")).is_err());
+        assert!(
+            parse(&to_args("mine --input x --window")).is_err(),
+            "missing value"
+        );
+        assert!(parse(&to_args("mine --input x --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn explicit_format_overrides_inference() {
+        let options = parse(&to_args("mine --input data.nt --format fimi")).unwrap();
+        assert_eq!(options.format, InputFormat::Fimi);
+    }
+}

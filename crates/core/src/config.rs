@@ -1,0 +1,170 @@
+//! Configuration and builder for the [`crate::miner::StreamMiner`] facade.
+
+use fsm_fptree::MiningLimits;
+use fsm_storage::StorageBackend;
+use fsm_stream::WindowConfig;
+use fsm_types::{EdgeCatalog, MinSup, Result};
+
+use crate::algorithm::{Algorithm, ConnectivityMode};
+use crate::miner::StreamMiner;
+
+/// Full configuration of a streaming miner.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Which of the five algorithms to run when [`StreamMiner::mine`] is
+    /// called.
+    pub algorithm: Algorithm,
+    /// Sliding-window size in batches (`w`).
+    pub window: WindowConfig,
+    /// Minimum support threshold.
+    pub min_support: MinSup,
+    /// Connectivity decision procedure for the post-processing step.
+    pub connectivity: ConnectivityMode,
+    /// Optional cap on pattern cardinality.
+    pub limits: MiningLimits,
+    /// Storage backend of the DSMatrix.
+    pub backend: StorageBackend,
+    /// Edge vocabulary.  When `None`, the vocabulary is built incrementally
+    /// from ingested graph snapshots (and mining transactions directly
+    /// requires edges the catalog already knows).
+    pub catalog: Option<EdgeCatalog>,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::DirectVertical,
+            window: WindowConfig::default(),
+            min_support: MinSup::default(),
+            connectivity: ConnectivityMode::Exact,
+            limits: MiningLimits::UNBOUNDED,
+            backend: StorageBackend::default(),
+            catalog: None,
+        }
+    }
+}
+
+/// Builder-style construction of a [`StreamMiner`].
+///
+/// ```
+/// use fsm_core::{Algorithm, StreamMinerBuilder};
+/// use fsm_types::{EdgeCatalog, MinSup};
+///
+/// let miner = StreamMinerBuilder::new()
+///     .algorithm(Algorithm::Vertical)
+///     .window_batches(5)
+///     .min_support(MinSup::relative(0.1))
+///     .catalog(EdgeCatalog::complete(4))
+///     .build()
+///     .unwrap();
+/// assert_eq!(miner.config().algorithm, Algorithm::Vertical);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamMinerBuilder {
+    config: MinerConfig,
+    window_batches: Option<usize>,
+}
+
+impl StreamMinerBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the mining algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the sliding-window size in batches.
+    pub fn window_batches(mut self, batches: usize) -> Self {
+        self.window_batches = Some(batches);
+        self
+    }
+
+    /// Sets the minimum support threshold.
+    pub fn min_support(mut self, min_support: MinSup) -> Self {
+        self.config.min_support = min_support;
+        self
+    }
+
+    /// Sets the connectivity decision procedure.
+    pub fn connectivity(mut self, mode: ConnectivityMode) -> Self {
+        self.config.connectivity = mode;
+        self
+    }
+
+    /// Caps the pattern cardinality.
+    pub fn max_pattern_len(mut self, max: usize) -> Self {
+        self.config.limits = MiningLimits::with_max_len(max);
+        self
+    }
+
+    /// Selects the DSMatrix storage backend.
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Provides the edge vocabulary up front.
+    pub fn catalog(mut self, catalog: EdgeCatalog) -> Self {
+        self.config.catalog = Some(catalog);
+        self
+    }
+
+    /// Declares the vertex universe as `1..=n`, using the complete graph over
+    /// it as the edge vocabulary (the convention of the paper's running
+    /// example).
+    pub fn complete_graph_vertices(mut self, n: u32) -> Self {
+        self.config.catalog = Some(EdgeCatalog::complete(n));
+        self
+    }
+
+    /// Builds the miner.
+    pub fn build(mut self) -> Result<StreamMiner> {
+        if let Some(batches) = self.window_batches {
+            self.config.window = WindowConfig::new(batches)?;
+        }
+        StreamMiner::new(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_sensible() {
+        let config = MinerConfig::default();
+        assert_eq!(config.algorithm, Algorithm::DirectVertical);
+        assert_eq!(config.window.window_batches, 5);
+        assert_eq!(config.connectivity, ConnectivityMode::Exact);
+        assert!(config.catalog.is_none());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let miner = StreamMinerBuilder::new()
+            .algorithm(Algorithm::MultiTree)
+            .window_batches(3)
+            .min_support(MinSup::absolute(4))
+            .connectivity(ConnectivityMode::PaperRule)
+            .max_pattern_len(3)
+            .backend(StorageBackend::Memory)
+            .complete_graph_vertices(4)
+            .build()
+            .unwrap();
+        let config = miner.config();
+        assert_eq!(config.algorithm, Algorithm::MultiTree);
+        assert_eq!(config.window.window_batches, 3);
+        assert_eq!(config.connectivity, ConnectivityMode::PaperRule);
+        assert_eq!(config.limits.max_pattern_len, Some(3));
+        assert_eq!(miner.catalog().num_edges(), 6);
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        assert!(StreamMinerBuilder::new().window_batches(0).build().is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! The connectivity post-processing step (§3.5).
+
+use fsm_types::{EdgeCatalog, EdgeSet, FrequentPattern};
+
+use crate::algorithm::ConnectivityMode;
+
+/// Decides whether frequent edge collections form connected subgraphs and
+/// filters out those that do not — the paper's post-processing step.
+#[derive(Debug, Clone)]
+pub struct ConnectivityChecker<'a> {
+    catalog: &'a EdgeCatalog,
+    mode: ConnectivityMode,
+}
+
+impl<'a> ConnectivityChecker<'a> {
+    /// Creates a checker over `catalog` using the given mode.
+    pub fn new(catalog: &'a EdgeCatalog, mode: ConnectivityMode) -> Self {
+        Self { catalog, mode }
+    }
+
+    /// The active connectivity mode.
+    pub fn mode(&self) -> ConnectivityMode {
+        self.mode
+    }
+
+    /// Returns `true` if the edge set forms a connected subgraph.
+    pub fn is_connected(&self, set: &EdgeSet) -> bool {
+        match self.mode {
+            ConnectivityMode::Exact => set.is_connected(self.catalog),
+            ConnectivityMode::PaperRule => set.is_connected_paper_rule(self.catalog),
+        }
+    }
+
+    /// Removes disconnected collections in place, returning how many were
+    /// pruned ("check and prune away {a,f} because it is a pair of disjoint
+    /// edges", Example 6).
+    pub fn prune_disconnected(&self, patterns: &mut Vec<FrequentPattern>) -> usize {
+        let before = patterns.len();
+        patterns.retain(|p| self.is_connected(&p.edges));
+        before - patterns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::EdgeSet;
+
+    fn patterns(raws: &[(&[u32], u64)]) -> Vec<FrequentPattern> {
+        raws.iter()
+            .map(|(edges, support)| {
+                FrequentPattern::new(EdgeSet::from_raw(edges.iter().copied()), *support)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prunes_the_two_disjoint_pairs_of_example_6() {
+        let catalog = EdgeCatalog::complete(4);
+        // A selection of Example 6's collections: {a,c} connected, {a,f} and
+        // {c,d} disjoint, {a,d} connected.
+        let mut found = patterns(&[
+            (&[0, 2], 4),
+            (&[0, 5], 4),
+            (&[2, 3], 3),
+            (&[0, 3], 3),
+            (&[0], 5),
+        ]);
+        let checker = ConnectivityChecker::new(&catalog, ConnectivityMode::Exact);
+        let pruned = checker.prune_disconnected(&mut found);
+        assert_eq!(pruned, 2);
+        let remaining: Vec<String> = found.iter().map(|p| p.edges.symbols()).collect();
+        assert_eq!(remaining, vec!["{a,c}", "{a,d}", "{a}"]);
+    }
+
+    #[test]
+    fn paper_rule_and_exact_agree_on_small_patterns() {
+        let catalog = EdgeCatalog::complete(4);
+        let exact = ConnectivityChecker::new(&catalog, ConnectivityMode::Exact);
+        let rule = ConnectivityChecker::new(&catalog, ConnectivityMode::PaperRule);
+        for raw in [
+            vec![0u32, 2],
+            vec![0, 5],
+            vec![2, 3],
+            vec![0, 2, 3, 5],
+            vec![1, 2],
+        ] {
+            let set = EdgeSet::from_raw(raw.clone());
+            assert_eq!(exact.is_connected(&set), rule.is_connected(&set), "{set}");
+        }
+        assert_eq!(exact.mode(), ConnectivityMode::Exact);
+        assert_eq!(rule.mode(), ConnectivityMode::PaperRule);
+    }
+
+    #[test]
+    fn singletons_survive_pruning() {
+        let catalog = EdgeCatalog::complete(4);
+        let mut found = patterns(&[(&[0], 5), (&[5], 4)]);
+        let checker = ConnectivityChecker::new(&catalog, ConnectivityMode::Exact);
+        assert_eq!(checker.prune_disconnected(&mut found), 0);
+        assert_eq!(found.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Runtime and memory instrumentation attached to every mining run.
+
+use std::fmt;
+use std::time::Duration;
+
+use fsm_fptree::growth::Footprint;
+
+/// Measurements collected while one mining call executed.
+///
+/// These are the quantities the paper's evaluation compares across
+/// algorithms: wall-clock runtime (experiment E3 / Figure 2), the number and
+/// peak size of in-memory FP-trees (experiment E2), the bit-vector working-set
+/// of the vertical algorithms, and how much the post-processing step pruned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Wall-clock time of the mining call (capture time is not included; the
+    /// paper's "delayed" mining separates the two).
+    pub elapsed: Duration,
+    /// FP-tree construction footprint (zero for the vertical algorithms).
+    pub tree_footprint: Footprint,
+    /// Number of bit-vector intersections performed (zero for the horizontal
+    /// algorithms).
+    pub intersections: u64,
+    /// Peak bytes of simultaneously-alive bit vectors during vertical mining.
+    pub peak_bitvector_bytes: usize,
+    /// Number of frequent collections found before the connectivity filter.
+    pub patterns_before_postprocess: usize,
+    /// Number of collections removed by the connectivity filter (always zero
+    /// for the direct algorithm).
+    pub patterns_pruned: usize,
+    /// Resident bytes of the capture structure at mining time.
+    pub capture_resident_bytes: usize,
+    /// Bytes the capture structure keeps on disk at mining time.
+    pub capture_on_disk_bytes: u64,
+    /// Number of window transactions the run mined over.
+    pub window_transactions: usize,
+    /// The absolute minimum support the thresholds resolved to.
+    pub resolved_minsup: u64,
+}
+
+impl MiningStats {
+    /// Peak working-set estimate of the mining step itself (trees or bit
+    /// vectors, whichever the algorithm uses).
+    pub fn peak_mining_bytes(&self) -> usize {
+        self.tree_footprint
+            .peak_tree_bytes
+            .max(self.peak_bitvector_bytes)
+    }
+
+    /// Number of collections returned after post-processing.
+    pub fn patterns_after_postprocess(&self) -> usize {
+        self.patterns_before_postprocess
+            .saturating_sub(self.patterns_pruned)
+    }
+}
+
+impl fmt::Display for MiningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} elapsed, {} trees (peak {} bytes), {} intersections (peak {} bytes), \
+             {} patterns (-{} pruned), capture {} bytes resident / {} on disk",
+            self.elapsed,
+            self.tree_footprint.trees_built,
+            self.tree_footprint.peak_tree_bytes,
+            self.intersections,
+            self.peak_bitvector_bytes,
+            self.patterns_before_postprocess,
+            self.patterns_pruned,
+            self.capture_resident_bytes,
+            self.capture_on_disk_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_mining_bytes_takes_the_larger_working_set() {
+        let mut stats = MiningStats {
+            peak_bitvector_bytes: 100,
+            ..MiningStats::default()
+        };
+        stats.tree_footprint.peak_tree_bytes = 50;
+        assert_eq!(stats.peak_mining_bytes(), 100);
+        stats.tree_footprint.peak_tree_bytes = 500;
+        assert_eq!(stats.peak_mining_bytes(), 500);
+    }
+
+    #[test]
+    fn pattern_counts_are_consistent() {
+        let stats = MiningStats {
+            patterns_before_postprocess: 17,
+            patterns_pruned: 2,
+            ..MiningStats::default()
+        };
+        assert_eq!(stats.patterns_after_postprocess(), 15);
+    }
+
+    #[test]
+    fn display_includes_headline_numbers() {
+        let stats = MiningStats {
+            patterns_before_postprocess: 17,
+            patterns_pruned: 2,
+            intersections: 12,
+            ..MiningStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("17 patterns"));
+        assert!(text.contains("12 intersections"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Frequent connected subgraph mining from streams of linked graph structured
+//! data — the paper's contribution.
+//!
+//! The crate provides five mining algorithms over the [`fsm_dsmatrix::DsMatrix`]
+//! capture structure, the connectivity post-processing step, the neighbourhood
+//! algebra used by the direct algorithm, the DSTree/DSTable baseline miners
+//! used in the accuracy experiment, and the [`StreamMiner`] facade that ties
+//! capture and mining together behind one builder-style API:
+//!
+//! ```
+//! use fsm_core::{Algorithm, StreamMinerBuilder};
+//! use fsm_types::{Batch, EdgeCatalog, MinSup, Transaction};
+//!
+//! // The paper's running example: complete graph over v1..v4, edges a..f.
+//! let catalog = EdgeCatalog::complete(4);
+//! let mut miner = StreamMinerBuilder::new()
+//!     .algorithm(Algorithm::DirectVertical)
+//!     .window_batches(2)
+//!     .min_support(MinSup::absolute(2))
+//!     .catalog(catalog)
+//!     .build()
+//!     .unwrap();
+//!
+//! let batch = Batch::from_transactions(0, vec![
+//!     Transaction::from_raw([2, 3, 5]),
+//!     Transaction::from_raw([0, 4, 5]),
+//!     Transaction::from_raw([0, 2, 5]),
+//! ]);
+//! miner.ingest_batch(&batch).unwrap();
+//! let result = miner.mine().unwrap();
+//! assert!(result.patterns().iter().all(|p| p.support >= 2));
+//! ```
+//!
+//! | Algorithm | Paper section | Strategy |
+//! |-----------|---------------|----------|
+//! | [`Algorithm::MultiTree`] | §3.1 | recursive FP-trees per projected database |
+//! | [`Algorithm::SingleTree`] | §3.2 | one FP-tree per frequent edge, subset counting |
+//! | [`Algorithm::TopDown`] | §3.3 | one FP-tree per frequent edge, top-down mining |
+//! | [`Algorithm::Vertical`] | §3.4 + §3.5 | bit-vector intersections, post-processing |
+//! | [`Algorithm::DirectVertical`] | §4 | neighbourhood-guided bit-vector intersections |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod baseline;
+pub mod config;
+pub mod connectivity;
+pub mod instrument;
+pub mod miner;
+pub mod miners;
+pub mod neighborhood;
+pub mod oracle;
+pub mod postprocess;
+pub mod result;
+
+pub use algorithm::{Algorithm, ConnectivityMode};
+pub use baseline::{mine_dstable, mine_dstree, BaselineStructure};
+pub use config::{MinerConfig, StreamMinerBuilder};
+pub use connectivity::ConnectivityChecker;
+pub use instrument::MiningStats;
+pub use miner::StreamMiner;
+pub use neighborhood::{neighborhood_of_set, Neighborhood};
+pub use postprocess::{closed_patterns, maximal_patterns, top_k};
+pub use result::MiningResult;

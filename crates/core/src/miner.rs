@@ -1,0 +1,284 @@
+//! The [`StreamMiner`] facade: capture batches, slide the window, mine on
+//! demand.
+
+use std::time::Instant;
+
+use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+use fsm_storage::MemoryTracker;
+use fsm_stream::SlideOutcome;
+use fsm_types::{Batch, EdgeCatalog, GraphSnapshot, Result, Transaction};
+
+use crate::config::MinerConfig;
+use crate::connectivity::ConnectivityChecker;
+use crate::miners;
+use crate::result::MiningResult;
+
+/// A streaming frequent connected subgraph miner.
+///
+/// The miner owns the DSMatrix capture structure and the edge catalog.  Each
+/// ingested batch updates the matrix (sliding the window once it is full);
+/// mining is *delayed* until [`StreamMiner::mine`] is called, exactly as the
+/// paper prescribes.
+pub struct StreamMiner {
+    config: MinerConfig,
+    catalog: EdgeCatalog,
+    matrix: DsMatrix,
+    tracker: MemoryTracker,
+    next_batch_id: u64,
+}
+
+impl StreamMiner {
+    /// Creates a miner from a full configuration (use
+    /// [`crate::config::StreamMinerBuilder`] for the ergonomic path).
+    pub fn new(mut config: MinerConfig) -> Result<Self> {
+        let catalog = config.catalog.take().unwrap_or_default();
+        let matrix = DsMatrix::new(DsMatrixConfig::new(
+            config.window,
+            config.backend.clone(),
+            catalog.num_edges(),
+        ))?;
+        let tracker = MemoryTracker::new();
+        let mut miner = Self {
+            config,
+            catalog,
+            matrix,
+            tracker,
+            next_batch_id: 0,
+        };
+        miner.matrix.set_tracker(miner.tracker.clone());
+        Ok(miner)
+    }
+
+    /// The active configuration (catalog moved out; see
+    /// [`StreamMiner::catalog`]).
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The edge vocabulary as currently known.
+    pub fn catalog(&self) -> &EdgeCatalog {
+        &self.catalog
+    }
+
+    /// The memory tracker observing the capture structure.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.tracker
+    }
+
+    /// Number of transactions currently in the window.
+    pub fn window_transactions(&self) -> usize {
+        self.matrix.num_transactions()
+    }
+
+    /// Number of batches currently in the window.
+    pub fn window_batches(&self) -> usize {
+        self.matrix.num_batches()
+    }
+
+    /// Ingests a pre-built batch of edge transactions.
+    ///
+    /// The transactions must reference edges of the miner's catalog (either
+    /// provided at build time or interned through
+    /// [`StreamMiner::ingest_snapshots`]); unknown edges are still captured by
+    /// the matrix but cannot participate in connectivity decisions.
+    pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        self.next_batch_id = self.next_batch_id.max(batch.id + 1);
+        self.matrix.ingest_batch(batch)
+    }
+
+    /// Ingests one batch worth of raw graph snapshots, interning any new
+    /// vertex pair into the catalog.
+    pub fn ingest_snapshots(&mut self, snapshots: &[GraphSnapshot]) -> Result<SlideOutcome> {
+        let transactions: Vec<Transaction> = snapshots
+            .iter()
+            .map(|snapshot| snapshot.intern_into(&mut self.catalog))
+            .collect();
+        let batch = Batch::from_transactions(self.next_batch_id, transactions);
+        self.next_batch_id += 1;
+        self.matrix.ingest_batch(&batch)
+    }
+
+    /// Mines the current window with the configured algorithm, applying the
+    /// connectivity post-processing step where the algorithm requires it.
+    pub fn mine(&mut self) -> Result<MiningResult> {
+        let start = Instant::now();
+        let resolved = self
+            .config
+            .min_support
+            .resolve(self.matrix.num_transactions());
+
+        let mut raw = miners::run_algorithm(
+            self.config.algorithm,
+            &mut self.matrix,
+            &self.catalog,
+            resolved,
+            self.config.limits,
+        )?;
+
+        if self.config.algorithm.needs_postprocessing() {
+            let checker = ConnectivityChecker::new(&self.catalog, self.config.connectivity);
+            raw.stats.patterns_pruned = checker.prune_disconnected(&mut raw.patterns);
+        }
+
+        raw.stats.elapsed = start.elapsed();
+        raw.stats.capture_resident_bytes = self.matrix.resident_bytes();
+        raw.stats.capture_on_disk_bytes = self.matrix.on_disk_bytes();
+        raw.stats.window_transactions = self.matrix.num_transactions();
+        raw.stats.resolved_minsup = resolved;
+        Ok(MiningResult::new(raw.patterns, raw.stats))
+    }
+
+    /// Direct access to the capture structure (used by the experiment harness
+    /// for space accounting and ablations).
+    pub fn matrix_mut(&mut self) -> &mut DsMatrix {
+        &mut self.matrix
+    }
+}
+
+impl std::fmt::Debug for StreamMiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamMiner")
+            .field("algorithm", &self.config.algorithm)
+            .field("window_batches", &self.config.window.window_batches)
+            .field("window_transactions", &self.matrix.num_transactions())
+            .field("edges", &self.catalog.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use crate::config::StreamMinerBuilder;
+    use fsm_types::{EdgeSet, MinSup};
+
+    fn paper_batches() -> Vec<Batch> {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ]
+    }
+
+    fn build(algorithm: Algorithm) -> StreamMiner {
+        StreamMinerBuilder::new()
+            .algorithm(algorithm)
+            .window_batches(2)
+            .min_support(MinSup::absolute(2))
+            .complete_graph_vertices(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_five_algorithms_return_the_15_connected_collections() {
+        let mut reference: Option<MiningResult> = None;
+        for algorithm in Algorithm::ALL {
+            let mut miner = build(algorithm);
+            for batch in paper_batches() {
+                miner.ingest_batch(&batch).unwrap();
+            }
+            assert_eq!(miner.window_batches(), 2);
+            assert_eq!(miner.window_transactions(), 6);
+            let result = miner.mine().unwrap();
+            assert_eq!(result.len(), 15, "{algorithm}");
+            assert_eq!(
+                result.support_of(&EdgeSet::from_raw([0, 2])),
+                Some(4),
+                "{algorithm}: support of {{a,c}}"
+            );
+            assert_eq!(result.support_of(&EdgeSet::from_raw([0, 5])), None);
+            if let Some(reference) = &reference {
+                assert!(
+                    reference.same_patterns_as(&result),
+                    "{algorithm} disagrees: {:?}",
+                    reference.diff(&result)
+                );
+            } else {
+                reference = Some(result);
+            }
+        }
+    }
+
+    #[test]
+    fn postprocessing_statistics_distinguish_the_algorithms() {
+        let mut vertical = build(Algorithm::Vertical);
+        let mut direct = build(Algorithm::DirectVertical);
+        for batch in paper_batches() {
+            vertical.ingest_batch(&batch).unwrap();
+            direct.ingest_batch(&batch).unwrap();
+        }
+        let vertical_result = vertical.mine().unwrap();
+        let direct_result = direct.mine().unwrap();
+        assert_eq!(vertical_result.stats().patterns_before_postprocess, 17);
+        assert_eq!(vertical_result.stats().patterns_pruned, 2);
+        assert_eq!(direct_result.stats().patterns_before_postprocess, 15);
+        assert_eq!(direct_result.stats().patterns_pruned, 0);
+        assert!(
+            direct_result.stats().intersections < vertical_result.stats().intersections,
+            "direct mining performs fewer intersections"
+        );
+    }
+
+    #[test]
+    fn relative_minsup_resolves_against_the_window() {
+        let mut miner = StreamMinerBuilder::new()
+            .algorithm(Algorithm::Vertical)
+            .window_batches(2)
+            .min_support(MinSup::relative(0.5))
+            .complete_graph_vertices(4)
+            .build()
+            .unwrap();
+        for batch in paper_batches() {
+            miner.ingest_batch(&batch).unwrap();
+        }
+        let result = miner.mine().unwrap();
+        // 50% of 6 transactions = 3.
+        assert_eq!(result.stats().resolved_minsup, 3);
+        assert!(result.patterns().iter().all(|p| p.support >= 3));
+    }
+
+    #[test]
+    fn snapshots_are_interned_and_mined() {
+        let mut miner = StreamMinerBuilder::new()
+            .algorithm(Algorithm::DirectVertical)
+            .window_batches(2)
+            .min_support(MinSup::absolute(2))
+            .build()
+            .unwrap();
+        let graphs = vec![
+            GraphSnapshot::from_pairs([(1, 2), (2, 3)]),
+            GraphSnapshot::from_pairs([(1, 2), (2, 3), (3, 4)]),
+            GraphSnapshot::from_pairs([(1, 2), (3, 4)]),
+        ];
+        miner.ingest_snapshots(&graphs).unwrap();
+        assert_eq!(miner.catalog().num_edges(), 3);
+        let result = miner.mine().unwrap();
+        // (1,2) appears 3×, (2,3) 2×, (3,4) 2×, {(1,2),(2,3)} 2× connected.
+        assert_eq!(result.len(), 4);
+        assert_eq!(result.support_of(&EdgeSet::from_raw([0, 1])), Some(2));
+        // Mining again without new data is idempotent.
+        let again = miner.mine().unwrap();
+        assert!(result.same_patterns_as(&again));
+    }
+
+    #[test]
+    fn mining_an_empty_window_returns_nothing() {
+        let mut miner = build(Algorithm::Vertical);
+        let result = miner.mine().unwrap();
+        assert!(result.is_empty());
+        assert_eq!(result.stats().window_transactions, 0);
+    }
+
+    #[test]
+    fn memory_tracker_observes_the_capture_structure() {
+        let mut miner = build(Algorithm::Vertical);
+        for batch in paper_batches() {
+            miner.ingest_batch(&batch).unwrap();
+        }
+        assert!(miner.memory().peak_of(DsMatrix::TRACK_CATEGORY) > 0);
+        assert!(format!("{miner:?}").contains("Vertical") || !format!("{miner:?}").is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! The three horizontal (FP-tree based) algorithms: §3.1, §3.2 and §3.3.
+//!
+//! All three follow the same outline — find the frequent single edges from the
+//! DSMatrix row sums, build the `{x}`-projected database for each frequent
+//! edge `x` by extracting matrix columns downwards, and mine that projected
+//! database — and differ only in *how* the projected database is mined:
+//!
+//! * **multi-tree** (§3.1) mines it with recursive FP-growth, so conditional
+//!   trees pile up in memory;
+//! * **single-tree** (§3.2) builds one FP-tree and counts node-path subsets;
+//! * **top-down** (§3.3) builds one FP-tree and mines it top-down.
+
+use fsm_dsmatrix::DsMatrix;
+use fsm_fptree::growth::MineOutcome;
+use fsm_fptree::{MiningLimits, ProjectedDb};
+use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
+
+use super::RawMiningOutput;
+
+/// §3.1 — mining with multiple recursive FP-trees.
+pub fn mine_multi_tree(
+    matrix: &mut DsMatrix,
+    minsup: Support,
+    limits: MiningLimits,
+) -> Result<RawMiningOutput> {
+    mine_horizontal(matrix, minsup, limits, fsm_fptree::mine_recursive)
+}
+
+/// §3.2 — frequency counting on a single FP-tree per frequent edge.
+pub fn mine_single_tree(
+    matrix: &mut DsMatrix,
+    minsup: Support,
+    limits: MiningLimits,
+) -> Result<RawMiningOutput> {
+    mine_horizontal(
+        matrix,
+        minsup,
+        limits,
+        fsm_fptree::mine_by_subset_enumeration,
+    )
+}
+
+/// §3.3 — top-down mining of a single FP-tree per frequent edge.
+pub fn mine_top_down(
+    matrix: &mut DsMatrix,
+    minsup: Support,
+    limits: MiningLimits,
+) -> Result<RawMiningOutput> {
+    mine_horizontal(matrix, minsup, limits, fsm_fptree::mine_top_down)
+}
+
+/// Shared outline of the three horizontal algorithms, parameterised by the
+/// projected-database mining strategy.
+fn mine_horizontal(
+    matrix: &mut DsMatrix,
+    minsup: Support,
+    limits: MiningLimits,
+    strategy: fn(&ProjectedDb, Support, MiningLimits) -> MineOutcome,
+) -> Result<RawMiningOutput> {
+    let minsup = minsup.max(1);
+    let mut output = RawMiningOutput::default();
+
+    // Step 1: frequent single edges from the row sums.
+    let singletons = matrix.singleton_supports()?;
+    let frequent: Vec<(EdgeId, Support)> = singletons
+        .into_iter()
+        .filter(|(_, support)| *support >= minsup)
+        .collect();
+
+    // The limit passed to the projected-database miner applies to the suffix
+    // (the pattern minus the pivot edge).
+    let suffix_limits = match limits.max_pattern_len {
+        Some(0) => return Ok(output),
+        Some(max) => MiningLimits::with_max_len(max.saturating_sub(1).max(1)),
+        None => MiningLimits::UNBOUNDED,
+    };
+
+    // Step 2: one projected database per frequent edge.
+    for &(edge, support) in &frequent {
+        output
+            .patterns
+            .push(FrequentPattern::new(EdgeSet::singleton(edge), support));
+
+        if matches!(limits.max_pattern_len, Some(1)) {
+            continue;
+        }
+
+        let projected = matrix.project(edge)?;
+        if projected.is_empty() {
+            continue;
+        }
+        let outcome = strategy(&projected, minsup, suffix_limits);
+        output
+            .stats
+            .tree_footprint
+            .merge_sequential(&outcome.footprint);
+        for (suffix, suffix_support) in outcome.sets {
+            let mut edges = Vec::with_capacity(suffix.len() + 1);
+            edges.push(edge);
+            edges.extend(suffix);
+            output.patterns.push(FrequentPattern::new(
+                EdgeSet::from_edges(edges),
+                suffix_support,
+            ));
+        }
+    }
+
+    output.stats.patterns_before_postprocess = output.patterns.len();
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dsmatrix::DsMatrixConfig;
+    use fsm_storage::StorageBackend;
+    use fsm_stream::WindowConfig;
+    use fsm_types::{Batch, Transaction};
+
+    /// DSMatrix holding the paper's window E4..E9.
+    fn paper_matrix() -> DsMatrix {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        let batches = vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ];
+        let mut m = DsMatrix::new(DsMatrixConfig::new(
+            WindowConfig::new(2).unwrap(),
+            StorageBackend::Memory,
+            6,
+        ))
+        .unwrap();
+        for b in &batches {
+            m.ingest_batch(b).unwrap();
+        }
+        m
+    }
+
+    fn pattern_strings(output: &RawMiningOutput) -> Vec<String> {
+        let mut v: Vec<String> = output
+            .patterns
+            .iter()
+            .map(|p| format!("{}:{}", p.edges.symbols(), p.support))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The 17 collections of Example 2 with the supports of Examples 3 and 5.
+    fn expected_17() -> Vec<String> {
+        let mut v: Vec<String> = vec![
+            "{a}:5",
+            "{b}:2",
+            "{c}:5",
+            "{d}:4",
+            "{f}:4", // 5 singletons
+            "{a,c}:4",
+            "{a,c,d}:2",
+            "{a,c,d,f}:2",
+            "{a,c,f}:3",
+            "{a,d}:3",
+            "{a,d,f}:3",
+            "{a,f}:4", // 7 from the {a}-projected database
+            "{b,c}:2", // 1 from {b}
+            "{c,d}:3",
+            "{c,d,f}:2",
+            "{c,f}:3", // 3 from {c}
+            "{d,f}:3", // 1 from {d}
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn multi_tree_finds_the_17_collections_of_example_2() {
+        let mut m = paper_matrix();
+        let output = mine_multi_tree(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        assert_eq!(output.patterns.len(), 17);
+        assert_eq!(pattern_strings(&output), expected_17());
+        assert!(
+            output.stats.tree_footprint.peak_trees >= 2,
+            "the multi-tree algorithm keeps several FP-trees alive"
+        );
+    }
+
+    #[test]
+    fn single_tree_finds_the_same_collections_with_one_tree_at_a_time() {
+        let mut m = paper_matrix();
+        let output = mine_single_tree(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        assert_eq!(pattern_strings(&output), expected_17());
+        assert_eq!(
+            output.stats.tree_footprint.peak_trees, 1,
+            "only one FP-tree is alive at any moment (§3.2)"
+        );
+    }
+
+    #[test]
+    fn top_down_finds_the_same_collections_with_one_tree_at_a_time() {
+        let mut m = paper_matrix();
+        let output = mine_top_down(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        assert_eq!(pattern_strings(&output), expected_17());
+        assert_eq!(output.stats.tree_footprint.peak_trees, 1);
+    }
+
+    #[test]
+    fn higher_minsup_reduces_the_result() {
+        let mut m = paper_matrix();
+        let output = mine_multi_tree(&mut m, 4, MiningLimits::UNBOUNDED).unwrap();
+        // minsup 4: singletons a:5, c:5, d:4, f:4 plus pairs {a,c}:4, {a,f}:4.
+        assert_eq!(
+            pattern_strings(&output),
+            vec![
+                "{a,c}:4".to_string(),
+                "{a,f}:4".to_string(),
+                "{a}:5".to_string(),
+                "{c}:5".to_string(),
+                "{d}:4".to_string(),
+                "{f}:4".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn max_pattern_len_caps_results() {
+        let mut m = paper_matrix();
+        let output = mine_single_tree(&mut m, 2, MiningLimits::with_max_len(2)).unwrap();
+        assert!(output.patterns.iter().all(|p| p.len() <= 2));
+        assert!(output.patterns.iter().any(|p| p.len() == 2));
+        let singles_only = mine_top_down(&mut m, 2, MiningLimits::with_max_len(1)).unwrap();
+        assert!(singles_only.patterns.iter().all(|p| p.len() == 1));
+        assert_eq!(singles_only.patterns.len(), 5);
+    }
+
+    #[test]
+    fn unsatisfiable_minsup_returns_nothing() {
+        let mut m = paper_matrix();
+        let output = mine_multi_tree(&mut m, 100, MiningLimits::UNBOUNDED).unwrap();
+        assert!(output.patterns.is_empty());
+        assert_eq!(output.stats.patterns_before_postprocess, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The five mining algorithms over the DSMatrix.
+//!
+//! Every algorithm consumes the same inputs — a [`fsm_dsmatrix::DsMatrix`]
+//! holding the current window, the edge catalog, a resolved absolute minimum
+//! support and optional pattern-length limits — and produces the same output
+//! type, a list of frequent patterns plus raw statistics.  The
+//! [`crate::miner::StreamMiner`] facade dispatches on
+//! [`crate::algorithm::Algorithm`] and applies the connectivity
+//! post-processing step where required.
+
+pub mod direct;
+pub mod horizontal;
+pub mod vertical;
+
+use fsm_dsmatrix::DsMatrix;
+use fsm_fptree::MiningLimits;
+use fsm_types::{EdgeCatalog, FrequentPattern, Result, Support};
+
+use crate::algorithm::Algorithm;
+use crate::instrument::MiningStats;
+
+/// Raw output of one algorithm before post-processing.
+#[derive(Debug, Clone, Default)]
+pub struct RawMiningOutput {
+    /// Frequent collections (connected *and* disconnected for algorithms 1–4,
+    /// connected only for the direct algorithm).
+    pub patterns: Vec<FrequentPattern>,
+    /// Statistics accumulated while mining (timing is filled in by the
+    /// caller).
+    pub stats: MiningStats,
+}
+
+/// Runs the selected algorithm over the matrix.
+///
+/// This is the dispatch point used by the facade and by the experiment
+/// harness when it wants raw (pre-post-processing) output.
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    matrix: &mut DsMatrix,
+    catalog: &EdgeCatalog,
+    minsup: Support,
+    limits: MiningLimits,
+) -> Result<RawMiningOutput> {
+    match algorithm {
+        Algorithm::MultiTree => horizontal::mine_multi_tree(matrix, minsup, limits),
+        Algorithm::SingleTree => horizontal::mine_single_tree(matrix, minsup, limits),
+        Algorithm::TopDown => horizontal::mine_top_down(matrix, minsup, limits),
+        Algorithm::Vertical => vertical::mine_vertical(matrix, minsup, limits),
+        Algorithm::DirectVertical => direct::mine_direct(matrix, catalog, minsup, limits),
+    }
+}

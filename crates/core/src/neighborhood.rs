@@ -1,0 +1,136 @@
+//! The neighbourhood algebra of §4 (equations 1 and 2).
+
+use std::collections::BTreeSet;
+
+use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, Result};
+
+/// The set of edges adjacent to a growing connected subgraph, maintained
+/// incrementally as the paper's equations (1) and (2) prescribe:
+///
+/// ```text
+/// neighbor({x, y})   = neighbor({x}) ∪ neighbor({y}) − {x, y}
+/// neighbor(X ∪ {y})  = neighbor(X)  ∪ neighbor({y}) − X − {y}
+/// ```
+///
+/// The direct vertical algorithm only ever intersects bit vectors of edges
+/// drawn from this set, which is what restricts it to connected collections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Neighborhood {
+    members: BTreeSet<EdgeId>,
+    neighbors: BTreeSet<EdgeId>,
+}
+
+impl Neighborhood {
+    /// The neighbourhood of a single edge (the paper's Table 2 row).
+    pub fn of_edge(catalog: &EdgeCatalog, edge: EdgeId) -> Result<Self> {
+        let neighbors: BTreeSet<EdgeId> = catalog.neighbors(edge)?.iter().copied().collect();
+        let mut members = BTreeSet::new();
+        members.insert(edge);
+        Ok(Self { members, neighbors })
+    }
+
+    /// Extends the subgraph with `edge` (which should be one of the current
+    /// neighbours), producing the neighbourhood of `X ∪ {edge}` per Eq. (2).
+    pub fn extend(&self, catalog: &EdgeCatalog, edge: EdgeId) -> Result<Self> {
+        let mut members = self.members.clone();
+        members.insert(edge);
+        let mut neighbors = self.neighbors.clone();
+        neighbors.extend(catalog.neighbors(edge)?.iter().copied());
+        for member in &members {
+            neighbors.remove(member);
+        }
+        Ok(Self { members, neighbors })
+    }
+
+    /// The member edges of the subgraph.
+    pub fn members(&self) -> &BTreeSet<EdgeId> {
+        &self.members
+    }
+
+    /// The neighbouring edges (candidates for connected extension).
+    pub fn neighbors(&self) -> &BTreeSet<EdgeId> {
+        &self.neighbors
+    }
+
+    /// Returns `true` if `edge` is adjacent to the current subgraph.
+    pub fn is_neighbor(&self, edge: EdgeId) -> bool {
+        self.neighbors.contains(&edge)
+    }
+}
+
+/// Computes `neighbor(X)` for an arbitrary edge set non-incrementally (used to
+/// cross-check the incremental algebra in tests and by the oracle).
+pub fn neighborhood_of_set(catalog: &EdgeCatalog, set: &EdgeSet) -> Result<BTreeSet<EdgeId>> {
+    let mut neighbors = BTreeSet::new();
+    for edge in set.iter() {
+        neighbors.extend(catalog.neighbors(edge)?.iter().copied());
+    }
+    for edge in set.iter() {
+        neighbors.remove(&edge);
+    }
+    Ok(neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(set: &BTreeSet<EdgeId>) -> String {
+        set.iter().map(|e| e.symbol()).collect()
+    }
+
+    #[test]
+    fn single_edge_neighbourhood_matches_table_2() {
+        let catalog = EdgeCatalog::complete(4);
+        let a = Neighborhood::of_edge(&catalog, EdgeId::new(0)).unwrap();
+        assert_eq!(sym(a.neighbors()), "bcde");
+        assert!(a.is_neighbor(EdgeId::new(2)));
+        assert!(!a.is_neighbor(EdgeId::new(5)), "f is not adjacent to a");
+    }
+
+    #[test]
+    fn extension_follows_equation_1() {
+        // neighbor({a,c}) = neighbor(a) ∪ neighbor(c) − {a,c} = {b,d,e,f}.
+        let catalog = EdgeCatalog::complete(4);
+        let a = Neighborhood::of_edge(&catalog, EdgeId::new(0)).unwrap();
+        let ac = a.extend(&catalog, EdgeId::new(2)).unwrap();
+        assert_eq!(sym(ac.neighbors()), "bdef");
+        assert_eq!(sym(ac.members()), "ac");
+    }
+
+    #[test]
+    fn extension_follows_equation_2() {
+        // neighbor({a,c,d}) = neighbor({a,c}) ∪ neighbor(d) − {a,c,d} = {b,e,f}.
+        let catalog = EdgeCatalog::complete(4);
+        let a = Neighborhood::of_edge(&catalog, EdgeId::new(0)).unwrap();
+        let ac = a.extend(&catalog, EdgeId::new(2)).unwrap();
+        let acd = ac.extend(&catalog, EdgeId::new(3)).unwrap();
+        assert_eq!(sym(acd.neighbors()), "bef");
+        // neighbor({a,d}) = {b,c,e,f} (Example 7).
+        let ad = a.extend(&catalog, EdgeId::new(3)).unwrap();
+        assert_eq!(sym(ad.neighbors()), "bcef");
+        // neighbor({c,f}) = {a,b,d,e} (Example 7).
+        let c = Neighborhood::of_edge(&catalog, EdgeId::new(2)).unwrap();
+        let cf = c.extend(&catalog, EdgeId::new(5)).unwrap();
+        assert_eq!(sym(cf.neighbors()), "abde");
+    }
+
+    #[test]
+    fn incremental_and_batch_computation_agree() {
+        let catalog = EdgeCatalog::complete(5);
+        // Build {0, 1, 4} incrementally (each step adjacent) and compare with
+        // the non-incremental computation.
+        let n0 = Neighborhood::of_edge(&catalog, EdgeId::new(0)).unwrap();
+        let step = n0.extend(&catalog, EdgeId::new(1)).unwrap();
+        let step = step.extend(&catalog, EdgeId::new(4)).unwrap();
+        let batch = neighborhood_of_set(&catalog, &EdgeSet::from_raw([0, 1, 4])).unwrap();
+        assert_eq!(step.neighbors(), &batch);
+    }
+
+    #[test]
+    fn unknown_edges_are_errors() {
+        let catalog = EdgeCatalog::complete(3);
+        assert!(Neighborhood::of_edge(&catalog, EdgeId::new(9)).is_err());
+        assert!(neighborhood_of_set(&catalog, &EdgeSet::from_raw([0, 9])).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Result post-processing utilities: closed / maximal filtering and top-k
+//! selection.
+//!
+//! The paper's related-work section contrasts its output (all frequent
+//! connected collections) with mining *closed* graphs (Bifet et al.) and
+//! *top-k dense* subgraphs (Valari et al.).  These utilities derive those
+//! condensed representations from a [`MiningResult`] so downstream users can
+//! trade completeness for output size without re-mining.
+
+use fsm_types::FrequentPattern;
+
+use crate::result::MiningResult;
+
+/// Returns the closed patterns: those with no proper superset of equal
+/// support in the result.
+///
+/// The closed set loses no information — every frequent pattern's support can
+/// be recovered as the maximum support of its closed supersets.
+pub fn closed_patterns(result: &MiningResult) -> Vec<FrequentPattern> {
+    let patterns = result.patterns();
+    patterns
+        .iter()
+        .filter(|candidate| {
+            !patterns.iter().any(|other| {
+                other.support == candidate.support
+                    && other.len() > candidate.len()
+                    && candidate.edges.is_subset_of(&other.edges)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Returns the maximal patterns: those with no proper frequent superset at
+/// all.  This is the most aggressive condensation; supports of subsets are
+/// not recoverable.
+pub fn maximal_patterns(result: &MiningResult) -> Vec<FrequentPattern> {
+    let patterns = result.patterns();
+    patterns
+        .iter()
+        .filter(|candidate| {
+            !patterns.iter().any(|other| {
+                other.len() > candidate.len() && candidate.edges.is_subset_of(&other.edges)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Returns the `k` patterns with the highest support, breaking ties in favour
+/// of larger (more informative) collections and then canonical order.
+pub fn top_k(result: &MiningResult, k: usize) -> Vec<FrequentPattern> {
+    let mut patterns: Vec<FrequentPattern> = result.patterns().to_vec();
+    patterns.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.len().cmp(&a.len()))
+            .then(a.edges.cmp(&b.edges))
+    });
+    patterns.truncate(k);
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::MiningStats;
+    use fsm_types::EdgeSet;
+
+    fn pattern(raw: &[u32], support: u64) -> FrequentPattern {
+        FrequentPattern::new(EdgeSet::from_raw(raw.iter().copied()), support)
+    }
+
+    /// The 15 connected collections of the paper's running example.
+    fn example_result() -> MiningResult {
+        MiningResult::new(
+            vec![
+                pattern(&[0], 5),
+                pattern(&[1], 2),
+                pattern(&[2], 5),
+                pattern(&[3], 4),
+                pattern(&[5], 4),
+                pattern(&[0, 2], 4),
+                pattern(&[0, 2, 3], 2),
+                pattern(&[0, 2, 3, 5], 2),
+                pattern(&[0, 2, 5], 3),
+                pattern(&[0, 3], 3),
+                pattern(&[0, 3, 5], 3),
+                pattern(&[1, 2], 2),
+                pattern(&[2, 3, 5], 2),
+                pattern(&[2, 5], 3),
+                pattern(&[3, 5], 3),
+            ],
+            MiningStats::default(),
+        )
+    }
+
+    #[test]
+    fn closed_patterns_drop_subsets_with_equal_support() {
+        let closed = closed_patterns(&example_result());
+        let symbols: Vec<String> = closed.iter().map(|p| p.edges.symbols()).collect();
+        // {a,c,d} (support 2) is absorbed by {a,c,d,f} (support 2)…
+        assert!(!symbols.contains(&"{a,c,d}".to_string()));
+        assert!(symbols.contains(&"{a,c,d,f}".to_string()));
+        // …but {a,c} (support 4) survives: its supersets have lower support.
+        assert!(symbols.contains(&"{a,c}".to_string()));
+        // {b} (support 2) is absorbed by {b,c} (support 2).
+        assert!(!symbols.contains(&"{b}".to_string()));
+        assert!(closed.len() < example_result().len());
+    }
+
+    #[test]
+    fn maximal_patterns_drop_every_subsumed_pattern() {
+        let maximal = maximal_patterns(&example_result());
+        let symbols: Vec<String> = maximal.iter().map(|p| p.edges.symbols()).collect();
+        assert!(symbols.contains(&"{a,c,d,f}".to_string()));
+        assert!(symbols.contains(&"{b,c}".to_string()));
+        assert!(!symbols.contains(&"{a,c}".to_string()));
+        assert!(!symbols.contains(&"{a}".to_string()));
+        // Maximal ⊆ closed.
+        let closed = closed_patterns(&example_result());
+        for pattern in &maximal {
+            assert!(closed.contains(pattern));
+        }
+    }
+
+    #[test]
+    fn every_pattern_support_is_recoverable_from_the_closed_set() {
+        let result = example_result();
+        let closed = closed_patterns(&result);
+        for pattern in result.patterns() {
+            let recovered = closed
+                .iter()
+                .filter(|c| pattern.edges.is_subset_of(&c.edges))
+                .map(|c| c.support)
+                .max();
+            assert_eq!(recovered, Some(pattern.support), "{}", pattern.edges);
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_support_then_size() {
+        let top = top_k(&example_result(), 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].support, 5);
+        assert_eq!(top[1].support, 5);
+        assert!(top[2].support >= 4);
+        // Requesting more than available returns everything.
+        assert_eq!(top_k(&example_result(), 100).len(), 15);
+        assert!(top_k(&example_result(), 0).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Mining results: the frequent connected collections plus run statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fsm_types::{EdgeSet, FrequentPattern, Support};
+
+use crate::instrument::MiningStats;
+
+/// The outcome of one mining call.
+#[derive(Debug, Clone, Default)]
+pub struct MiningResult {
+    patterns: Vec<FrequentPattern>,
+    stats: MiningStats,
+}
+
+impl MiningResult {
+    /// Builds a result, canonicalising the pattern order so two results can be
+    /// compared verbatim (the accuracy experiment E1 relies on this).
+    pub fn new(mut patterns: Vec<FrequentPattern>, stats: MiningStats) -> Self {
+        patterns.sort();
+        patterns.dedup();
+        Self { patterns, stats }
+    }
+
+    /// The frequent collections, in canonical order.
+    pub fn patterns(&self) -> &[FrequentPattern] {
+        &self.patterns
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &MiningStats {
+        &self.stats
+    }
+
+    /// Number of collections found.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if no collection was found.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Support of a specific collection, if it was found.
+    pub fn support_of(&self, edges: &EdgeSet) -> Option<Support> {
+        self.patterns
+            .iter()
+            .find(|p| &p.edges == edges)
+            .map(|p| p.support)
+    }
+
+    /// Number of collections per cardinality (1-edge, 2-edge, …), useful for
+    /// report tables.
+    pub fn counts_by_size(&self) -> BTreeMap<usize, usize> {
+        let mut counts = BTreeMap::new();
+        for p in &self.patterns {
+            *counts.entry(p.len()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Returns `true` if both results contain exactly the same collections
+    /// with the same supports (the accuracy criterion of experiment E1).
+    pub fn same_patterns_as(&self, other: &MiningResult) -> bool {
+        self.patterns == other.patterns
+    }
+
+    /// The collections whose supports differ between two results (for
+    /// diagnostics when an accuracy check fails).
+    pub fn diff(&self, other: &MiningResult) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mine: BTreeMap<&EdgeSet, Support> = self
+            .patterns
+            .iter()
+            .map(|p| (&p.edges, p.support))
+            .collect();
+        let theirs: BTreeMap<&EdgeSet, Support> = other
+            .patterns
+            .iter()
+            .map(|p| (&p.edges, p.support))
+            .collect();
+        for (set, support) in &mine {
+            match theirs.get(set) {
+                None => lines.push(format!("only in left: {set}:{support}")),
+                Some(other_support) if other_support != support => lines.push(format!(
+                    "support mismatch for {set}: {support} vs {other_support}"
+                )),
+                _ => {}
+            }
+        }
+        for (set, support) in &theirs {
+            if !mine.contains_key(set) {
+                lines.push(format!("only in right: {set}:{support}"));
+            }
+        }
+        lines
+    }
+}
+
+impl fmt::Display for MiningResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} frequent connected collections:", self.patterns.len())?;
+        for p in &self.patterns {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::EdgeSet;
+
+    fn pattern(raw: &[u32], support: Support) -> FrequentPattern {
+        FrequentPattern::new(EdgeSet::from_raw(raw.iter().copied()), support)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let result = MiningResult::new(
+            vec![pattern(&[2], 5), pattern(&[0], 5), pattern(&[0], 5)],
+            MiningStats::default(),
+        );
+        assert_eq!(result.len(), 2);
+        assert_eq!(result.patterns()[0].edges.symbols(), "{a}");
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn support_lookup_and_size_histogram() {
+        let result = MiningResult::new(
+            vec![pattern(&[0], 5), pattern(&[0, 2], 4), pattern(&[0, 3], 3)],
+            MiningStats::default(),
+        );
+        assert_eq!(result.support_of(&EdgeSet::from_raw([0, 2])), Some(4));
+        assert_eq!(result.support_of(&EdgeSet::from_raw([1])), None);
+        let hist = result.counts_by_size();
+        assert_eq!(hist.get(&1), Some(&1));
+        assert_eq!(hist.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn equality_and_diff() {
+        let left = MiningResult::new(
+            vec![pattern(&[0], 5), pattern(&[0, 2], 4)],
+            MiningStats::default(),
+        );
+        let same = MiningResult::new(
+            vec![pattern(&[0, 2], 4), pattern(&[0], 5)],
+            MiningStats::default(),
+        );
+        let different = MiningResult::new(
+            vec![pattern(&[0], 5), pattern(&[0, 2], 3), pattern(&[1], 2)],
+            MiningStats::default(),
+        );
+        assert!(left.same_patterns_as(&same));
+        assert!(left.diff(&same).is_empty());
+        assert!(!left.same_patterns_as(&different));
+        let diff = left.diff(&different);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|l| l.contains("support mismatch")));
+        assert!(diff.iter().any(|l| l.contains("only in right")));
+    }
+
+    #[test]
+    fn display_lists_patterns() {
+        let result = MiningResult::new(vec![pattern(&[0, 2], 4)], MiningStats::default());
+        let text = result.to_string();
+        assert!(text.contains("1 frequent connected collections"));
+        assert!(text.contains("{a,c}:4"));
+    }
+}

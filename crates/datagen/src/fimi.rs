@@ -1,0 +1,112 @@
+//! Reading and writing the FIMI transaction format.
+//!
+//! The Frequent Itemset Mining Implementations repository distributes
+//! datasets as plain text: one transaction per line, items as space-separated
+//! non-negative integers.  The paper draws several of its workloads from that
+//! repository, so the harness reads and writes the same format.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use fsm_types::{FsmError, Result, Transaction};
+
+/// Parses FIMI-format text into transactions.
+pub fn parse_fimi(text: &str) -> Result<Vec<Transaction>> {
+    let mut out = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut items = Vec::new();
+        for token in line.split_whitespace() {
+            let item: u32 = token.parse().map_err(|_| {
+                FsmError::parse_at(number + 1, format!("'{token}' is not an item id"))
+            })?;
+            items.push(item);
+        }
+        out.push(Transaction::from_raw(items));
+    }
+    Ok(out)
+}
+
+/// Reads a FIMI file from disk.
+pub fn read_fimi(path: impl AsRef<Path>) -> Result<Vec<Transaction>> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (number, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut items = Vec::new();
+        for token in line.split_whitespace() {
+            let item: u32 = token.parse().map_err(|_| {
+                FsmError::parse_at(number + 1, format!("'{token}' is not an item id"))
+            })?;
+            items.push(item);
+        }
+        out.push(Transaction::from_raw(items));
+    }
+    Ok(out)
+}
+
+/// Writes transactions to disk in FIMI format.
+pub fn write_fimi(path: impl AsRef<Path>, transactions: &[Transaction]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    for t in transactions {
+        let mut first = true;
+        for edge in t.iter() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{}", edge.0)?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_storage::TempDir;
+
+    #[test]
+    fn parses_lines_and_skips_comments() {
+        let text = "# header\n1 5 3\n\n2 2 7\n";
+        let transactions = parse_fimi(text).unwrap();
+        assert_eq!(transactions.len(), 2);
+        assert_eq!(transactions[0].to_string(), "{b,d,f}");
+        assert_eq!(transactions[1].len(), 2, "duplicates collapse");
+    }
+
+    #[test]
+    fn rejects_non_numeric_items() {
+        let err = parse_fimi("1 x 3").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = TempDir::new("fimi").unwrap();
+        let path = dir.file("data.dat");
+        let original = vec![
+            Transaction::from_raw([3, 1, 2]),
+            Transaction::from_raw([9]),
+            Transaction::new(),
+        ];
+        write_fimi(&path, &original).unwrap();
+        let back = read_fimi(&path).unwrap();
+        // The empty transaction becomes an empty line which is skipped.
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], original[0]);
+        assert_eq!(back[1], original[1]);
+        assert!(read_fimi(dir.file("missing.dat")).is_err());
+    }
+}

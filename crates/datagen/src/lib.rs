@@ -1,0 +1,35 @@
+//! Workload generators for the experimental evaluation.
+//!
+//! The paper's evaluation (§5) draws its streams from three places, none of
+//! which can be redistributed here, so each is substituted with a synthetic
+//! generator that preserves the property the experiments depend on (see
+//! DESIGN.md §2 for the substitution table):
+//!
+//! * a Java-based **random graph model** generator with knobs for topology,
+//!   average fan-out and edge centrality → [`model::GraphModel`] and
+//!   [`stream::GraphStreamGenerator`];
+//! * **IBM synthetic data** (the Quest generator) → [`quest::QuestGenerator`];
+//! * **connect4** and other dense FIMI datasets → [`dense::DenseGenerator`],
+//!   matched to connect4's published statistics, plus a [`fimi`] reader and
+//!   writer for the interchange format;
+//! * linked-data streams → [`rdf::RdfStreamGenerator`], which emits N-Triples
+//!   style statements derived from a graph model.
+//!
+//! Every generator is seeded explicitly so experiments are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod fimi;
+pub mod model;
+pub mod quest;
+pub mod rdf;
+pub mod stream;
+
+pub use dense::DenseGenerator;
+pub use fimi::{read_fimi, write_fimi};
+pub use model::{GraphModel, GraphModelConfig, Topology};
+pub use quest::{QuestConfig, QuestGenerator};
+pub use rdf::RdfStreamGenerator;
+pub use stream::{GraphStreamConfig, GraphStreamGenerator};

@@ -1,0 +1,155 @@
+//! Generating synthetic linked-data (RDF) streams.
+//!
+//! The paper motivates its graph streams as semantic-web updates: documents,
+//! blog posts and profiles linking to one another at high velocity.  This
+//! generator emits a triple stream over a graph model's vertex universe —
+//! resources get URIs, each streamed graph becomes a burst of `links-to`
+//! triples, and attribute triples with literal objects are sprinkled in so the
+//! adapter's literal filtering is exercised end to end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fsm_linked_data::{Iri, Term, Triple};
+use fsm_types::GraphSnapshot;
+
+use crate::model::GraphModel;
+use crate::stream::{GraphStreamConfig, GraphStreamGenerator};
+
+/// Generates a stream of RDF triples whose linkage structure follows a graph
+/// model.
+#[derive(Debug, Clone)]
+pub struct RdfStreamGenerator {
+    stream: GraphStreamGenerator,
+    namespace: String,
+    attribute_rate: f64,
+    rng: StdRng,
+}
+
+impl RdfStreamGenerator {
+    /// Creates a generator over `model`.
+    ///
+    /// `attribute_rate` is the fraction of additional literal-object triples
+    /// (attribute updates) interleaved with the linkage triples.
+    pub fn new(
+        model: GraphModel,
+        config: GraphStreamConfig,
+        namespace: impl Into<String>,
+        attribute_rate: f64,
+    ) -> Self {
+        let seed = config.seed;
+        Self {
+            stream: GraphStreamGenerator::new(model, config),
+            namespace: namespace.into(),
+            attribute_rate: attribute_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed.wrapping_add(0x5eed)),
+        }
+    }
+
+    /// URI of a vertex resource.
+    pub fn resource_iri(&self, vertex: u32) -> Iri {
+        Iri::new(format!("{}/resource/{vertex}", self.namespace)).expect("valid namespace IRI")
+    }
+
+    /// The `links-to` predicate used for linkage triples.
+    pub fn links_predicate(&self) -> Iri {
+        Iri::new(format!("{}/linksTo", self.namespace)).expect("valid namespace IRI")
+    }
+
+    /// Generates the triples describing the next streamed graph, together with
+    /// the underlying snapshot (so tests can check the correspondence).
+    pub fn next_event(&mut self) -> (GraphSnapshot, Vec<Triple>) {
+        let transaction = self.stream.next_transaction();
+        let catalog = self.stream.model().catalog();
+        let mut snapshot = GraphSnapshot::new();
+        let mut triples = Vec::new();
+        for edge in transaction.iter() {
+            if let Ok((u, v)) = catalog.endpoints(edge) {
+                snapshot.add_edge(u, v);
+                triples.push(
+                    Triple::new(
+                        Term::Iri(self.resource_iri(u.0)),
+                        self.links_predicate(),
+                        Term::Iri(self.resource_iri(v.0)),
+                    )
+                    .expect("IRI subject"),
+                );
+                if self.rng.gen_bool(self.attribute_rate) {
+                    triples.push(
+                        Triple::new(
+                            Term::Iri(self.resource_iri(u.0)),
+                            Iri::new(format!("{}/updatedAt", self.namespace)).expect("valid IRI"),
+                            Term::literal(format!("t{}", self.rng.gen_range(0..1_000_000))),
+                        )
+                        .expect("IRI subject"),
+                    );
+                }
+            }
+        }
+        (snapshot, triples)
+    }
+
+    /// Generates a stream of `count` events, returning the flat triple list.
+    pub fn generate_triples(&mut self, count: usize) -> Vec<Triple> {
+        (0..count).flat_map(|_| self.next_event().1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GraphModel, GraphModelConfig};
+    use fsm_linked_data::{ntriples, GroupingStrategy, TripleStreamAdapter};
+
+    fn generator(attribute_rate: f64) -> RdfStreamGenerator {
+        let model = GraphModel::generate(GraphModelConfig {
+            num_vertices: 8,
+            avg_fanout: 3.0,
+            seed: 17,
+            ..GraphModelConfig::default()
+        });
+        RdfStreamGenerator::new(
+            model,
+            GraphStreamConfig {
+                avg_edges_per_graph: 3.0,
+                locality: 0.8,
+                batch_size: 10,
+                seed: 17,
+            },
+            "http://example.org",
+            attribute_rate,
+        )
+    }
+
+    #[test]
+    fn events_produce_matching_snapshots_and_triples() {
+        let mut generator = generator(0.0);
+        for _ in 0..20 {
+            let (snapshot, triples) = generator.next_event();
+            assert_eq!(snapshot.num_edges(), triples.len());
+            assert!(triples.iter().all(Triple::links_resources));
+        }
+    }
+
+    #[test]
+    fn attribute_triples_are_interleaved_and_filtered_by_the_adapter() {
+        let mut generator = generator(0.5);
+        let triples = generator.generate_triples(30);
+        let literal_count = triples.iter().filter(|t| !t.links_resources()).count();
+        assert!(literal_count > 0, "some attribute triples expected");
+
+        let mut adapter = TripleStreamAdapter::new(GroupingStrategy::FixedSize(3));
+        let snapshots = adapter.convert(&triples);
+        assert!(!snapshots.is_empty());
+        assert_eq!(adapter.skipped_literals(), literal_count);
+    }
+
+    #[test]
+    fn triples_serialise_as_valid_ntriples() {
+        let mut generator = generator(0.3);
+        let triples = generator.generate_triples(10);
+        let document = ntriples::serialize(&triples);
+        let reparsed = ntriples::parse(&document).unwrap();
+        assert_eq!(reparsed.len(), triples.len());
+    }
+}

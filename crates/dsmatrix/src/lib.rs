@@ -1,0 +1,21 @@
+//! The DSMatrix: a disk-backed binary matrix capturing the sliding window.
+//!
+//! Each **row** represents one domain edge (item), each **column** one
+//! transaction of the current window; entry `(x, t)` is `1` iff transaction
+//! `t` contains edge `x`.  The matrix keeps one global boundary value per
+//! batch so a window slide simply discards a prefix of every row and appends
+//! the new batch's columns — no per-row bookkeeping, which is the advantage
+//! over the DSTable the paper emphasises (§2.3).
+//!
+//! The matrix is "kept on the disk": by default rows live in a
+//! [`fsm_storage::RowStore`] backed by a temporary file and are loaded one at
+//! a time while mining, so the resident footprint during capture is only the
+//! boundary bookkeeping.  An in-memory backend exists for tests and for the
+//! storage ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+
+pub use matrix::{DsMatrix, DsMatrixConfig};

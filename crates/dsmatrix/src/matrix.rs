@@ -1,0 +1,470 @@
+//! DSMatrix implementation.
+
+use fsm_storage::{BitVec, MemoryTracker, RowStore, StorageBackend};
+use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
+use fsm_types::{Batch, EdgeId, FsmError, Result, Support, Transaction};
+
+/// Construction options for a [`DsMatrix`].
+#[derive(Debug, Clone, Default)]
+pub struct DsMatrixConfig {
+    /// Sliding-window configuration (`w` batches).
+    pub window: WindowConfig,
+    /// Where the rows are stored.
+    pub backend: StorageBackend,
+    /// Expected number of domain edges (rows); the matrix grows beyond this
+    /// if a later batch introduces new edges.
+    pub expected_edges: usize,
+}
+
+impl DsMatrixConfig {
+    /// Convenience constructor.
+    pub fn new(window: WindowConfig, backend: StorageBackend, expected_edges: usize) -> Self {
+        Self {
+            window,
+            backend,
+            expected_edges,
+        }
+    }
+}
+
+/// The Data Stream Matrix of the paper (§2.3).
+pub struct DsMatrix {
+    rows: RowStore,
+    window: SlidingWindow,
+    num_items: usize,
+    num_cols: usize,
+    tracker: Option<MemoryTracker>,
+}
+
+impl DsMatrix {
+    /// Memory-accounting category used when a tracker is attached.
+    pub const TRACK_CATEGORY: &'static str = "dsmatrix-resident";
+
+    /// Creates an empty matrix.
+    pub fn new(config: DsMatrixConfig) -> Result<Self> {
+        Ok(Self {
+            rows: RowStore::open(config.backend)?,
+            window: SlidingWindow::new(config.window),
+            num_items: config.expected_edges,
+            num_cols: 0,
+            tracker: None,
+        })
+    }
+
+    /// Creates a matrix with the default configuration (disk-backed, `w = 5`).
+    pub fn with_window(window: WindowConfig) -> Result<Self> {
+        Self::new(DsMatrixConfig {
+            window,
+            ..DsMatrixConfig::default()
+        })
+    }
+
+    /// Attaches a memory tracker; the matrix reports the bytes it holds
+    /// resident (which, for the disk backend, excludes the row payloads).
+    pub fn set_tracker(&mut self, tracker: MemoryTracker) {
+        self.tracker = Some(tracker);
+        self.report_memory();
+    }
+
+    /// Number of rows (domain edges) currently represented.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of columns (window transactions), `|T|` in the paper.
+    pub fn num_transactions(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Batch boundaries as cumulative column counts (Example 1's
+    /// "Boundaries: Cols 3 & 6").
+    pub fn boundaries(&self) -> Vec<usize> {
+        self.window.boundaries()
+    }
+
+    /// Number of batches currently inside the window.
+    pub fn num_batches(&self) -> usize {
+        self.window.num_batches()
+    }
+
+    /// Returns `true` if no batch has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Returns `true` if the rows are spilled to disk rather than resident.
+    pub fn is_disk_backed(&self) -> bool {
+        !self.rows.is_memory_resident()
+    }
+
+    /// Ingests one batch, sliding the window if it is already full.
+    ///
+    /// This is the single-scan capture step: every row is extended with one
+    /// bit per new transaction, and — when the window slides — the columns of
+    /// the evicted batch are dropped from the front of every row first.
+    pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        // Work out how many leading columns leave the window.
+        let outcome = self.window.push(batch.id, batch.len());
+        let dropped = outcome.evicted.map(|(_, cols)| cols).unwrap_or(0);
+        let old_cols = self.num_cols;
+        let kept_cols = old_cols - dropped;
+
+        // Grow the domain if the batch mentions edges beyond the current rows.
+        let max_edge = batch
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(|e| e.index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.num_items = self.num_items.max(max_edge);
+
+        let mut updated: Vec<Vec<u8>> = Vec::with_capacity(self.num_items);
+        for item_idx in 0..self.num_items {
+            let item = EdgeId::new(item_idx as u32);
+            let mut row = self.load_row(item_idx)?;
+            // Rows created late (new edges) are padded so that every row has
+            // the same number of columns.
+            row.resize(old_cols);
+            row.drop_prefix(dropped);
+            debug_assert_eq!(row.len(), kept_cols);
+            for transaction in batch.iter() {
+                row.push(transaction.contains(item));
+            }
+            updated.push(row.to_bytes());
+        }
+        // Rewriting the whole store compacts the on-disk file on every slide,
+        // mirroring the paper's "remove the old columns, append the new ones".
+        self.rows
+            .rewrite_all(updated.iter().enumerate().map(|(i, r)| (i, r.as_slice())))?;
+        self.num_cols = kept_cols + batch.len();
+        self.report_memory();
+        Ok(outcome)
+    }
+
+    /// Loads the bit-vector row of `item` (all zeros if the edge has never
+    /// occurred).
+    pub fn row(&mut self, item: EdgeId) -> Result<BitVec> {
+        if item.index() >= self.num_items {
+            return Ok(BitVec::zeros(self.num_cols));
+        }
+        let mut row = self.load_row(item.index())?;
+        row.resize(self.num_cols);
+        Ok(row)
+    }
+
+    /// Support of a single edge: the row sum (number of `1`s) of its row.
+    pub fn support(&mut self, item: EdgeId) -> Result<Support> {
+        Ok(self.row(item)?.count_ones())
+    }
+
+    /// Supports of every edge in canonical order — the first step of both
+    /// vertical algorithms (§3.4 and §4).
+    pub fn singleton_supports(&mut self) -> Result<Vec<(EdgeId, Support)>> {
+        let mut out = Vec::with_capacity(self.num_items);
+        for idx in 0..self.num_items {
+            let item = EdgeId::new(idx as u32);
+            out.push((item, self.support(item)?));
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs one window transaction (one column read downwards).
+    pub fn column(&mut self, column: usize) -> Result<Transaction> {
+        if column >= self.num_cols {
+            return Err(FsmError::corrupt(format!(
+                "column {column} out of range ({} transactions in window)",
+                self.num_cols
+            )));
+        }
+        let mut edges = Vec::new();
+        for idx in 0..self.num_items {
+            let row = self.load_row(idx)?;
+            if row.get(column) {
+                edges.push(EdgeId::new(idx as u32));
+            }
+        }
+        Ok(Transaction::from_edges(edges))
+    }
+
+    /// Builds the `{pivot}`-projected database: for every column whose pivot
+    /// bit is `1`, the items strictly *after* the pivot in canonical order
+    /// ("extract its column downwards", Example 2).
+    ///
+    /// The result is a weighted transaction list ready for FP-tree
+    /// construction; identical suffixes are merged to keep it small.
+    pub fn project(&mut self, pivot: EdgeId) -> Result<Vec<(Vec<EdgeId>, Support)>> {
+        let pivot_row = self.row(pivot)?;
+        let columns: Vec<usize> = pivot_row.iter_ones().collect();
+        if columns.is_empty() {
+            return Ok(Vec::new());
+        }
+        // suffixes[i] collects the items of window column columns[i].
+        let mut suffixes: Vec<Vec<EdgeId>> = vec![Vec::new(); columns.len()];
+        for idx in (pivot.index() + 1)..self.num_items {
+            let row = self.load_row(idx)?;
+            for (slot, &col) in columns.iter().enumerate() {
+                if row.get(col) {
+                    suffixes[slot].push(EdgeId::new(idx as u32));
+                }
+            }
+        }
+        // Merge identical suffixes into weighted entries.
+        suffixes.sort();
+        let mut merged: Vec<(Vec<EdgeId>, Support)> = Vec::new();
+        for suffix in suffixes {
+            if suffix.is_empty() {
+                continue;
+            }
+            match merged.last_mut() {
+                Some((prev, count)) if *prev == suffix => *count += 1,
+                _ => merged.push((suffix, 1)),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Bytes resident in main memory (window bookkeeping plus, for the memory
+    /// backend, the row payloads).
+    pub fn resident_bytes(&self) -> usize {
+        let bookkeeping = self.window.num_batches() * std::mem::size_of::<(u64, usize)>();
+        bookkeeping + self.rows.resident_bytes()
+    }
+
+    /// Bytes written to disk by the row store (zero for the memory backend).
+    pub fn on_disk_bytes(&self) -> u64 {
+        self.rows.on_disk_bytes()
+    }
+
+    fn load_row(&mut self, idx: usize) -> Result<BitVec> {
+        if !self.rows.contains_row(idx) {
+            return Ok(BitVec::new());
+        }
+        let bytes = self.rows.get_row(idx)?;
+        BitVec::from_bytes(&bytes)
+            .ok_or_else(|| FsmError::corrupt(format!("row {idx} failed to deserialise")))
+    }
+
+    fn report_memory(&self) {
+        if let Some(tracker) = &self.tracker {
+            tracker.set(Self::TRACK_CATEGORY, self.resident_bytes() as u64);
+        }
+    }
+}
+
+impl std::fmt::Debug for DsMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsMatrix")
+            .field("items", &self.num_items)
+            .field("transactions", &self.num_cols)
+            .field("batches", &self.window.num_batches())
+            .field("disk_backed", &self.is_disk_backed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::Transaction;
+
+    /// The nine graphs of the paper's Figure 1, as transactions over the edge
+    /// symbols a..f, grouped into batches of three.
+    fn paper_batches() -> Vec<Batch> {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ]
+    }
+
+    fn matrix(backend: StorageBackend) -> DsMatrix {
+        DsMatrix::new(DsMatrixConfig::new(
+            WindowConfig::new(2).unwrap(),
+            backend,
+            6,
+        ))
+        .unwrap()
+    }
+
+    fn row_string(m: &mut DsMatrix, item: u32) -> String {
+        let row = m.row(EdgeId::new(item)).unwrap();
+        (0..row.len())
+            .map(|i| if row.get(i) { '1' } else { '0' })
+            .collect()
+    }
+
+    #[test]
+    fn matches_paper_example_1_after_two_batches() {
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut m = matrix(backend);
+            let batches = paper_batches();
+            m.ingest_batch(&batches[0]).unwrap();
+            m.ingest_batch(&batches[1]).unwrap();
+
+            assert_eq!(m.num_transactions(), 6);
+            assert_eq!(m.boundaries(), vec![3, 6]);
+            // DSMatrix capturing E1–E6 (Example 1).
+            assert_eq!(row_string(&mut m, 0), "011111", "row a");
+            assert_eq!(row_string(&mut m, 1), "000001", "row b");
+            assert_eq!(row_string(&mut m, 2), "101101", "row c");
+            assert_eq!(row_string(&mut m, 3), "100110", "row d");
+            assert_eq!(row_string(&mut m, 4), "010010", "row e");
+            assert_eq!(row_string(&mut m, 5), "111110", "row f");
+        }
+    }
+
+    #[test]
+    fn matches_paper_example_1_after_window_slide() {
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut m = matrix(backend);
+            for batch in paper_batches() {
+                m.ingest_batch(&batch).unwrap();
+            }
+            assert_eq!(m.num_transactions(), 6);
+            assert_eq!(m.boundaries(), vec![3, 6]);
+            // DSMatrix capturing E4–E9 (Example 1 after the slide).
+            assert_eq!(row_string(&mut m, 0), "111110", "row a");
+            assert_eq!(row_string(&mut m, 1), "001001", "row b");
+            assert_eq!(row_string(&mut m, 2), "101111", "row c");
+            assert_eq!(row_string(&mut m, 3), "110011", "row d");
+            assert_eq!(row_string(&mut m, 4), "010000", "row e");
+            assert_eq!(row_string(&mut m, 5), "110110", "row f");
+        }
+    }
+
+    #[test]
+    fn singleton_supports_match_example_5() {
+        let mut m = matrix(StorageBackend::Memory);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        let supports = m.singleton_supports().unwrap();
+        let expected = [5u64, 2, 5, 4, 1, 4]; // a, b, c, d, e, f
+        for (idx, &want) in expected.iter().enumerate() {
+            assert_eq!(supports[idx].1, want, "support of row {idx}");
+        }
+    }
+
+    #[test]
+    fn projection_matches_example_2() {
+        let mut m = matrix(StorageBackend::Memory);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        // {a}-projected database: {c,d,f}, {d,e,f}, {b,c}, {c,f}, {c,d,f}
+        // (with the two identical suffixes merged).
+        let db = m.project(EdgeId::new(0)).unwrap();
+        let total: Support = db.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        let as_strings: Vec<(String, Support)> = db
+            .iter()
+            .map(|(items, c)| (items.iter().map(|e| e.symbol()).collect::<String>(), *c))
+            .collect();
+        assert!(as_strings.contains(&("cdf".to_string(), 2)));
+        assert!(as_strings.contains(&("def".to_string(), 1)));
+        assert!(as_strings.contains(&("bc".to_string(), 1)));
+        assert!(as_strings.contains(&("cf".to_string(), 1)));
+
+        // {b}-projected database: {c} and {c,d} (Example 2).
+        let db_b = m.project(EdgeId::new(1)).unwrap();
+        let as_strings: Vec<(String, Support)> = db_b
+            .iter()
+            .map(|(items, c)| (items.iter().map(|e| e.symbol()).collect::<String>(), *c))
+            .collect();
+        assert_eq!(as_strings.len(), 2);
+        assert!(as_strings.contains(&("c".to_string(), 1)));
+        assert!(as_strings.contains(&("cd".to_string(), 1)));
+
+        // Projecting the last edge yields an empty database.
+        assert!(m.project(EdgeId::new(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn column_reconstructs_transactions() {
+        let mut m = matrix(StorageBackend::Memory);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        // After the slide, column 0 is E4 = {a,c,d,f}.
+        assert_eq!(m.column(0).unwrap().to_string(), "{a,c,d,f}");
+        // Column 5 is E9 = {b,c,d}.
+        assert_eq!(m.column(5).unwrap().to_string(), "{b,c,d}");
+        assert!(m.column(6).is_err());
+    }
+
+    #[test]
+    fn new_edges_in_later_batches_get_padded_rows() {
+        let mut m = DsMatrix::new(DsMatrixConfig::new(
+            WindowConfig::new(3).unwrap(),
+            StorageBackend::Memory,
+            0,
+        ))
+        .unwrap();
+        m.ingest_batch(&Batch::from_transactions(
+            0,
+            vec![Transaction::from_raw([0])],
+        ))
+        .unwrap();
+        m.ingest_batch(&Batch::from_transactions(
+            1,
+            vec![Transaction::from_raw([2])],
+        ))
+        .unwrap();
+        assert_eq!(m.num_items(), 3);
+        assert_eq!(row_string(&mut m, 2), "01", "row created late is padded");
+        assert_eq!(row_string(&mut m, 1), "00", "never-seen edge is all zeros");
+        assert_eq!(m.support(EdgeId::new(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_rows_read_as_zero() {
+        let mut m = matrix(StorageBackend::Memory);
+        m.ingest_batch(&paper_batches()[0]).unwrap();
+        assert_eq!(m.support(EdgeId::new(40)).unwrap(), 0);
+        assert_eq!(m.row(EdgeId::new(40)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn disk_backend_keeps_rows_off_heap() {
+        let mut m = matrix(StorageBackend::DiskTemp);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        assert!(m.is_disk_backed());
+        assert!(m.on_disk_bytes() > 0);
+        assert!(
+            m.resident_bytes() < 4096,
+            "resident footprint is only bookkeeping, got {}",
+            m.resident_bytes()
+        );
+        // An in-memory matrix of the same contents keeps its payload resident.
+        let mut mem = matrix(StorageBackend::Memory);
+        for batch in paper_batches() {
+            mem.ingest_batch(&batch).unwrap();
+        }
+        assert!(!mem.is_disk_backed());
+        assert_eq!(mem.on_disk_bytes(), 0);
+        assert!(mem.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn tracker_reports_resident_bytes() {
+        let tracker = MemoryTracker::new();
+        let mut m = matrix(StorageBackend::Memory);
+        m.set_tracker(tracker.clone());
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        assert!(tracker.peak_of(DsMatrix::TRACK_CATEGORY) > 0);
+    }
+
+    #[test]
+    fn empty_matrix_reports_sane_values() {
+        let m = matrix(StorageBackend::Memory);
+        assert!(m.is_empty());
+        assert_eq!(m.num_transactions(), 0);
+        assert!(m.boundaries().is_empty());
+        assert_eq!(m.num_batches(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! The DSTable baseline (Cameron, Cuzzocrea & Leung, SAC 2013) as described
+//! in §2.2 of the paper.
+//!
+//! The DSTable is a two-dimensional, **disk-resident** table: one row per
+//! domain item (in canonical order), one entry per occurrence of that item in
+//! a window transaction.  Each entry is a *pointer* — the (row, column)
+//! location of the entry for the *next* item of the same transaction — and
+//! every row keeps `w` boundary values so that the oldest batch's entries can
+//! be dropped when the window slides.
+//!
+//! The paper keeps the DSTable as the middle ground between the fully
+//! memory-resident DSTree and the bit-packed DSMatrix: it spills the window to
+//! disk but pays `m × w` boundary values and one pointer per item occurrence,
+//! which on dense streams dwarfs the `m × |T|` *bits* of the DSMatrix.  The
+//! implementation reproduces both the structure and those costs so the space
+//! experiment (E2) can measure them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+
+pub use table::{DsTable, DsTableConfig};

@@ -1,0 +1,404 @@
+//! DSTable implementation.
+
+use std::collections::BTreeMap;
+
+use fsm_fptree::ProjectedDb;
+use fsm_storage::{RowStore, StorageBackend};
+use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
+use fsm_types::{Batch, EdgeId, FsmError, Result, Support};
+
+/// Construction options for a [`DsTable`].
+#[derive(Debug, Clone, Default)]
+pub struct DsTableConfig {
+    /// Sliding-window configuration (`w` batches).
+    pub window: WindowConfig,
+    /// Where the entry rows are stored.
+    pub backend: StorageBackend,
+    /// Expected number of domain items (rows).
+    pub expected_edges: usize,
+}
+
+/// One table entry: the location of the entry for the next item of the same
+/// transaction, or `None` for the transaction's last item.
+type Entry = Option<(u32, u32)>;
+
+const ENTRY_BYTES: usize = 8;
+const NONE_ROW: u32 = u32::MAX;
+
+fn encode_row(entries: &[Entry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * ENTRY_BYTES);
+    for entry in entries {
+        let (row, col) = entry.unwrap_or((NONE_ROW, 0));
+        out.extend_from_slice(&row.to_le_bytes());
+        out.extend_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+fn decode_row(bytes: &[u8]) -> Result<Vec<Entry>> {
+    if !bytes.len().is_multiple_of(ENTRY_BYTES) {
+        return Err(FsmError::corrupt("DSTable row has a truncated entry"));
+    }
+    Ok(bytes
+        .chunks_exact(ENTRY_BYTES)
+        .map(|chunk| {
+            let row = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes"));
+            let col = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+            if row == NONE_ROW {
+                None
+            } else {
+                Some((row, col))
+            }
+        })
+        .collect())
+}
+
+/// The Data Stream Table of the paper (§2.2).
+pub struct DsTable {
+    rows: RowStore,
+    /// Per-row cumulative batch boundaries — the `m × w` values the paper
+    /// calls out as the DSTable's bookkeeping overhead.
+    boundaries: Vec<Vec<usize>>,
+    window: SlidingWindow,
+    num_items: usize,
+}
+
+impl DsTable {
+    /// Creates an empty table.
+    pub fn new(config: DsTableConfig) -> Result<Self> {
+        Ok(Self {
+            rows: RowStore::open(config.backend)?,
+            boundaries: vec![Vec::new(); config.expected_edges],
+            window: SlidingWindow::new(config.window),
+            num_items: config.expected_edges,
+        })
+    }
+
+    /// Number of rows (domain items).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of transactions in the window.
+    pub fn num_transactions(&self) -> usize {
+        self.window.total_transactions()
+    }
+
+    /// Number of batches currently inside the window.
+    pub fn num_batches(&self) -> usize {
+        self.window.num_batches()
+    }
+
+    /// Returns `true` if the entry rows are spilled to disk.
+    pub fn is_disk_backed(&self) -> bool {
+        !self.rows.is_memory_resident()
+    }
+
+    /// Ingests one batch, sliding the window if it is full.
+    pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        let outcome = self.window.push(batch.id, batch.len());
+
+        // Grow the domain if needed.
+        let max_edge = batch
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(|e| e.index() + 1)
+            .max()
+            .unwrap_or(0);
+        if max_edge > self.num_items {
+            self.num_items = max_edge;
+            self.boundaries.resize(self.num_items, Vec::new());
+        }
+
+        // Load every row into memory for the update.
+        let mut rows: Vec<Vec<Entry>> = Vec::with_capacity(self.num_items);
+        for idx in 0..self.num_items {
+            rows.push(self.load_row(idx)?);
+        }
+
+        // Evict the oldest batch if the window slid: drop each row's leading
+        // entries and shift every surviving pointer's column by the number of
+        // entries dropped from its target row.
+        if outcome.evicted.is_some() {
+            let dropped: Vec<usize> = (0..self.num_items)
+                .map(|idx| self.boundaries[idx].first().copied().unwrap_or(0))
+                .collect();
+            for (idx, row) in rows.iter_mut().enumerate() {
+                row.drain(..dropped[idx].min(row.len()));
+                for (r, c) in row.iter_mut().flatten() {
+                    let shift = dropped[*r as usize] as u32;
+                    *c -= shift;
+                }
+            }
+            for bounds in &mut self.boundaries {
+                let first = bounds.first().copied().unwrap_or(0);
+                bounds.remove(0);
+                for b in bounds.iter_mut() {
+                    *b -= first;
+                }
+            }
+        }
+
+        // Append the new batch's transactions.
+        for transaction in batch.iter() {
+            let items = transaction.edges();
+            if items.is_empty() {
+                continue;
+            }
+            // Entry positions: each item's entry lands at the current end of
+            // its row.
+            let positions: Vec<u32> = items.iter().map(|e| rows[e.index()].len() as u32).collect();
+            for (i, &item) in items.iter().enumerate() {
+                let next = if i + 1 < items.len() {
+                    Some((items[i + 1].0, positions[i + 1]))
+                } else {
+                    None
+                };
+                rows[item.index()].push(next);
+            }
+        }
+
+        // Record the new per-row boundary (cumulative entry count).
+        for (idx, row) in rows.iter().enumerate() {
+            self.boundaries[idx].push(row.len());
+        }
+
+        // Persist.
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| encode_row(r)).collect();
+        self.rows
+            .rewrite_all(encoded.iter().enumerate().map(|(i, r)| (i, r.as_slice())))?;
+        Ok(outcome)
+    }
+
+    /// Support of an item: the number of entries in its row.
+    pub fn support(&mut self, item: EdgeId) -> Result<Support> {
+        if item.index() >= self.num_items {
+            return Ok(0);
+        }
+        Ok(self.load_row(item.index())?.len() as Support)
+    }
+
+    /// Supports of every item in canonical order.
+    pub fn singleton_supports(&mut self) -> Result<Vec<(EdgeId, Support)>> {
+        (0..self.num_items)
+            .map(|idx| {
+                let item = EdgeId::new(idx as u32);
+                self.support(item).map(|s| (item, s))
+            })
+            .collect()
+    }
+
+    /// Builds the `{pivot}`-projected database by following each pivot entry's
+    /// pointer chain ("extract relevant transactions from the DSTable").
+    pub fn project(&mut self, pivot: EdgeId) -> Result<ProjectedDb> {
+        if pivot.index() >= self.num_items {
+            return Ok(ProjectedDb::new());
+        }
+        let pivot_row = self.load_row(pivot.index())?;
+        // Cache rows already pulled from disk while chasing pointers.
+        let mut cache: BTreeMap<u32, Vec<Entry>> = BTreeMap::new();
+        let mut suffixes: Vec<Vec<EdgeId>> = Vec::new();
+        for entry in &pivot_row {
+            let mut suffix = Vec::new();
+            let mut cursor = *entry;
+            while let Some((row, col)) = cursor {
+                suffix.push(EdgeId::new(row));
+                if let std::collections::btree_map::Entry::Vacant(e) = cache.entry(row) {
+                    let loaded = self.load_row(row as usize)?;
+                    e.insert(loaded);
+                }
+                let row_entries = &cache[&row];
+                cursor = *row_entries.get(col as usize).ok_or_else(|| {
+                    FsmError::corrupt(format!(
+                        "dangling DSTable pointer to row {row} column {col}"
+                    ))
+                })?;
+            }
+            if !suffix.is_empty() {
+                suffixes.push(suffix);
+            }
+        }
+        // Merge identical suffixes into weighted entries.
+        suffixes.sort();
+        let mut merged = ProjectedDb::new();
+        for suffix in suffixes {
+            match merged.last_mut() {
+                Some((prev, count)) if *prev == suffix => *count += 1,
+                _ => merged.push((suffix, 1)),
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Bytes resident in memory: the `m × w` boundary values plus window
+    /// bookkeeping plus (for the memory backend) the entry payloads.
+    pub fn resident_bytes(&self) -> usize {
+        let boundary_bytes: usize = self
+            .boundaries
+            .iter()
+            .map(|b| b.len() * std::mem::size_of::<usize>())
+            .sum();
+        let bookkeeping = self.window.num_batches() * std::mem::size_of::<(u64, usize)>();
+        boundary_bytes + bookkeeping + self.rows.resident_bytes()
+    }
+
+    /// Bytes on disk (zero for the memory backend).
+    pub fn on_disk_bytes(&self) -> u64 {
+        self.rows.on_disk_bytes()
+    }
+
+    fn load_row(&mut self, idx: usize) -> Result<Vec<Entry>> {
+        if !self.rows.contains_row(idx) {
+            return Ok(Vec::new());
+        }
+        decode_row(&self.rows.get_row(idx)?)
+    }
+}
+
+impl std::fmt::Debug for DsTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsTable")
+            .field("items", &self.num_items)
+            .field("transactions", &self.num_transactions())
+            .field("batches", &self.num_batches())
+            .field("disk_backed", &self.is_disk_backed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::Transaction;
+
+    fn paper_batches() -> Vec<Batch> {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ]
+    }
+
+    fn table(backend: StorageBackend, w: usize) -> DsTable {
+        DsTable::new(DsTableConfig {
+            window: WindowConfig::new(w).unwrap(),
+            backend,
+            expected_edges: 6,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn supports_match_example_5_after_slide() {
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut t = table(backend, 2);
+            for batch in paper_batches() {
+                t.ingest_batch(&batch).unwrap();
+            }
+            let supports = t.singleton_supports().unwrap();
+            let expected = [5u64, 2, 5, 4, 1, 4];
+            for (idx, &want) in expected.iter().enumerate() {
+                assert_eq!(supports[idx].1, want, "support of item {idx}");
+            }
+            assert_eq!(t.num_transactions(), 6);
+        }
+    }
+
+    #[test]
+    fn projection_matches_example_2() {
+        let mut t = table(StorageBackend::Memory, 2);
+        for batch in paper_batches() {
+            t.ingest_batch(&batch).unwrap();
+        }
+        let db = t.project(EdgeId::new(0)).unwrap();
+        let as_strings: Vec<(String, Support)> = db
+            .iter()
+            .map(|(items, c)| (items.iter().map(|e| e.symbol()).collect::<String>(), *c))
+            .collect();
+        assert!(as_strings.contains(&("cdf".to_string(), 2)));
+        assert!(as_strings.contains(&("def".to_string(), 1)));
+        assert!(as_strings.contains(&("bc".to_string(), 1)));
+        assert!(as_strings.contains(&("cf".to_string(), 1)));
+        let total: Support = db.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+
+        let db_b = t.project(EdgeId::new(1)).unwrap();
+        let as_strings: Vec<(String, Support)> = db_b
+            .iter()
+            .map(|(items, c)| (items.iter().map(|e| e.symbol()).collect::<String>(), *c))
+            .collect();
+        assert_eq!(as_strings.len(), 2);
+        assert!(as_strings.contains(&("c".to_string(), 1)));
+        assert!(as_strings.contains(&("cd".to_string(), 1)));
+
+        // The largest item has no suffix.
+        assert!(t.project(EdgeId::new(5)).unwrap().is_empty());
+        // Unknown items project to nothing.
+        assert!(t.project(EdgeId::new(99)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pointer_chains_survive_window_slides() {
+        // Slide several times with a tiny window and verify the chains still
+        // resolve (no dangling pointers) and supports stay correct.
+        let mut t = table(StorageBackend::Memory, 1);
+        for batch in paper_batches() {
+            t.ingest_batch(&batch).unwrap();
+        }
+        // Window = E7..E9 = {a,c,f},{a,c,d,f},{b,c,d}.
+        assert_eq!(t.support(EdgeId::new(0)).unwrap(), 2);
+        assert_eq!(t.support(EdgeId::new(2)).unwrap(), 3);
+        assert_eq!(t.support(EdgeId::new(4)).unwrap(), 0);
+        let db = t.project(EdgeId::new(0)).unwrap();
+        let as_strings: Vec<String> = db
+            .iter()
+            .map(|(items, _)| items.iter().map(|e| e.symbol()).collect::<String>())
+            .collect();
+        assert!(as_strings.contains(&"cf".to_string()));
+        assert!(as_strings.contains(&"cdf".to_string()));
+    }
+
+    #[test]
+    fn new_items_in_later_batches_grow_the_table() {
+        let mut t = DsTable::new(DsTableConfig {
+            window: WindowConfig::new(3).unwrap(),
+            backend: StorageBackend::Memory,
+            expected_edges: 0,
+        })
+        .unwrap();
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        t.ingest_batch(&Batch::from_transactions(0, vec![e(&[0, 1])]))
+            .unwrap();
+        t.ingest_batch(&Batch::from_transactions(1, vec![e(&[3])]))
+            .unwrap();
+        assert_eq!(t.num_items(), 4);
+        assert_eq!(t.support(EdgeId::new(3)).unwrap(), 1);
+        assert_eq!(t.support(EdgeId::new(2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn disk_backend_spills_entries() {
+        let mut t = table(StorageBackend::DiskTemp, 2);
+        for batch in paper_batches() {
+            t.ingest_batch(&batch).unwrap();
+        }
+        assert!(t.is_disk_backed());
+        assert!(t.on_disk_bytes() > 0);
+        // Boundary values (m × w) stay resident — the overhead the paper
+        // attributes to the DSTable.
+        assert!(t.resident_bytes() >= 6 * 2 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn empty_transactions_are_skipped() {
+        let mut t = table(StorageBackend::Memory, 2);
+        t.ingest_batch(&Batch::from_transactions(
+            0,
+            vec![Transaction::new(), Transaction::from_raw([1])],
+        ))
+        .unwrap();
+        assert_eq!(t.support(EdgeId::new(1)).unwrap(), 1);
+        assert_eq!(t.num_transactions(), 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! The DSTree baseline (Leung & Khan, ICDM 2006) as described in §2.1 of the
+//! paper.
+//!
+//! The DSTree is an **in-memory** prefix tree over canonical-order
+//! transactions.  Each node keeps a list of `w` per-batch frequency values so
+//! that a window slide only drops the oldest value from every node instead of
+//! restructuring the tree.  Mining extracts, for every item, the weighted
+//! prefix paths above that item's nodes (an `{x}`-projected database) and runs
+//! FP-growth on them.
+//!
+//! The structure exists here as the evaluation baseline: it returns exactly
+//! the same frequent collections as the DSMatrix algorithms (experiment E1)
+//! while holding the entire window *and* the recursive FP-trees in memory
+//! (experiment E2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tree;
+
+pub use tree::{DsTree, DsTreeConfig};

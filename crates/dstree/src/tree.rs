@@ -1,0 +1,362 @@
+//! DSTree implementation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fsm_fptree::ProjectedDb;
+use fsm_stream::{SlidingWindow, WindowConfig};
+use fsm_types::{Batch, EdgeId, Result, Support};
+
+/// Construction options for a [`DsTree`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DsTreeConfig {
+    /// Sliding-window configuration (`w` batches).
+    pub window: WindowConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    item: EdgeId,
+    /// One frequency value per batch currently in the window (oldest first).
+    counts: VecDeque<Support>,
+    parent: usize,
+    children: Vec<usize>,
+}
+
+impl Node {
+    fn total(&self) -> Support {
+        self.counts.iter().sum()
+    }
+}
+
+/// The Data Stream Tree: a canonical-order prefix tree with per-batch counts.
+#[derive(Debug, Clone)]
+pub struct DsTree {
+    nodes: Vec<Node>,
+    header: BTreeMap<EdgeId, Vec<usize>>,
+    window: SlidingWindow,
+    /// Number of batch slots every node currently carries.
+    slots: usize,
+}
+
+impl DsTree {
+    /// Creates an empty DSTree.
+    pub fn new(config: DsTreeConfig) -> Self {
+        Self {
+            nodes: vec![Node {
+                item: EdgeId::new(u32::MAX),
+                counts: VecDeque::new(),
+                parent: 0,
+                children: Vec::new(),
+            }],
+            header: BTreeMap::new(),
+            window: SlidingWindow::new(config.window),
+            slots: 0,
+        }
+    }
+
+    /// Ingests one batch: slides the window if full, then inserts every
+    /// transaction of the batch into the current (newest) batch slot.
+    pub fn ingest_batch(&mut self, batch: &Batch) -> Result<()> {
+        let outcome = self.window.push(batch.id, batch.len());
+        if outcome.evicted.is_some() {
+            self.evict_oldest_slot();
+        }
+        self.open_new_slot();
+        for transaction in batch.iter() {
+            self.insert(transaction.edges());
+        }
+        Ok(())
+    }
+
+    /// Number of batches currently represented.
+    pub fn num_batches(&self) -> usize {
+        self.window.num_batches()
+    }
+
+    /// Number of transactions in the window.
+    pub fn num_transactions(&self) -> usize {
+        self.window.total_transactions()
+    }
+
+    /// Number of item nodes (excluding the root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Total support of `item` across the window.
+    pub fn item_support(&self, item: EdgeId) -> Support {
+        self.header
+            .get(&item)
+            .map(|nodes| nodes.iter().map(|&n| self.nodes[n].total()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Items present in the tree, in canonical order, with their supports.
+    pub fn items(&self) -> Vec<(EdgeId, Support)> {
+        self.header
+            .keys()
+            .map(|&item| (item, self.item_support(item)))
+            .filter(|(_, s)| *s > 0)
+            .collect()
+    }
+
+    /// Builds the `{item}`-projected database by traversing the item's node
+    /// links upwards and summing each node's per-batch counts — the DSTree
+    /// mining step of §2.1.
+    pub fn project(&self, item: EdgeId) -> ProjectedDb {
+        let mut db = ProjectedDb::new();
+        if let Some(nodes) = self.header.get(&item) {
+            for &node in nodes {
+                let weight = self.nodes[node].total();
+                if weight == 0 {
+                    continue;
+                }
+                let mut prefix = Vec::new();
+                let mut current = self.nodes[node].parent;
+                while current != 0 {
+                    prefix.push(self.nodes[current].item);
+                    current = self.nodes[current].parent;
+                }
+                prefix.reverse();
+                if !prefix.is_empty() {
+                    db.push((prefix, weight));
+                }
+            }
+        }
+        db
+    }
+
+    /// Estimated resident bytes of the tree (every node plus its count list
+    /// and child links); the DSTree is entirely memory-resident, which is the
+    /// paper's space argument against it.
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                std::mem::size_of::<Node>()
+                    + n.counts.len() * std::mem::size_of::<Support>()
+                    + n.children.len() * std::mem::size_of::<usize>()
+            })
+            .sum::<usize>()
+            + self
+                .header
+                .values()
+                .map(|links| links.len() * std::mem::size_of::<usize>() + 8)
+                .sum::<usize>()
+    }
+
+    fn insert(&mut self, items: &[EdgeId]) {
+        let mut current = 0;
+        for &item in items {
+            let child = self.nodes[current]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].item == item);
+            let node = match child {
+                Some(existing) => existing,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        counts: VecDeque::from(vec![0; self.slots]),
+                        parent: current,
+                        children: Vec::new(),
+                    });
+                    self.nodes[current].children.push(idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            if let Some(last) = self.nodes[node].counts.back_mut() {
+                *last += 1;
+            }
+            current = node;
+        }
+    }
+
+    /// Adds a fresh zero slot to every node for the arriving batch.
+    fn open_new_slot(&mut self) {
+        self.slots += 1;
+        for node in &mut self.nodes {
+            node.counts.push_back(0);
+        }
+    }
+
+    /// Drops the oldest batch slot from every node and prunes nodes whose
+    /// total count has become zero (and that have no surviving descendants).
+    fn evict_oldest_slot(&mut self) {
+        if self.slots == 0 {
+            return;
+        }
+        self.slots -= 1;
+        for node in &mut self.nodes {
+            node.counts.pop_front();
+        }
+        self.prune_dead_nodes();
+    }
+
+    /// Rebuilds the arena keeping only nodes that still carry weight somewhere
+    /// in their subtree.
+    fn prune_dead_nodes(&mut self) {
+        // Decide which nodes stay: a node stays if its subtree total is > 0.
+        let mut keep = vec![false; self.nodes.len()];
+        // Process children before parents: nodes are created after their
+        // parents, so a reverse index scan visits descendants first.
+        for idx in (1..self.nodes.len()).rev() {
+            let alive_child = self.nodes[idx].children.iter().any(|&c| keep[c]);
+            keep[idx] = alive_child || self.nodes[idx].total() > 0;
+        }
+        keep[0] = true;
+
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+
+        // Compact the arena.
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if keep[idx] {
+                remap[idx] = new_nodes.len();
+                new_nodes.push(node.clone());
+            }
+        }
+        for node in &mut new_nodes {
+            node.parent = remap[node.parent];
+            node.children = node
+                .children
+                .iter()
+                .filter(|&&c| keep[c])
+                .map(|&c| remap[c])
+                .collect();
+        }
+        let mut new_header: BTreeMap<EdgeId, Vec<usize>> = BTreeMap::new();
+        for (item, links) in &self.header {
+            let remapped: Vec<usize> = links
+                .iter()
+                .filter(|&&n| keep[n])
+                .map(|&n| remap[n])
+                .collect();
+            if !remapped.is_empty() {
+                new_header.insert(*item, remapped);
+            }
+        }
+        self.nodes = new_nodes;
+        self.header = new_header;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::Transaction;
+
+    fn paper_batches() -> Vec<Batch> {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ]
+    }
+
+    fn tree_after(batches: usize) -> DsTree {
+        let mut tree = DsTree::new(DsTreeConfig {
+            window: WindowConfig::new(2).unwrap(),
+        });
+        for batch in paper_batches().into_iter().take(batches) {
+            tree.ingest_batch(&batch).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn supports_match_the_first_window() {
+        let tree = tree_after(2);
+        // Window = E1..E6: a:5, b:1, c:4, d:3, e:2, f:5.
+        let expected = [(0, 5u64), (1, 1), (2, 4), (3, 3), (4, 2), (5, 5)];
+        for (raw, want) in expected {
+            assert_eq!(tree.item_support(EdgeId::new(raw)), want, "item {raw}");
+        }
+        assert_eq!(tree.num_transactions(), 6);
+        assert_eq!(tree.num_batches(), 2);
+    }
+
+    #[test]
+    fn supports_match_after_the_window_slides() {
+        let tree = tree_after(3);
+        // Window = E4..E9: a:5, b:2, c:5, d:4, e:1, f:4 (Example 5).
+        let expected = [(0, 5u64), (1, 2), (2, 5), (3, 4), (4, 1), (5, 4)];
+        for (raw, want) in expected {
+            assert_eq!(tree.item_support(EdgeId::new(raw)), want, "item {raw}");
+        }
+        assert_eq!(tree.items().len(), 6);
+    }
+
+    #[test]
+    fn eviction_prunes_dead_branches() {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        let mut tree = DsTree::new(DsTreeConfig {
+            window: WindowConfig::new(1).unwrap(),
+        });
+        tree.ingest_batch(&Batch::from_transactions(0, vec![e(&[0, 1, 2])]))
+            .unwrap();
+        let nodes_before = tree.num_nodes();
+        assert_eq!(nodes_before, 3);
+        // A completely different batch evicts the old one; the old path dies.
+        tree.ingest_batch(&Batch::from_transactions(1, vec![e(&[3, 4])]))
+            .unwrap();
+        assert_eq!(tree.num_nodes(), 2);
+        assert_eq!(tree.item_support(EdgeId::new(0)), 0);
+        assert_eq!(tree.item_support(EdgeId::new(3)), 1);
+        assert!(tree.items().iter().all(|(_, s)| *s > 0));
+    }
+
+    #[test]
+    fn projection_gathers_weighted_prefix_paths() {
+        let tree = tree_after(3);
+        // {f}-projected database: the prefix paths above every f node,
+        // weighted; total weight must equal support(f) minus transactions
+        // where f is the only / first item (none here start with f alone —
+        // every window transaction containing f also contains an earlier
+        // item).
+        let db = tree.project(EdgeId::new(5));
+        let total: Support = db.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        // Every prefix is strictly ascending and below f.
+        for (prefix, _) in &db {
+            for pair in prefix.windows(2) {
+                assert!(pair[0] < pair[1]);
+            }
+            assert!(prefix.iter().all(|e| e.index() < 5));
+        }
+        // Projecting an item that heads every path yields nothing.
+        assert!(tree.project(EdgeId::new(0)).is_empty());
+        // Unknown items yield nothing.
+        assert!(tree.project(EdgeId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn resident_bytes_reflect_tree_growth() {
+        let small = tree_after(1);
+        let large = tree_after(2);
+        assert!(large.resident_bytes() > small.resident_bytes());
+        assert!(small.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn window_of_one_batch_tracks_only_latest() {
+        let mut tree = DsTree::new(DsTreeConfig {
+            window: WindowConfig::new(1).unwrap(),
+        });
+        for batch in paper_batches() {
+            tree.ingest_batch(&batch).unwrap();
+        }
+        // Window = E7..E9 only: a:2, b:1, c:3, d:2, e:0, f:2.
+        assert_eq!(tree.item_support(EdgeId::new(0)), 2);
+        assert_eq!(tree.item_support(EdgeId::new(2)), 3);
+        assert_eq!(tree.item_support(EdgeId::new(4)), 0);
+        assert_eq!(tree.num_transactions(), 3);
+    }
+}

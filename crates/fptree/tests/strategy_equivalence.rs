@@ -1,0 +1,96 @@
+//! Property tests: the three FP-tree mining strategies agree with each other
+//! and with a brute-force Apriori-style oracle on random projected databases.
+
+use std::collections::BTreeMap;
+
+use fsm_fptree::{
+    mine_by_subset_enumeration, mine_recursive, mine_top_down, sort_mined, MinedSet, MiningLimits,
+    ProjectedDb,
+};
+use fsm_types::{EdgeId, Support};
+use proptest::prelude::*;
+
+/// Enumerates every frequent itemset by explicit subset counting.
+fn oracle(db: &ProjectedDb, minsup: Support) -> Vec<MinedSet> {
+    // Collect the distinct items.
+    let mut items: Vec<EdgeId> = db.iter().flat_map(|(t, _)| t.iter().copied()).collect();
+    items.sort_unstable();
+    items.dedup();
+
+    let mut results: BTreeMap<Vec<EdgeId>, Support> = BTreeMap::new();
+    // Iterate over all non-empty subsets of `items` (the tests keep the domain
+    // tiny, so 2^|items| stays manageable).
+    let n = items.len();
+    for mask in 1u32..(1u32 << n) {
+        let subset: Vec<EdgeId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| items[i])
+            .collect();
+        let support: Support = db
+            .iter()
+            .filter(|(t, _)| subset.iter().all(|e| t.contains(e)))
+            .map(|(_, c)| *c)
+            .sum();
+        if support >= minsup {
+            results.insert(subset, support);
+        }
+    }
+    results.into_iter().collect()
+}
+
+fn arb_db() -> impl Strategy<Value = ProjectedDb> {
+    proptest::collection::vec(
+        (proptest::collection::btree_set(0u32..8, 0..6), 1u64..3),
+        0..12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(items, count)| (items.into_iter().map(EdgeId::new).collect(), count))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three strategies return exactly the oracle's frequent itemsets.
+    #[test]
+    fn strategies_match_oracle(db in arb_db(), minsup in 1u64..4) {
+        let expected = sort_mined(oracle(&db, minsup));
+        let limits = MiningLimits::UNBOUNDED;
+        let recursive = sort_mined(mine_recursive(&db, minsup, limits).sets);
+        let subsets = sort_mined(mine_by_subset_enumeration(&db, minsup, limits).sets);
+        let topdown = sort_mined(mine_top_down(&db, minsup, limits).sets);
+        prop_assert_eq!(&recursive, &expected, "recursive vs oracle");
+        prop_assert_eq!(&subsets, &expected, "subset-enumeration vs oracle");
+        prop_assert_eq!(&topdown, &expected, "top-down vs oracle");
+    }
+
+    /// Support is anti-monotone in every strategy's output: a superset never
+    /// has larger support than its subsets.
+    #[test]
+    fn support_is_anti_monotone(db in arb_db(), minsup in 1u64..3) {
+        let sets = sort_mined(mine_recursive(&db, minsup, MiningLimits::UNBOUNDED).sets);
+        for (items_a, support_a) in &sets {
+            for (items_b, support_b) in &sets {
+                let a_subset_of_b =
+                    items_a.iter().all(|x| items_b.contains(x)) && items_a.len() < items_b.len();
+                if a_subset_of_b {
+                    prop_assert!(support_a >= support_b);
+                }
+            }
+        }
+    }
+
+    /// A cardinality cap returns exactly the uncapped result filtered by size.
+    #[test]
+    fn cardinality_cap_is_a_filter(db in arb_db(), minsup in 1u64..3, cap in 1usize..4) {
+        let unbounded = sort_mined(mine_top_down(&db, minsup, MiningLimits::UNBOUNDED).sets);
+        let capped = sort_mined(mine_top_down(&db, minsup, MiningLimits::with_max_len(cap)).sets);
+        let filtered: Vec<MinedSet> = unbounded
+            .into_iter()
+            .filter(|(s, _)| s.len() <= cap)
+            .collect();
+        prop_assert_eq!(capped, filtered);
+    }
+}

@@ -1,0 +1,229 @@
+//! Bridging triples to the graph-stream model.
+//!
+//! A stream of RDF triples describes insertions and updates to the linkage
+//! among resources.  The adapter turns it into the stream of graph
+//! transactions the paper mines: resources become vertices, each
+//! resource-to-resource triple becomes an edge between the corresponding
+//! vertices, and a *group* of triples (one update event, one time tick, or a
+//! fixed-size chunk) becomes one [`GraphSnapshot`] — one transaction.
+
+use std::collections::BTreeMap;
+
+use fsm_types::{GraphSnapshot, VertexId};
+
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// How incoming triples are grouped into graph snapshots (transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupingStrategy {
+    /// Every `n` consecutive resource-linking triples form one snapshot
+    /// (models a fixed-size update event).
+    FixedSize(usize),
+    /// All triples sharing the same subject form one snapshot (models an
+    /// entity-centric update, e.g. one document and its outgoing links).
+    BySubject,
+}
+
+/// Maps RDF resources to dense vertex identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceDictionary {
+    by_term: BTreeMap<Term, VertexId>,
+    terms: Vec<Term>,
+}
+
+impl ResourceDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the vertex for `term`, interning it if new.
+    pub fn intern(&mut self, term: &Term) -> VertexId {
+        if let Some(&v) = self.by_term.get(term) {
+            return v;
+        }
+        let v = VertexId::new(self.terms.len() as u32 + 1);
+        self.by_term.insert(term.clone(), v);
+        self.terms.push(term.clone());
+        v
+    }
+
+    /// Looks a term up without interning.
+    pub fn lookup(&self, term: &Term) -> Option<VertexId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term behind a vertex, if known.
+    pub fn term_of(&self, vertex: VertexId) -> Option<&Term> {
+        let idx = vertex.0.checked_sub(1)? as usize;
+        self.terms.get(idx)
+    }
+
+    /// Number of distinct resources interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if no resource has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Converts a triple stream into graph snapshots.
+#[derive(Debug, Clone)]
+pub struct TripleStreamAdapter {
+    strategy: GroupingStrategy,
+    dictionary: ResourceDictionary,
+    skipped_literals: usize,
+}
+
+impl TripleStreamAdapter {
+    /// Creates an adapter with the given grouping strategy.
+    pub fn new(strategy: GroupingStrategy) -> Self {
+        Self {
+            strategy,
+            dictionary: ResourceDictionary::new(),
+            skipped_literals: 0,
+        }
+    }
+
+    /// The resource dictionary built so far.
+    pub fn dictionary(&self) -> &ResourceDictionary {
+        &self.dictionary
+    }
+
+    /// Number of triples skipped because their object was a literal (they
+    /// carry attribute values, not linkage).
+    pub fn skipped_literals(&self) -> usize {
+        self.skipped_literals
+    }
+
+    /// Converts a slice of triples into graph snapshots according to the
+    /// grouping strategy.  Literal-object triples are skipped (and counted).
+    pub fn convert(&mut self, triples: &[Triple]) -> Vec<GraphSnapshot> {
+        match self.strategy {
+            GroupingStrategy::FixedSize(size) => self.convert_fixed(triples, size.max(1)),
+            GroupingStrategy::BySubject => self.convert_by_subject(triples),
+        }
+    }
+
+    fn convert_fixed(&mut self, triples: &[Triple], size: usize) -> Vec<GraphSnapshot> {
+        let mut snapshots = Vec::new();
+        let mut current = GraphSnapshot::new();
+        let mut in_current = 0;
+        for triple in triples {
+            if !self.add_edge(&mut current, triple) {
+                continue;
+            }
+            in_current += 1;
+            if in_current == size {
+                snapshots.push(std::mem::take(&mut current));
+                in_current = 0;
+            }
+        }
+        if in_current > 0 {
+            snapshots.push(current);
+        }
+        snapshots
+    }
+
+    fn convert_by_subject(&mut self, triples: &[Triple]) -> Vec<GraphSnapshot> {
+        // Preserve first-appearance order of subjects so the stream stays
+        // deterministic.
+        let mut order: Vec<&Term> = Vec::new();
+        let mut groups: BTreeMap<&Term, Vec<&Triple>> = BTreeMap::new();
+        for triple in triples {
+            if !groups.contains_key(&triple.subject) {
+                order.push(&triple.subject);
+            }
+            groups.entry(&triple.subject).or_default().push(triple);
+        }
+        let mut snapshots = Vec::new();
+        for subject in order {
+            let mut snapshot = GraphSnapshot::new();
+            for triple in &groups[subject] {
+                self.add_edge(&mut snapshot, triple);
+            }
+            if !snapshot.is_empty() {
+                snapshots.push(snapshot);
+            }
+        }
+        snapshots
+    }
+
+    fn add_edge(&mut self, snapshot: &mut GraphSnapshot, triple: &Triple) -> bool {
+        if !triple.links_resources() {
+            self.skipped_literals += 1;
+            return false;
+        }
+        let u = self.dictionary.intern(&triple.subject);
+        let v = self.dictionary.intern(&triple.object);
+        snapshot.add_edge(u, v);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples;
+
+    fn sample_triples() -> Vec<Triple> {
+        ntriples::parse(
+            "\
+<http://ex.org/a> <http://ex.org/knows> <http://ex.org/b> .
+<http://ex.org/a> <http://ex.org/knows> <http://ex.org/c> .
+<http://ex.org/a> <http://ex.org/name> \"Alice\" .
+<http://ex.org/b> <http://ex.org/cites> <http://ex.org/c> .
+<http://ex.org/c> <http://ex.org/cites> <http://ex.org/a> .
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_size_grouping_builds_snapshots_and_skips_literals() {
+        let mut adapter = TripleStreamAdapter::new(GroupingStrategy::FixedSize(2));
+        let snapshots = adapter.convert(&sample_triples());
+        // Four linking triples grouped in twos.
+        assert_eq!(snapshots.len(), 2);
+        assert_eq!(snapshots[0].num_edges(), 2);
+        assert_eq!(snapshots[1].num_edges(), 2);
+        assert_eq!(adapter.skipped_literals(), 1);
+        // a, b, c interned.
+        assert_eq!(adapter.dictionary().len(), 3);
+    }
+
+    #[test]
+    fn by_subject_grouping_builds_entity_snapshots() {
+        let mut adapter = TripleStreamAdapter::new(GroupingStrategy::BySubject);
+        let snapshots = adapter.convert(&sample_triples());
+        // Subjects with at least one linking triple: a, b, c.
+        assert_eq!(snapshots.len(), 3);
+        assert_eq!(snapshots[0].num_edges(), 2, "a links to b and c");
+        assert_eq!(snapshots[1].num_edges(), 1);
+        assert_eq!(snapshots[2].num_edges(), 1);
+    }
+
+    #[test]
+    fn dictionary_is_stable_across_conversions() {
+        let mut adapter = TripleStreamAdapter::new(GroupingStrategy::FixedSize(10));
+        adapter.convert(&sample_triples());
+        let a = Term::iri("http://ex.org/a").unwrap();
+        let first = adapter.dictionary().lookup(&a).unwrap();
+        adapter.convert(&sample_triples());
+        assert_eq!(adapter.dictionary().lookup(&a), Some(first));
+        assert_eq!(adapter.dictionary().term_of(first), Some(&a));
+        assert!(adapter.dictionary().term_of(VertexId::new(99)).is_none());
+        assert!(!adapter.dictionary().is_empty());
+    }
+
+    #[test]
+    fn zero_fixed_size_is_clamped() {
+        let mut adapter = TripleStreamAdapter::new(GroupingStrategy::FixedSize(0));
+        let snapshots = adapter.convert(&sample_triples());
+        assert_eq!(snapshots.len(), 4, "clamped to one edge per snapshot");
+    }
+}

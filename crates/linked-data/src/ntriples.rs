@@ -1,0 +1,203 @@
+//! A line-oriented N-Triples parser and serialiser.
+//!
+//! The subset implemented covers what linked-data dumps in the wild use for
+//! linkage information: IRI and blank-node subjects, IRI predicates, IRI /
+//! blank-node / literal objects (with optional language tag or datatype),
+//! comments and blank lines.
+
+use fsm_types::{FsmError, Result};
+
+use crate::term::{Iri, Literal, Term};
+use crate::triple::Triple;
+
+/// Parses an N-Triples document into triples.
+pub fn parse(document: &str) -> Result<Vec<Triple>> {
+    let mut triples = Vec::new();
+    for (number, line) in document.lines().enumerate() {
+        let line_no = number + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        triples.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(triples)
+}
+
+/// Serialises triples as an N-Triples document (one statement per line).
+pub fn serialize(triples: &[Triple]) -> String {
+    let mut out = String::new();
+    for triple in triples {
+        out.push_str(&triple.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Triple> {
+    let mut cursor = Cursor {
+        rest: line,
+        line_no,
+    };
+    let subject = cursor.parse_term()?;
+    cursor.skip_ws();
+    let predicate = match cursor.parse_term()? {
+        Term::Iri(iri) => iri,
+        other => {
+            return Err(FsmError::parse_at(
+                line_no,
+                format!("predicate must be an IRI, got {other}"),
+            ))
+        }
+    };
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    if !cursor.rest.starts_with('.') {
+        return Err(FsmError::parse_at(line_no, "statement must end with '.'"));
+    }
+    Triple::new(subject, predicate, object)
+        .ok_or_else(|| FsmError::parse_at(line_no, "literal subjects are not allowed"))
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix('<') {
+            let end = rest
+                .find('>')
+                .ok_or_else(|| FsmError::parse_at(self.line_no, "unterminated IRI"))?;
+            let iri = Iri::new(&rest[..end])
+                .ok_or_else(|| FsmError::parse_at(self.line_no, "invalid IRI"))?;
+            self.rest = &rest[end + 1..];
+            Ok(Term::Iri(iri))
+        } else if let Some(rest) = self.rest.strip_prefix("_:") {
+            let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+            if end == 0 {
+                return Err(FsmError::parse_at(self.line_no, "empty blank node label"));
+            }
+            let label = &rest[..end];
+            self.rest = &rest[end..];
+            Ok(Term::Blank(label.to_string()))
+        } else if let Some(rest) = self.rest.strip_prefix('"') {
+            let (value, after) = read_quoted(rest, self.line_no)?;
+            let mut literal = Literal::simple(value);
+            let mut remaining = after;
+            if let Some(lang_rest) = remaining.strip_prefix('@') {
+                let end = lang_rest
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(lang_rest.len());
+                literal.language = Some(lang_rest[..end].to_string());
+                remaining = &lang_rest[end..];
+            } else if let Some(type_rest) = remaining.strip_prefix("^^<") {
+                let end = type_rest
+                    .find('>')
+                    .ok_or_else(|| FsmError::parse_at(self.line_no, "unterminated datatype IRI"))?;
+                literal.datatype = Iri::new(&type_rest[..end]);
+                remaining = &type_rest[end + 1..];
+            }
+            self.rest = remaining;
+            Ok(Term::Literal(literal))
+        } else {
+            Err(FsmError::parse_at(
+                self.line_no,
+                format!("unexpected token near '{}'", truncated(self.rest)),
+            ))
+        }
+    }
+}
+
+/// Reads a quoted string body (after the opening quote), handling `\"` and
+/// `\\` escapes; returns the unescaped value and the remainder after the
+/// closing quote.
+fn read_quoted(rest: &str, line_no: usize) -> Result<(String, &str)> {
+    let mut value = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((idx, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, escaped)) => value.push(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }),
+                None => return Err(FsmError::parse_at(line_no, "dangling escape")),
+            },
+            '"' => return Ok((value, &rest[idx + 1..])),
+            other => value.push(other),
+        }
+    }
+    Err(FsmError::parse_at(line_no, "unterminated literal"))
+}
+
+fn truncated(s: &str) -> &str {
+    &s[..s.len().min(20)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_resource_links() {
+        let doc = "\
+# a tiny linked-data document
+<http://ex.org/a> <http://ex.org/knows> <http://ex.org/b> .
+
+<http://ex.org/b> <http://ex.org/knows> _:anon .
+_:anon <http://ex.org/name> \"Anna\"@de .
+<http://ex.org/a> <http://ex.org/age> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .
+";
+        let triples = parse(doc).unwrap();
+        assert_eq!(triples.len(), 4);
+        assert!(triples[0].links_resources());
+        assert!(triples[1].links_resources());
+        assert!(!triples[2].links_resources());
+        assert!(!triples[3].links_resources());
+        assert_eq!(
+            triples[0].to_string(),
+            "<http://ex.org/a> <http://ex.org/knows> <http://ex.org/b> ."
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_serialisation() {
+        let doc = "<http://a> <http://p> <http://b> .\n<http://b> <http://p> \"x\" .\n";
+        let triples = parse(doc).unwrap();
+        let serialised = serialize(&triples);
+        let reparsed = parse(&serialised).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let err = parse("<http://a> <http://p> <http://b>").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = parse("<http://a> <http://p> .\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = parse("<http://a> \"p\" <http://b> .").unwrap_err();
+        assert!(err.to_string().contains("predicate"));
+        let err = parse("<http://a> <http://p> \"unterminated .").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        assert!(parse("junk line .").is_err());
+    }
+
+    #[test]
+    fn escaped_quotes_inside_literals() {
+        let doc = r#"<http://a> <http://says> "he said \"hi\"\n" ."#;
+        let triples = parse(doc).unwrap();
+        match &triples[0].object {
+            Term::Literal(l) => assert_eq!(l.value, "he said \"hi\"\n"),
+            other => panic!("unexpected object {other}"),
+        }
+    }
+}

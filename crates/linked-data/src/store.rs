@@ -1,0 +1,146 @@
+//! A small indexed triple store with pattern matching.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::term::{Iri, Term};
+use crate::triple::Triple;
+
+/// An in-memory collection of triples indexed by subject and by predicate.
+///
+/// The store backs the examples and the triple-stream adapter; it is not a
+/// persistent database, just enough structure to answer the "which resources
+/// does X link to?" questions the stream adapter asks.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    by_subject: BTreeMap<Term, Vec<usize>>,
+    by_predicate: BTreeMap<Iri, Vec<usize>>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple; duplicates are kept (RDF multisets are collapsed by
+    /// callers that care).
+    pub fn insert(&mut self, triple: Triple) {
+        let idx = self.triples.len();
+        self.by_subject
+            .entry(triple.subject.clone())
+            .or_default()
+            .push(idx);
+        self.by_predicate
+            .entry(triple.predicate.clone())
+            .or_default()
+            .push(idx);
+        self.triples.push(triple);
+    }
+
+    /// Bulk insertion.
+    pub fn extend<I: IntoIterator<Item = Triple>>(&mut self, triples: I) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// Triples whose subject is `subject`.
+    pub fn with_subject(&self, subject: &Term) -> Vec<&Triple> {
+        self.by_subject
+            .get(subject)
+            .map(|ids| ids.iter().map(|&i| &self.triples[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Triples whose predicate is `predicate`.
+    pub fn with_predicate(&self, predicate: &Iri) -> Vec<&Triple> {
+        self.by_predicate
+            .get(predicate)
+            .map(|ids| ids.iter().map(|&i| &self.triples[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The distinct resources (IRIs and blank nodes) appearing as subject or
+    /// object of any triple.
+    pub fn resources(&self) -> BTreeSet<Term> {
+        let mut out = BTreeSet::new();
+        for t in &self.triples {
+            out.insert(t.subject.clone());
+            if t.object.is_resource() {
+                out.insert(t.object.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::from_iris(s, p, o).unwrap()
+    }
+
+    #[test]
+    fn indexes_answer_simple_queries() {
+        let mut store = TripleStore::new();
+        store.extend([
+            t("http://a", "http://knows", "http://b"),
+            t("http://a", "http://knows", "http://c"),
+            t("http://b", "http://cites", "http://c"),
+        ]);
+        assert_eq!(store.len(), 3);
+        assert!(!store.is_empty());
+        assert_eq!(store.with_subject(&Term::iri("http://a").unwrap()).len(), 2);
+        assert_eq!(
+            store
+                .with_predicate(&Iri::new("http://cites").unwrap())
+                .len(),
+            1
+        );
+        assert_eq!(store.resources().len(), 3);
+        assert_eq!(store.iter().count(), 3);
+    }
+
+    #[test]
+    fn literal_objects_are_not_resources() {
+        let mut store = TripleStore::new();
+        store.insert(
+            Triple::new(
+                Term::iri("http://a").unwrap(),
+                Iri::new("http://name").unwrap(),
+                Term::literal("Alice"),
+            )
+            .unwrap(),
+        );
+        assert_eq!(store.resources().len(), 1);
+    }
+
+    #[test]
+    fn missing_keys_return_empty() {
+        let store = TripleStore::new();
+        assert!(store
+            .with_subject(&Term::iri("http://x").unwrap())
+            .is_empty());
+        assert!(store
+            .with_predicate(&Iri::new("http://y").unwrap())
+            .is_empty());
+    }
+}

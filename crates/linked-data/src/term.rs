@@ -1,0 +1,187 @@
+//! RDF terms: IRIs, blank nodes and literals.
+
+use std::fmt;
+
+/// An internationalised resource identifier.
+///
+/// Validation is intentionally light (non-empty, no whitespace, no angle
+/// brackets): the substrate only needs identifiers to be unambiguous, not to
+/// enforce the full RFC grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(String);
+
+impl Iri {
+    /// Creates an IRI, returning `None` if the string is empty or contains
+    /// characters that would break N-Triples serialisation.
+    pub fn new(value: impl Into<String>) -> Option<Self> {
+        let value = value.into();
+        if value.is_empty()
+            || value
+                .chars()
+                .any(|c| c.is_whitespace() || c == '<' || c == '>')
+        {
+            None
+        } else {
+            Some(Self(value))
+        }
+    }
+
+    /// The IRI string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+/// An RDF literal with an optional language tag or datatype IRI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form.
+    pub value: String,
+    /// Optional language tag (`"chat"@en`).
+    pub language: Option<String>,
+    /// Optional datatype IRI (`"42"^^<…integer>`).
+    pub datatype: Option<Iri>,
+}
+
+impl Literal {
+    /// A plain string literal.
+    pub fn simple(value: impl Into<String>) -> Self {
+        Self {
+            value: value.into(),
+            language: None,
+            datatype: None,
+        }
+    }
+
+    /// A language-tagged literal.
+    pub fn with_language(value: impl Into<String>, language: impl Into<String>) -> Self {
+        Self {
+            value: value.into(),
+            language: Some(language.into()),
+            datatype: None,
+        }
+    }
+
+    /// A typed literal.
+    pub fn typed(value: impl Into<String>, datatype: Iri) -> Self {
+        Self {
+            value: value.into(),
+            language: None,
+            datatype: Some(datatype),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "\"{}\"",
+            self.value.replace('\\', "\\\\").replace('"', "\\\"")
+        )?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(datatype) = &self.datatype {
+            write!(f, "^^{datatype}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Any RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A resource identified by an IRI.
+    Iri(Iri),
+    /// A blank node with a local label.
+    Blank(String),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Convenience constructor for IRI terms.
+    pub fn iri(value: impl Into<String>) -> Option<Self> {
+        Iri::new(value).map(Term::Iri)
+    }
+
+    /// Convenience constructor for blank nodes.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// Convenience constructor for simple literals.
+    pub fn literal(value: impl Into<String>) -> Self {
+        Term::Literal(Literal::simple(value))
+    }
+
+    /// Returns `true` if the term can appear in subject position (IRI or
+    /// blank node).
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Term::Iri(_) | Term::Blank(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "{iri}"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(literal) => write!(f, "{literal}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_validation() {
+        assert!(Iri::new("http://example.org/a").is_some());
+        assert!(Iri::new("").is_none());
+        assert!(Iri::new("has space").is_none());
+        assert!(Iri::new("<bad>").is_none());
+        assert_eq!(
+            Iri::new("http://x.org/a").unwrap().to_string(),
+            "<http://x.org/a>"
+        );
+    }
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(Literal::simple("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Literal::with_language("chat", "fr").to_string(),
+            "\"chat\"@fr"
+        );
+        let typed = Literal::typed(
+            "42",
+            Iri::new("http://www.w3.org/2001/XMLSchema#integer").unwrap(),
+        );
+        assert_eq!(
+            typed.to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(
+            Literal::simple("say \"hi\"").to_string(),
+            "\"say \\\"hi\\\"\""
+        );
+    }
+
+    #[test]
+    fn term_rendering_and_classification() {
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+        assert_eq!(Term::literal("x").to_string(), "\"x\"");
+        assert!(Term::iri("http://x.org").unwrap().is_resource());
+        assert!(Term::blank("b").is_resource());
+        assert!(!Term::literal("x").is_resource());
+        assert!(Term::iri("bad iri").is_none());
+    }
+}

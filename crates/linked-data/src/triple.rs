@@ -1,0 +1,82 @@
+//! RDF triples.
+
+use std::fmt;
+
+use crate::term::{Iri, Term};
+
+/// A subject–predicate–object statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The subject resource (IRI or blank node).
+    pub subject: Term,
+    /// The predicate IRI.
+    pub predicate: Iri,
+    /// The object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple, rejecting literal subjects (which RDF forbids).
+    pub fn new(subject: Term, predicate: Iri, object: Term) -> Option<Self> {
+        if !subject.is_resource() {
+            return None;
+        }
+        Some(Self {
+            subject,
+            predicate,
+            object,
+        })
+    }
+
+    /// Convenience constructor from plain IRI strings.
+    pub fn from_iris(subject: &str, predicate: &str, object: &str) -> Option<Self> {
+        Some(Self {
+            subject: Term::iri(subject)?,
+            predicate: Iri::new(predicate)?,
+            object: Term::iri(object)?,
+        })
+    }
+
+    /// Returns `true` if the object is a resource (i.e. the triple links two
+    /// resources and therefore contributes an edge to the linkage graph).
+    pub fn links_resources(&self) -> bool {
+        self.object.is_resource()
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn literal_subjects_are_rejected() {
+        let literal = Term::Literal(Literal::simple("nope"));
+        assert!(Triple::new(literal, Iri::new("http://p").unwrap(), Term::literal("x")).is_none());
+    }
+
+    #[test]
+    fn from_iris_and_display() {
+        let t = Triple::from_iris("http://a", "http://p", "http://b").unwrap();
+        assert_eq!(t.to_string(), "<http://a> <http://p> <http://b> .");
+        assert!(t.links_resources());
+        assert!(Triple::from_iris("bad iri", "http://p", "http://b").is_none());
+    }
+
+    #[test]
+    fn literal_objects_do_not_link_resources() {
+        let t = Triple::new(
+            Term::iri("http://a").unwrap(),
+            Iri::new("http://name").unwrap(),
+            Term::literal("Alice"),
+        )
+        .unwrap();
+        assert!(!t.links_resources());
+    }
+}

@@ -1,0 +1,418 @@
+//! A compact growable bit vector tuned for the DSMatrix access pattern.
+//!
+//! Each DSMatrix row is one bit per window transaction; the vertical mining
+//! algorithms (§3.4 and §4 of the paper) repeatedly intersect two rows and
+//! count the surviving ones, and the window slide drops a prefix of columns
+//! and appends new ones.  Those three operations — `and`, `count_ones`,
+//! `drop_prefix`/`push` — are the hot path of the whole system.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A growable vector of bits backed by `u64` words.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    pub fn from_bools<I>(bits: I) -> Self
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let mut v = Self::new();
+        for b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / WORD_BITS;
+        let offset = self.len % WORD_BITS;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Returns the bit at `index`, or `false` if `index` is out of range.
+    ///
+    /// Out-of-range reads returning `false` match the DSMatrix convention that
+    /// a transaction simply does not contain an item it has no column bit for.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        if index >= self.len {
+            return false;
+        }
+        let word = index / WORD_BITS;
+        let offset = index % WORD_BITS;
+        (self.words[word] >> offset) & 1 == 1
+    }
+
+    /// Sets the bit at `index`, growing the vector with zeros if needed.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        if index >= self.len {
+            self.resize(index + 1);
+        }
+        let word = index / WORD_BITS;
+        let offset = index % WORD_BITS;
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        } else {
+            self.words[word] &= !(1u64 << offset);
+        }
+    }
+
+    /// Grows or shrinks the vector to exactly `len` bits, zero-filling new
+    /// bits and clearing any bits beyond the new length.
+    pub fn resize(&mut self, len: usize) {
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.len = len;
+        self.clear_tail();
+    }
+
+    /// Number of set bits — the row-sum / support count of §3.4.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// In-place intersection with `other` (`self &= other`).
+    ///
+    /// Bits beyond the shorter operand are treated as zero; the result length
+    /// is the length of `self`.
+    pub fn and_with(&mut self, other: &BitVec) {
+        for (i, word) in self.words.iter_mut().enumerate() {
+            *word &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns the intersection `self & other` as a new vector.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_with(other);
+        out
+    }
+
+    /// Returns the union `self | other` as a new vector whose length is the
+    /// maximum of the operand lengths.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let (long, short) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = long.clone();
+        for (i, word) in short.words.iter().enumerate() {
+            out.words[i] |= word;
+        }
+        out
+    }
+
+    /// Counts the set bits of `self & other` without materialising the result.
+    pub fn and_count(&self, other: &BitVec) -> u64 {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Drops the first `n` bits, shifting the remainder towards index 0.
+    ///
+    /// This is the window-slide operation: when the oldest batch leaves the
+    /// window its columns are removed and the remaining columns shift left
+    /// ("shifting all columns from Cols 4–6 to Cols 1–3" in Example 1).
+    pub fn drop_prefix(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if n >= self.len {
+            self.words.clear();
+            self.len = 0;
+            return;
+        }
+        let new_len = self.len - n;
+        let word_shift = n / WORD_BITS;
+        let bit_shift = n % WORD_BITS;
+        let old = std::mem::take(&mut self.words);
+        let mut new_words = vec![0u64; new_len.div_ceil(WORD_BITS)];
+        for (i, word) in new_words.iter_mut().enumerate() {
+            let lo = old.get(i + word_shift).copied().unwrap_or(0);
+            *word = if bit_shift == 0 {
+                lo
+            } else {
+                let hi = old.get(i + word_shift + 1).copied().unwrap_or(0);
+                (lo >> bit_shift) | (hi << (WORD_BITS - bit_shift))
+            };
+        }
+        self.words = new_words;
+        self.len = new_len;
+        self.clear_tail();
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi * WORD_BITS;
+            let len = self.len;
+            let mut w = word;
+            std::iter::from_fn(move || {
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let idx = base + bit;
+                    if idx < len {
+                        return Some(idx);
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    /// Serialises the vector into a compact byte representation (little-endian
+    /// length header followed by the words).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for word in &self.words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a vector from [`BitVec::to_bytes`] output.
+    ///
+    /// Returns `None` if the buffer is truncated or malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let expected_words = len.div_ceil(WORD_BITS);
+        let body = &bytes[8..];
+        if body.len() != expected_words * 8 {
+            return None;
+        }
+        let words = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        let mut v = Self { words, len };
+        v.clear_tail();
+        Some(v)
+    }
+
+    /// Heap bytes used by the word buffer (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Clears bits past `len` in the last word so that equality and popcounts
+    /// never observe stale garbage.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(pattern: &str) -> BitVec {
+        BitVec::from_bools(pattern.chars().map(|c| c == '1'))
+    }
+
+    #[test]
+    fn push_get_and_len() {
+        let v = bv("101100");
+        assert_eq!(v.len(), 6);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(3));
+        assert!(!v.get(100), "out of range reads are false");
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn set_grows_and_clears() {
+        let mut v = BitVec::new();
+        v.set(70, true);
+        assert_eq!(v.len(), 71);
+        assert!(v.get(70));
+        v.set(70, false);
+        assert!(!v.get(70));
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn intersection_matches_paper_example_5() {
+        // Row a = 111110, Row c = 101111 ⇒ a∧c = 101110 with 4 ones.
+        let a = bv("111110");
+        let c = bv("101111");
+        let ac = a.and(&c);
+        assert_eq!(format!("{ac:?}"), "BitVec[101110]");
+        assert_eq!(ac.count_ones(), 4);
+        assert_eq!(a.and_count(&c), 4);
+        // Row d = 110011 ⇒ a∧d = 110010 with 3 ones.
+        let d = bv("110011");
+        assert_eq!(a.and_count(&d), 3);
+        // Row f = 110110 ⇒ a∧f = 110110 with 4 ones.
+        let f = bv("110110");
+        assert_eq!(a.and_count(&f), 4);
+    }
+
+    #[test]
+    fn and_with_handles_shorter_operand() {
+        let mut a = bv("1111");
+        let b = bv("10");
+        a.and_with(&b);
+        assert_eq!(format!("{a:?}"), "BitVec[1000]");
+    }
+
+    #[test]
+    fn or_takes_longest_length() {
+        let a = bv("101");
+        let b = bv("01011");
+        let o = a.or(&b);
+        assert_eq!(format!("{o:?}"), "BitVec[11111]");
+        assert_eq!(o.len(), 5);
+        assert_eq!(o.count_ones(), 5);
+    }
+
+    #[test]
+    fn drop_prefix_small() {
+        // Window slide of Example 1: keep the last three columns.
+        let mut row_a = bv("011111");
+        row_a.drop_prefix(3);
+        assert_eq!(format!("{row_a:?}"), "BitVec[111]");
+        let mut row_b = bv("000001");
+        row_b.drop_prefix(3);
+        assert_eq!(format!("{row_b:?}"), "BitVec[001]");
+    }
+
+    #[test]
+    fn drop_prefix_across_word_boundaries() {
+        let mut v = BitVec::zeros(200);
+        v.set(0, true);
+        v.set(67, true);
+        v.set(130, true);
+        v.set(199, true);
+        v.drop_prefix(65);
+        assert_eq!(v.len(), 135);
+        assert!(v.get(2)); // was 67
+        assert!(v.get(65)); // was 130
+        assert!(v.get(134)); // was 199
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn drop_prefix_edge_cases() {
+        let mut v = bv("1011");
+        v.drop_prefix(0);
+        assert_eq!(v.len(), 4);
+        v.drop_prefix(10);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_yields_ascending_indices() {
+        let mut v = BitVec::zeros(150);
+        for idx in [0, 1, 63, 64, 127, 149] {
+            v.set(idx, true);
+        }
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 1, 63, 64, 127, 149]);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        for pattern in ["", "1", "10110", &"101".repeat(50)] {
+            let v = bv(pattern);
+            let back = BitVec::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(v, back, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        assert!(BitVec::from_bytes(&[1, 2, 3]).is_none());
+        let mut bytes = bv("1111").to_bytes();
+        bytes.pop();
+        assert!(BitVec::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn zeros_and_resize() {
+        let mut v = BitVec::zeros(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.count_ones(), 0);
+        v.set(9, true);
+        v.resize(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.count_ones(), 0, "truncated bits must not linger");
+        v.resize(80);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_accounts_for_words() {
+        let v = BitVec::zeros(1024);
+        assert!(v.heap_bytes() >= 1024 / 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! Storage substrate: bit vectors, paged files, disk-backed row stores and
+//! memory accounting.
+//!
+//! The paper's central space argument is that the DSTable and the DSMatrix
+//! keep the window contents *on disk* while only small working structures
+//! (one FP-tree, or a handful of bit vectors) live in memory.  This crate
+//! provides the pieces needed to make that claim measurable:
+//!
+//! * [`BitVec`] — the bit-vector representation used by the DSMatrix rows and
+//!   by the vertical mining algorithms (§3.4, §4);
+//! * [`PagedFile`] — a minimal fixed-page file abstraction;
+//! * [`RowStore`] — a disk- or memory-backed store of variable-length rows,
+//!   used by the DSMatrix and DSTable to spill window contents to disk;
+//! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
+//!   the space-efficiency experiment (E2);
+//! * [`TempDir`] — a small self-cleaning temporary directory helper so the
+//!   disk-backed structures need no external crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod paged;
+pub mod rowstore;
+pub mod temp;
+pub mod tracker;
+
+pub use bitvec::BitVec;
+pub use paged::PagedFile;
+pub use rowstore::{RowStore, StorageBackend};
+pub use temp::TempDir;
+pub use tracker::{MemoryReport, MemoryTracker};

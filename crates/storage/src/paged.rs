@@ -1,0 +1,214 @@
+//! A minimal fixed-size-page file, the unit of on-disk storage.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use fsm_types::{FsmError, Result};
+
+/// A file divided into fixed-size pages, addressed by page index.
+///
+/// This is intentionally the simplest storage engine that exhibits the I/O
+/// pattern the paper's disk-resident structures rely on: sequential appends
+/// while a batch streams in, and sequential scans while mining.  Pages are
+/// written and read whole; short writes are zero-padded to the page size.
+#[derive(Debug)]
+pub struct PagedFile {
+    file: File,
+    path: PathBuf,
+    page_size: usize,
+    num_pages: usize,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl PagedFile {
+    /// Default page size (4 KiB) used by the disk-backed structures.
+    pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+    /// Creates (truncating) a paged file at `path`.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(FsmError::config("page size must be non-zero"));
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            page_size,
+            num_pages: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        })
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages written so far.
+    #[inline]
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Total bytes handed to the operating system so far.
+    #[inline]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read back so far.
+    #[inline]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// On-disk footprint in bytes (pages × page size).
+    pub fn on_disk_bytes(&self) -> u64 {
+        (self.num_pages * self.page_size) as u64
+    }
+
+    /// Appends `data` as a new page and returns its index.
+    ///
+    /// `data` must not exceed the page size; shorter payloads are zero padded.
+    pub fn append_page(&mut self, data: &[u8]) -> Result<usize> {
+        self.write_page(self.num_pages, data)
+    }
+
+    /// Writes `data` at page `index`, extending the file if needed.
+    pub fn write_page(&mut self, index: usize, data: &[u8]) -> Result<usize> {
+        if data.len() > self.page_size {
+            return Err(FsmError::config(format!(
+                "payload of {} bytes exceeds page size {}",
+                data.len(),
+                self.page_size
+            )));
+        }
+        let offset = (index * self.page_size) as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        if data.len() < self.page_size {
+            let padding = vec![0u8; self.page_size - data.len()];
+            self.file.write_all(&padding)?;
+        }
+        self.bytes_written += self.page_size as u64;
+        self.num_pages = self.num_pages.max(index + 1);
+        Ok(index)
+    }
+
+    /// Reads page `index` into a fresh buffer of page size.
+    pub fn read_page(&mut self, index: usize) -> Result<Vec<u8>> {
+        if index >= self.num_pages {
+            return Err(FsmError::corrupt(format!(
+                "page {index} out of range (file has {} pages)",
+                self.num_pages
+            )));
+        }
+        let offset = (index * self.page_size) as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; self.page_size];
+        self.file.read_exact(&mut buf)?;
+        self.bytes_read += self.page_size as u64;
+        Ok(buf)
+    }
+
+    /// Truncates the file back to zero pages (used on window rebuilds).
+    pub fn clear(&mut self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.num_pages = 0;
+        Ok(())
+    }
+
+    /// Flushes buffered writes to the operating system.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 64).unwrap();
+        let first = pf.append_page(b"hello").unwrap();
+        let second = pf.append_page(&[7u8; 64]).unwrap();
+        assert_eq!((first, second), (0, 1));
+        assert_eq!(pf.num_pages(), 2);
+
+        let page = pf.read_page(0).unwrap();
+        assert_eq!(&page[..5], b"hello");
+        assert!(page[5..].iter().all(|&b| b == 0), "short pages are padded");
+        assert_eq!(pf.read_page(1).unwrap(), vec![7u8; 64]);
+        assert_eq!(pf.on_disk_bytes(), 128);
+        assert_eq!(pf.bytes_written(), 128);
+        assert_eq!(pf.bytes_read(), 128);
+    }
+
+    #[test]
+    fn overwrite_existing_page() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 32).unwrap();
+        pf.append_page(b"old").unwrap();
+        pf.write_page(0, b"new").unwrap();
+        assert_eq!(&pf.read_page(0).unwrap()[..3], b"new");
+        assert_eq!(pf.num_pages(), 1);
+    }
+
+    #[test]
+    fn sparse_write_extends_page_count() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 16).unwrap();
+        pf.write_page(3, b"x").unwrap();
+        assert_eq!(pf.num_pages(), 4);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 8).unwrap();
+        assert!(pf.append_page(&[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_read_is_an_error() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 8).unwrap();
+        assert!(pf.read_page(0).is_err());
+    }
+
+    #[test]
+    fn zero_page_size_is_rejected() {
+        let dir = TempDir::new("paged").unwrap();
+        assert!(PagedFile::create(dir.file("pages.bin"), 0).is_err());
+    }
+
+    #[test]
+    fn clear_resets_pages() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 8).unwrap();
+        pf.append_page(b"abc").unwrap();
+        pf.clear().unwrap();
+        assert_eq!(pf.num_pages(), 0);
+        assert!(pf.read_page(0).is_err());
+        pf.sync().unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! A disk- or memory-backed store of variable-length rows.
+//!
+//! The DSMatrix keeps one row of bits per domain edge, and the DSTable keeps
+//! one row of pointer entries per domain item; both structures are "kept on
+//! the disk" in the paper.  `RowStore` gives them a common spill target: rows
+//! are written whole, read back whole, and rewritten in bulk when the window
+//! slides.  An in-memory backend with the same interface exists for unit
+//! tests and for the storage ablation (A2).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::paged::PagedFile;
+use crate::temp::TempDir;
+use fsm_types::{FsmError, Result};
+
+/// Where a [`RowStore`] keeps its rows.
+#[derive(Debug, Clone, Default)]
+pub enum StorageBackend {
+    /// Rows live on disk in a self-cleaning temporary directory (the paper's
+    /// default: the capture structure does not consume main memory).
+    #[default]
+    DiskTemp,
+    /// Rows live on disk at an explicit location (kept across runs).
+    DiskAt(PathBuf),
+    /// Rows live in main memory (baseline / ablation configuration).
+    Memory,
+}
+
+enum Inner {
+    Memory {
+        rows: BTreeMap<usize, Vec<u8>>,
+    },
+    Disk {
+        /// Keeps the temp directory alive for the lifetime of the store.
+        _tempdir: Option<TempDir>,
+        file: PagedFile,
+        /// Row id → (first page, byte length).  Rows are stored in
+        /// consecutive pages.
+        index: BTreeMap<usize, (usize, usize)>,
+    },
+}
+
+/// A store of variable-length byte rows addressed by a dense row id.
+pub struct RowStore {
+    inner: Inner,
+    page_size: usize,
+}
+
+impl RowStore {
+    /// Opens a row store with the given backend and the default page size.
+    pub fn open(backend: StorageBackend) -> Result<Self> {
+        Self::with_page_size(backend, PagedFile::DEFAULT_PAGE_SIZE)
+    }
+
+    /// Opens a row store with an explicit page size (useful in tests).
+    pub fn with_page_size(backend: StorageBackend, page_size: usize) -> Result<Self> {
+        let inner = match backend {
+            StorageBackend::Memory => Inner::Memory {
+                rows: BTreeMap::new(),
+            },
+            StorageBackend::DiskTemp => {
+                let dir = TempDir::new("rowstore")?;
+                let file = PagedFile::create(dir.file("rows.pages"), page_size)?;
+                Inner::Disk {
+                    _tempdir: Some(dir),
+                    file,
+                    index: BTreeMap::new(),
+                }
+            }
+            StorageBackend::DiskAt(path) => {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let file = PagedFile::create(&path, page_size)?;
+                Inner::Disk {
+                    _tempdir: None,
+                    file,
+                    index: BTreeMap::new(),
+                }
+            }
+        };
+        Ok(Self { inner, page_size })
+    }
+
+    /// Returns `true` if the rows are kept in main memory.
+    pub fn is_memory_resident(&self) -> bool {
+        matches!(self.inner, Inner::Memory { .. })
+    }
+
+    /// Writes (or overwrites) row `id`.
+    ///
+    /// The disk backend is append-only between [`RowStore::rewrite_all`]
+    /// calls: overwriting a row appends a fresh copy and repoints the index,
+    /// mirroring how the DSMatrix rewrites rows on a window slide rather than
+    /// patching bits in place.
+    pub fn put_row(&mut self, id: usize, bytes: &[u8]) -> Result<()> {
+        match &mut self.inner {
+            Inner::Memory { rows } => {
+                rows.insert(id, bytes.to_vec());
+                Ok(())
+            }
+            Inner::Disk { file, index, .. } => {
+                let first_page = file.num_pages();
+                for chunk in bytes.chunks(self.page_size) {
+                    file.append_page(chunk)?;
+                }
+                if bytes.is_empty() {
+                    file.append_page(&[])?;
+                }
+                index.insert(id, (first_page, bytes.len()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads row `id` back.
+    pub fn get_row(&mut self, id: usize) -> Result<Vec<u8>> {
+        match &mut self.inner {
+            Inner::Memory { rows } => rows
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| FsmError::corrupt(format!("row {id} not present"))),
+            Inner::Disk { file, index, .. } => {
+                let &(first_page, len) = index
+                    .get(&id)
+                    .ok_or_else(|| FsmError::corrupt(format!("row {id} not present")))?;
+                let mut out = Vec::with_capacity(len);
+                let mut remaining = len;
+                let mut page = first_page;
+                while remaining > 0 {
+                    let buf = file.read_page(page)?;
+                    let take = remaining.min(self.page_size);
+                    out.extend_from_slice(&buf[..take]);
+                    remaining -= take;
+                    page += 1;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Returns `true` if row `id` exists.
+    pub fn contains_row(&self, id: usize) -> bool {
+        match &self.inner {
+            Inner::Memory { rows } => rows.contains_key(&id),
+            Inner::Disk { index, .. } => index.contains_key(&id),
+        }
+    }
+
+    /// Number of distinct rows stored.
+    pub fn num_rows(&self) -> usize {
+        match &self.inner {
+            Inner::Memory { rows } => rows.len(),
+            Inner::Disk { index, .. } => index.len(),
+        }
+    }
+
+    /// Replaces the entire contents with `rows` (id, payload), compacting the
+    /// disk file.  This is the window-slide path of the disk-backed
+    /// structures.
+    pub fn rewrite_all<'a, I>(&mut self, rows: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (usize, &'a [u8])>,
+    {
+        match &mut self.inner {
+            Inner::Memory { rows: map } => {
+                map.clear();
+                for (id, bytes) in rows {
+                    map.insert(id, bytes.to_vec());
+                }
+                Ok(())
+            }
+            Inner::Disk { file, index, .. } => {
+                file.clear()?;
+                index.clear();
+                for (id, bytes) in rows {
+                    let first_page = file.num_pages();
+                    for chunk in bytes.chunks(self.page_size) {
+                        file.append_page(chunk)?;
+                    }
+                    if bytes.is_empty() {
+                        file.append_page(&[])?;
+                    }
+                    index.insert(id, (first_page, bytes.len()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Bytes held in main memory by this store.
+    ///
+    /// For the disk backend this is only the (small) page index — the payload
+    /// lives on disk, which is exactly the distinction the paper's space
+    /// experiment draws.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Memory { rows } => rows
+                .values()
+                .map(|r| r.capacity() + std::mem::size_of::<usize>() * 2)
+                .sum(),
+            Inner::Disk { index, .. } => index.len() * std::mem::size_of::<(usize, usize, usize)>(),
+        }
+    }
+
+    /// Bytes held on disk by this store (zero for the memory backend).
+    pub fn on_disk_bytes(&self) -> u64 {
+        match &self.inner {
+            Inner::Memory { .. } => 0,
+            Inner::Disk { file, .. } => file.on_disk_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RowStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowStore")
+            .field(
+                "backend",
+                &if self.is_memory_resident() {
+                    "memory"
+                } else {
+                    "disk"
+                },
+            )
+            .field("rows", &self.num_rows())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends() -> Vec<StorageBackend> {
+        vec![StorageBackend::Memory, StorageBackend::DiskTemp]
+    }
+
+    #[test]
+    fn put_get_roundtrip_on_all_backends() {
+        for backend in backends() {
+            let mut store = RowStore::with_page_size(backend, 16).unwrap();
+            store.put_row(0, b"hello world, this spans pages").unwrap();
+            store.put_row(7, b"").unwrap();
+            store.put_row(2, &[42u8; 100]).unwrap();
+
+            assert_eq!(store.get_row(0).unwrap(), b"hello world, this spans pages");
+            assert_eq!(store.get_row(7).unwrap(), b"");
+            assert_eq!(store.get_row(2).unwrap(), vec![42u8; 100]);
+            assert_eq!(store.num_rows(), 3);
+            assert!(store.contains_row(7));
+            assert!(!store.contains_row(5));
+            assert!(store.get_row(5).is_err());
+        }
+    }
+
+    #[test]
+    fn overwriting_a_row_returns_latest_value() {
+        for backend in backends() {
+            let mut store = RowStore::with_page_size(backend, 8).unwrap();
+            store.put_row(1, b"old").unwrap();
+            store.put_row(1, b"newer value").unwrap();
+            assert_eq!(store.get_row(1).unwrap(), b"newer value");
+            assert_eq!(store.num_rows(), 1);
+        }
+    }
+
+    #[test]
+    fn rewrite_all_replaces_contents() {
+        for backend in backends() {
+            let mut store = RowStore::with_page_size(backend, 8).unwrap();
+            store.put_row(0, b"aaaa").unwrap();
+            store.put_row(1, b"bbbb").unwrap();
+            let rows: Vec<(usize, &[u8])> = vec![(3, b"cc"), (4, b"dddddddddddd")];
+            store.rewrite_all(rows).unwrap();
+            assert!(!store.contains_row(0));
+            assert_eq!(store.get_row(3).unwrap(), b"cc");
+            assert_eq!(store.get_row(4).unwrap(), b"dddddddddddd");
+            assert_eq!(store.num_rows(), 2);
+        }
+    }
+
+    #[test]
+    fn disk_backend_keeps_payload_out_of_memory() {
+        let mut store = RowStore::with_page_size(StorageBackend::DiskTemp, 64).unwrap();
+        store.put_row(0, &[1u8; 10_000]).unwrap();
+        assert!(store.resident_bytes() < 1_000, "only the index is resident");
+        assert!(store.on_disk_bytes() >= 10_000);
+        assert!(!store.is_memory_resident());
+    }
+
+    #[test]
+    fn memory_backend_reports_resident_payload() {
+        let mut store = RowStore::open(StorageBackend::Memory).unwrap();
+        store.put_row(0, &[1u8; 10_000]).unwrap();
+        assert!(store.resident_bytes() >= 10_000);
+        assert_eq!(store.on_disk_bytes(), 0);
+        assert!(store.is_memory_resident());
+    }
+
+    #[test]
+    fn explicit_disk_location() {
+        let dir = TempDir::new("rowstore-at").unwrap();
+        let path = dir.file("explicit/rows.pages");
+        let mut store = RowStore::with_page_size(StorageBackend::DiskAt(path.clone()), 32).unwrap();
+        store.put_row(0, b"persisted").unwrap();
+        assert!(path.exists());
+        assert_eq!(store.get_row(0).unwrap(), b"persisted");
+    }
+}

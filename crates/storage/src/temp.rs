@@ -1,0 +1,76 @@
+//! Self-cleaning temporary directories for the disk-backed structures.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fsm_types::Result;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory removed when the value is dropped.
+///
+/// The DSMatrix and DSTable spill their window contents here by default so
+/// that tests and benches never leave files behind.  The implementation uses
+/// only the standard library (process id + monotonic counter) to stay within
+/// the approved dependency set.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory under the system temp location.
+    pub fn new(prefix: &str) -> Result<Self> {
+        let unique = format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = std::env::temp_dir().join("streaming-fsm").join(unique);
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Builds a file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failure to clean up must never panic a drop.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_cleaned_up() {
+        let first = TempDir::new("unit").unwrap();
+        let second = TempDir::new("unit").unwrap();
+        assert_ne!(first.path(), second.path());
+        assert!(first.path().is_dir());
+
+        let remembered = first.path().to_path_buf();
+        std::fs::write(first.file("data.bin"), b"contents").unwrap();
+        drop(first);
+        assert!(!remembered.exists(), "directory should be removed on drop");
+        assert!(second.path().is_dir());
+    }
+
+    #[test]
+    fn file_paths_live_inside_the_directory() {
+        let dir = TempDir::new("unit").unwrap();
+        let file = dir.file("rows.bin");
+        assert!(file.starts_with(dir.path()));
+    }
+}

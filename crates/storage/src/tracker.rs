@@ -1,0 +1,214 @@
+//! Per-structure memory accounting for the space-efficiency experiment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A snapshot of the tracker state: current and peak bytes per category plus
+/// the peak of the total across categories.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Current resident bytes per category.
+    pub current: BTreeMap<String, u64>,
+    /// Peak resident bytes per category.
+    pub peak: BTreeMap<String, u64>,
+    /// Peak of the summed resident bytes across all categories.
+    pub total_peak: u64,
+}
+
+impl MemoryReport {
+    /// Peak bytes for one category (0 if never reported).
+    pub fn peak_of(&self, category: &str) -> u64 {
+        self.peak.get(category).copied().unwrap_or(0)
+    }
+
+    /// Current bytes for one category (0 if never reported).
+    pub fn current_of(&self, category: &str) -> u64 {
+        self.current.get(category).copied().unwrap_or(0)
+    }
+
+    /// Sum of current bytes across all categories.
+    pub fn total_current(&self) -> u64 {
+        self.current.values().sum()
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total peak: {} bytes", self.total_peak)?;
+        for (category, peak) in &self.peak {
+            writeln!(
+                f,
+                "  {category}: peak {peak} bytes (now {})",
+                self.current_of(category)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    current: BTreeMap<String, u64>,
+    peak: BTreeMap<String, u64>,
+    total_peak: u64,
+}
+
+impl TrackerState {
+    fn recompute(&mut self, category: &str) {
+        let value = self.current.get(category).copied().unwrap_or(0);
+        let entry = self.peak.entry(category.to_string()).or_insert(0);
+        *entry = (*entry).max(value);
+        let total: u64 = self.current.values().sum();
+        self.total_peak = self.total_peak.max(total);
+    }
+}
+
+/// A cheap, cloneable gauge of resident bytes per structure category.
+///
+/// The mining algorithms report the size of every in-memory structure they
+/// materialise (FP-trees, bit vectors, projected databases); the experiment
+/// harness reads the peak per category after a run.  Estimates are logical
+/// sizes (`node count × node size`), which is exactly the quantity the paper
+/// compares — not allocator slack.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    state: Arc<Mutex<TrackerState>>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with no recorded usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current resident size of `category` to an absolute value.
+    pub fn set(&self, category: &str, bytes: u64) {
+        let mut state = self.state.lock();
+        state.current.insert(category.to_string(), bytes);
+        state.recompute(category);
+    }
+
+    /// Adds `bytes` to the current resident size of `category`.
+    pub fn add(&self, category: &str, bytes: u64) {
+        let mut state = self.state.lock();
+        *state.current.entry(category.to_string()).or_insert(0) += bytes;
+        state.recompute(category);
+    }
+
+    /// Subtracts `bytes` from the current resident size of `category`,
+    /// saturating at zero.
+    pub fn sub(&self, category: &str, bytes: u64) {
+        let mut state = self.state.lock();
+        let entry = state.current.entry(category.to_string()).or_insert(0);
+        *entry = entry.saturating_sub(bytes);
+        state.recompute(category);
+    }
+
+    /// Resets current gauges to zero (peaks are preserved).
+    pub fn clear_current(&self) {
+        let mut state = self.state.lock();
+        for value in state.current.values_mut() {
+            *value = 0;
+        }
+    }
+
+    /// Resets everything, including peaks.
+    pub fn reset(&self) {
+        *self.state.lock() = TrackerState::default();
+    }
+
+    /// Takes a snapshot of the tracker state.
+    pub fn report(&self) -> MemoryReport {
+        let state = self.state.lock();
+        MemoryReport {
+            current: state.current.clone(),
+            peak: state.peak.clone(),
+            total_peak: state.total_peak,
+        }
+    }
+
+    /// Peak bytes observed for one category.
+    pub fn peak_of(&self, category: &str) -> u64 {
+        self.state.lock().peak.get(category).copied().unwrap_or(0)
+    }
+
+    /// Peak of the summed resident bytes across all categories.
+    pub fn total_peak(&self) -> u64 {
+        self.state.lock().total_peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_sub_update_current_and_peak() {
+        let tracker = MemoryTracker::new();
+        tracker.set("fp-tree", 100);
+        tracker.add("fp-tree", 50);
+        tracker.sub("fp-tree", 120);
+        let report = tracker.report();
+        assert_eq!(report.current_of("fp-tree"), 30);
+        assert_eq!(report.peak_of("fp-tree"), 150);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let tracker = MemoryTracker::new();
+        tracker.add("bitvecs", 10);
+        tracker.sub("bitvecs", 100);
+        assert_eq!(tracker.report().current_of("bitvecs"), 0);
+    }
+
+    #[test]
+    fn total_peak_tracks_sum_across_categories() {
+        let tracker = MemoryTracker::new();
+        tracker.set("a", 100);
+        tracker.set("b", 200);
+        tracker.set("a", 0);
+        tracker.set("b", 250);
+        // Peak total was 300 (100 + 200); afterwards only 250.
+        assert_eq!(tracker.total_peak(), 300);
+        assert_eq!(tracker.report().total_current(), 250);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tracker = MemoryTracker::new();
+        let clone = tracker.clone();
+        clone.add("shared", 42);
+        assert_eq!(tracker.peak_of("shared"), 42);
+    }
+
+    #[test]
+    fn clear_current_preserves_peaks_and_reset_wipes_everything() {
+        let tracker = MemoryTracker::new();
+        tracker.set("x", 500);
+        tracker.clear_current();
+        assert_eq!(tracker.report().current_of("x"), 0);
+        assert_eq!(tracker.peak_of("x"), 500);
+        tracker.reset();
+        assert_eq!(tracker.peak_of("x"), 0);
+        assert_eq!(tracker.total_peak(), 0);
+    }
+
+    #[test]
+    fn report_display_mentions_categories() {
+        let tracker = MemoryTracker::new();
+        tracker.set("dsmatrix", 64);
+        let text = tracker.report().to_string();
+        assert!(text.contains("dsmatrix"));
+        assert!(text.contains("64"));
+    }
+
+    #[test]
+    fn unknown_categories_read_as_zero() {
+        let report = MemoryTracker::new().report();
+        assert_eq!(report.peak_of("nope"), 0);
+        assert_eq!(report.current_of("nope"), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the storage substrate.
+
+use fsm_storage::{BitVec, RowStore, StorageBackend};
+use proptest::prelude::*;
+
+proptest! {
+    /// BitVec round-trips through bytes for arbitrary contents.
+    #[test]
+    fn bitvec_byte_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let back = BitVec::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(&v, &back);
+        prop_assert_eq!(v.len(), bits.len());
+        for (i, bit) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), *bit);
+        }
+    }
+
+    /// Popcount equals the number of true inputs, and iter_ones agrees.
+    #[test]
+    fn bitvec_counting_is_exact(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let v = BitVec::from_bools(bits.iter().copied());
+        let expected = bits.iter().filter(|b| **b).count() as u64;
+        prop_assert_eq!(v.count_ones(), expected);
+        prop_assert_eq!(v.iter_ones().count() as u64, expected);
+        let ones: Vec<usize> = v.iter_ones().collect();
+        for w in ones.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Intersection is commutative and `and_count` matches the materialised
+    /// result.
+    #[test]
+    fn bitvec_and_is_commutative(
+        a in proptest::collection::vec(any::<bool>(), 0..200),
+        b in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let va = BitVec::from_bools(a);
+        let vb = BitVec::from_bools(b);
+        prop_assert_eq!(va.and(&vb).count_ones(), vb.and(&va).count_ones());
+        prop_assert_eq!(va.and(&vb).count_ones(), va.and_count(&vb));
+        // Intersection support can never exceed either operand's support.
+        prop_assert!(va.and_count(&vb) <= va.count_ones());
+        prop_assert!(va.and_count(&vb) <= vb.count_ones());
+    }
+
+    /// Dropping a prefix behaves like slicing the boolean sequence.
+    #[test]
+    fn bitvec_drop_prefix_is_slicing(
+        bits in proptest::collection::vec(any::<bool>(), 0..300),
+        n in 0usize..350,
+    ) {
+        let mut v = BitVec::from_bools(bits.iter().copied());
+        v.drop_prefix(n);
+        let expected: Vec<bool> = bits.iter().skip(n).copied().collect();
+        prop_assert_eq!(v.len(), expected.len());
+        for (i, bit) in expected.iter().enumerate() {
+            prop_assert_eq!(v.get(i), *bit, "index {}", i);
+        }
+    }
+
+    /// A RowStore returns exactly what was written, on both backends.
+    #[test]
+    fn rowstore_roundtrip(
+        rows in proptest::collection::btree_map(0usize..32, proptest::collection::vec(any::<u8>(), 0..200), 0..16)
+    ) {
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut store = RowStore::with_page_size(backend, 32).unwrap();
+            for (id, payload) in &rows {
+                store.put_row(*id, payload).unwrap();
+            }
+            prop_assert_eq!(store.num_rows(), rows.len());
+            for (id, payload) in &rows {
+                prop_assert_eq!(&store.get_row(*id).unwrap(), payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Grouping a flat stream of transactions into fixed-size batches.
+
+use fsm_types::{Batch, BatchId, Transaction};
+
+/// Accumulates transactions and emits a [`Batch`] every `batch_size`
+/// transactions, assigning consecutive batch identifiers.
+///
+/// The paper's evaluation sets the batch size to 6 000 records; the running
+/// example uses batches of three graphs.
+#[derive(Debug, Clone)]
+pub struct BatchBuilder {
+    batch_size: usize,
+    next_id: BatchId,
+    pending: Vec<Transaction>,
+}
+
+impl BatchBuilder {
+    /// Creates a builder emitting batches of `batch_size` transactions.
+    ///
+    /// A `batch_size` of zero is treated as one so the builder always makes
+    /// progress.
+    pub fn new(batch_size: usize) -> Self {
+        Self {
+            batch_size: batch_size.max(1),
+            next_id: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Identifier that the next emitted batch will carry.
+    pub fn next_batch_id(&self) -> BatchId {
+        self.next_id
+    }
+
+    /// Adds a transaction; returns a full batch when one completes.
+    pub fn push(&mut self, transaction: Transaction) -> Option<Batch> {
+        self.pending.push(transaction);
+        if self.pending.len() == self.batch_size {
+            Some(self.emit())
+        } else {
+            None
+        }
+    }
+
+    /// Adds many transactions, returning every batch completed along the way.
+    pub fn extend<I>(&mut self, transactions: I) -> Vec<Batch>
+    where
+        I: IntoIterator<Item = Transaction>,
+    {
+        let mut out = Vec::new();
+        for t in transactions {
+            if let Some(batch) = self.push(t) {
+                out.push(batch);
+            }
+        }
+        out
+    }
+
+    /// Emits whatever is pending as a final (possibly short) batch, or `None`
+    /// if nothing is pending.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.emit())
+        }
+    }
+
+    /// Number of transactions waiting for the current batch to fill.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn emit(&mut self) -> Batch {
+        let id = self.next_id;
+        self.next_id += 1;
+        Batch::from_transactions(id, std::mem::take(&mut self.pending))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(n: u32) -> Transaction {
+        Transaction::from_raw([n])
+    }
+
+    #[test]
+    fn batches_fill_to_configured_size() {
+        let mut builder = BatchBuilder::new(3);
+        assert!(builder.push(tx(0)).is_none());
+        assert!(builder.push(tx(1)).is_none());
+        let batch = builder.push(tx(2)).expect("third push completes the batch");
+        assert_eq!(batch.id, 0);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(builder.pending_len(), 0);
+        assert_eq!(builder.next_batch_id(), 1);
+    }
+
+    #[test]
+    fn extend_emits_multiple_batches() {
+        let mut builder = BatchBuilder::new(2);
+        let batches = builder.extend((0..5).map(tx));
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].id, 0);
+        assert_eq!(batches[1].id, 1);
+        assert_eq!(builder.pending_len(), 1);
+        let last = builder.flush().unwrap();
+        assert_eq!(last.id, 2);
+        assert_eq!(last.len(), 1);
+        assert!(builder.flush().is_none());
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_one() {
+        let mut builder = BatchBuilder::new(0);
+        assert_eq!(builder.batch_size(), 1);
+        assert!(builder.push(tx(0)).is_some());
+    }
+}

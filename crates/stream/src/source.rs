@@ -1,0 +1,194 @@
+//! Sources of batches: how a graph stream reaches the mining pipeline.
+
+use std::collections::VecDeque;
+
+use fsm_types::{Batch, EdgeCatalog, GraphSnapshot, Result};
+
+use crate::builder::BatchBuilder;
+
+/// Anything that can produce the next batch of the stream.
+///
+/// Sources are pull-based: the caller (typically the `StreamMiner` facade or
+/// an experiment harness) asks for one batch at a time, mirroring how the
+/// paper "delays" mining until it is requested while batches keep flowing in.
+pub trait GraphStreamSource {
+    /// Produces the next batch, or `Ok(None)` when the stream is exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+}
+
+/// A source over a pre-materialised list of batches.
+#[derive(Debug, Clone, Default)]
+pub struct VecSource {
+    batches: VecDeque<Batch>,
+}
+
+impl VecSource {
+    /// Creates a source that will yield `batches` in order.
+    pub fn new(batches: Vec<Batch>) -> Self {
+        Self {
+            batches: batches.into(),
+        }
+    }
+
+    /// Number of batches not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+impl GraphStreamSource for VecSource {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        Ok(self.batches.pop_front())
+    }
+}
+
+/// A source that converts raw [`GraphSnapshot`]s into edge transactions using
+/// an [`EdgeCatalog`], grouping them into fixed-size batches.
+///
+/// This is the path linked-data and generator output takes: snapshots arrive
+/// as vertex pairs, the catalog interns each pair to its canonical edge
+/// symbol, and a [`BatchBuilder`] groups the resulting transactions.
+#[derive(Debug, Clone)]
+pub struct SnapshotSource {
+    snapshots: VecDeque<GraphSnapshot>,
+    catalog: EdgeCatalog,
+    builder: BatchBuilder,
+    done: bool,
+}
+
+impl SnapshotSource {
+    /// Creates a source over `snapshots` with a fresh catalog.
+    pub fn new(snapshots: Vec<GraphSnapshot>, batch_size: usize) -> Self {
+        Self::with_catalog(snapshots, batch_size, EdgeCatalog::new())
+    }
+
+    /// Creates a source over `snapshots` with a pre-populated catalog (fixed
+    /// edge vocabulary).
+    pub fn with_catalog(
+        snapshots: Vec<GraphSnapshot>,
+        batch_size: usize,
+        catalog: EdgeCatalog,
+    ) -> Self {
+        Self {
+            snapshots: snapshots.into(),
+            catalog,
+            builder: BatchBuilder::new(batch_size),
+            done: false,
+        }
+    }
+
+    /// The catalog as populated so far (grows as snapshots are consumed).
+    pub fn catalog(&self) -> &EdgeCatalog {
+        &self.catalog
+    }
+}
+
+impl GraphStreamSource for SnapshotSource {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        while let Some(snapshot) = self.snapshots.pop_front() {
+            let transaction = snapshot.intern_into(&mut self.catalog);
+            if let Some(batch) = self.builder.push(transaction) {
+                return Ok(Some(batch));
+            }
+        }
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        Ok(self.builder.flush())
+    }
+}
+
+/// Iterator adapter over any source, stopping at the first error.
+pub struct BatchIter<S> {
+    source: S,
+    failed: bool,
+}
+
+impl<S: GraphStreamSource> BatchIter<S> {
+    /// Wraps a source into an iterator of batches.
+    pub fn new(source: S) -> Self {
+        Self {
+            source,
+            failed: false,
+        }
+    }
+}
+
+impl<S: GraphStreamSource> Iterator for BatchIter<S> {
+    type Item = Result<Batch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.source.next_batch() {
+            Ok(Some(batch)) => Some(Ok(batch)),
+            Ok(None) => None,
+            Err(err) => {
+                self.failed = true;
+                Some(Err(err))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::Transaction;
+
+    #[test]
+    fn vec_source_yields_batches_in_order() {
+        let batches = vec![
+            Batch::from_transactions(0, vec![Transaction::from_raw([0])]),
+            Batch::from_transactions(1, vec![Transaction::from_raw([1])]),
+        ];
+        let mut source = VecSource::new(batches);
+        assert_eq!(source.remaining(), 2);
+        assert_eq!(source.next_batch().unwrap().unwrap().id, 0);
+        assert_eq!(source.next_batch().unwrap().unwrap().id, 1);
+        assert!(source.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn snapshot_source_interns_and_batches() {
+        // The first two batches of the paper's running example.
+        let snapshots: Vec<GraphSnapshot> = vec![
+            GraphSnapshot::from_pairs([(1, 4), (2, 3), (3, 4)]),
+            GraphSnapshot::from_pairs([(1, 2), (2, 4), (3, 4)]),
+            GraphSnapshot::from_pairs([(1, 2), (1, 4), (3, 4)]),
+            GraphSnapshot::from_pairs([(1, 2), (1, 4), (2, 3), (3, 4)]),
+        ];
+        let catalog = EdgeCatalog::complete(4);
+        let mut source = SnapshotSource::with_catalog(snapshots, 3, catalog);
+        let first = source.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first.transactions()[0].to_string(), "{c,d,f}");
+        assert_eq!(first.transactions()[1].to_string(), "{a,e,f}");
+        let second = source.next_batch().unwrap().unwrap();
+        assert_eq!(second.len(), 1, "flush emits the final short batch");
+        assert!(source.next_batch().unwrap().is_none());
+    }
+
+    #[test]
+    fn snapshot_source_grows_catalog_when_not_preseeded() {
+        let snapshots = vec![GraphSnapshot::from_pairs([(1, 2), (5, 9)])];
+        let mut source = SnapshotSource::new(snapshots, 1);
+        let batch = source.next_batch().unwrap().unwrap();
+        assert_eq!(batch.transactions()[0].len(), 2);
+        assert_eq!(source.catalog().num_edges(), 2);
+    }
+
+    #[test]
+    fn batch_iter_collects_everything() {
+        let batches = vec![
+            Batch::from_transactions(0, vec![Transaction::from_raw([0])]),
+            Batch::from_transactions(1, vec![Transaction::from_raw([1])]),
+        ];
+        let collected: Vec<Batch> = BatchIter::new(VecSource::new(batches))
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(collected.len(), 2);
+    }
+}

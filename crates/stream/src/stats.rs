@@ -1,0 +1,150 @@
+//! Running statistics over a graph stream.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fsm_types::{Batch, EdgeId};
+
+/// Aggregate statistics of the batches observed so far.
+///
+/// The experiment harness uses these to characterise generated workloads the
+/// same way the paper characterises connect4 ("67,557 records with an average
+/// transaction length of 43 items, and a domain of 130 items") and to verify
+/// that synthetic substitutes match the intended density profile.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    batches: usize,
+    transactions: usize,
+    edge_occurrences: usize,
+    max_transaction_len: usize,
+    distinct_edges: BTreeSet<EdgeId>,
+}
+
+impl StreamStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one batch into the statistics.
+    pub fn observe_batch(&mut self, batch: &Batch) {
+        self.batches += 1;
+        self.transactions += batch.len();
+        for t in batch.iter() {
+            self.edge_occurrences += t.len();
+            self.max_transaction_len = self.max_transaction_len.max(t.len());
+            self.distinct_edges.extend(t.iter());
+        }
+    }
+
+    /// Convenience: folds every batch of a slice.
+    pub fn observe_all<'a, I>(&mut self, batches: I)
+    where
+        I: IntoIterator<Item = &'a Batch>,
+    {
+        for b in batches {
+            self.observe_batch(b);
+        }
+    }
+
+    /// Number of batches observed.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Number of transactions observed.
+    pub fn transactions(&self) -> usize {
+        self.transactions
+    }
+
+    /// Number of distinct edge symbols observed (the domain size `m`).
+    pub fn distinct_edges(&self) -> usize {
+        self.distinct_edges.len()
+    }
+
+    /// Mean transaction length.
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            self.edge_occurrences as f64 / self.transactions as f64
+        }
+    }
+
+    /// Longest transaction seen.
+    pub fn max_transaction_len(&self) -> usize {
+        self.max_transaction_len
+    }
+
+    /// Density: mean fraction of the domain present in a transaction.
+    ///
+    /// Dense streams (connect4-like) approach 0.3+, sparse ones stay below
+    /// a few percent; the paper's DSTable-vs-DSMatrix argument hinges on this.
+    pub fn density(&self) -> f64 {
+        if self.distinct_edges.is_empty() {
+            0.0
+        } else {
+            self.avg_transaction_len() / self.distinct_edges.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batches, {} transactions, {} distinct edges, avg len {:.2}, density {:.3}",
+            self.batches,
+            self.transactions,
+            self.distinct_edges(),
+            self.avg_transaction_len(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_types::Transaction;
+
+    #[test]
+    fn statistics_aggregate_across_batches() {
+        let b0 = Batch::from_transactions(
+            0,
+            vec![
+                Transaction::from_raw([0, 1, 2]),
+                Transaction::from_raw([0, 3]),
+            ],
+        );
+        let b1 = Batch::from_transactions(1, vec![Transaction::from_raw([4, 5, 6, 7])]);
+        let mut stats = StreamStats::new();
+        stats.observe_all([&b0, &b1]);
+        assert_eq!(stats.batches(), 2);
+        assert_eq!(stats.transactions(), 3);
+        assert_eq!(stats.distinct_edges(), 8);
+        assert_eq!(stats.max_transaction_len(), 4);
+        assert!((stats.avg_transaction_len() - 3.0).abs() < 1e-9);
+        assert!((stats.density() - 3.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_statistics_are_well_defined() {
+        let stats = StreamStats::new();
+        assert_eq!(stats.avg_transaction_len(), 0.0);
+        assert_eq!(stats.density(), 0.0);
+        assert_eq!(stats.transactions(), 0);
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let mut stats = StreamStats::new();
+        stats.observe_batch(&Batch::from_transactions(
+            0,
+            vec![Transaction::from_raw([0, 1])],
+        ));
+        let text = stats.to_string();
+        assert!(text.contains("1 batches"));
+        assert!(text.contains("2 distinct edges"));
+    }
+}

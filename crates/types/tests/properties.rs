@@ -1,0 +1,100 @@
+//! Property-based tests for the core type invariants.
+
+use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, MinSup, Transaction, VertexId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transactions are always sorted and duplicate-free regardless of input.
+    #[test]
+    fn transaction_is_canonical(raw in proptest::collection::vec(0u32..64, 0..40)) {
+        let t = Transaction::from_raw(raw.clone());
+        let edges = t.edges();
+        for w in edges.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly ascending: {:?}", edges);
+        }
+        for r in raw {
+            prop_assert!(t.contains(EdgeId::new(r)));
+        }
+    }
+
+    /// `suffix_after` returns exactly the members strictly greater than the pivot.
+    #[test]
+    fn suffix_after_is_strictly_greater(
+        raw in proptest::collection::vec(0u32..64, 0..40),
+        pivot in 0u32..64,
+    ) {
+        let t = Transaction::from_raw(raw);
+        let pivot = EdgeId::new(pivot);
+        let suffix = t.suffix_after(pivot);
+        for e in suffix {
+            prop_assert!(*e > pivot);
+        }
+        let expected: Vec<EdgeId> = t.iter().filter(|e| *e > pivot).collect();
+        prop_assert_eq!(suffix, expected.as_slice());
+    }
+
+    /// Edge sets behave as mathematical sets: insertion order is irrelevant.
+    #[test]
+    fn edge_set_is_order_insensitive(mut raw in proptest::collection::vec(0u32..64, 0..20)) {
+        let forward = EdgeSet::from_raw(raw.clone());
+        raw.reverse();
+        let backward = EdgeSet::from_raw(raw);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Interning the same pairs in any order yields identical neighbourhood
+    /// structure sizes (ids may differ, adjacency must not).
+    #[test]
+    fn catalog_adjacency_is_consistent(pairs in proptest::collection::vec((1u32..8, 1u32..8), 1..20)) {
+        let mut cat = EdgeCatalog::new();
+        let ids: Vec<EdgeId> = pairs
+            .iter()
+            .map(|&(u, v)| cat.intern(VertexId::new(u), VertexId::new(v)))
+            .collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let (au, av) = cat.endpoints(a).unwrap();
+                let (bu, bv) = cat.endpoints(b).unwrap();
+                let share = a != b && (au == bu || au == bv || av == bu || av == bv);
+                prop_assert_eq!(cat.are_adjacent(a, b), share);
+                // neighbors() must be consistent with are_adjacent().
+                let in_list = cat.neighbors(a).unwrap().contains(&b);
+                prop_assert_eq!(in_list, share);
+            }
+        }
+    }
+
+    /// The exact union-find connectivity check implies the paper's §3.5 rule
+    /// (the rule is a necessary condition).
+    #[test]
+    fn exact_connectivity_implies_paper_rule(
+        pairs in proptest::collection::vec((1u32..7, 1u32..7), 1..12),
+        pick in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut cat = EdgeCatalog::new();
+        let ids: Vec<EdgeId> = pairs
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| cat.intern(VertexId::new(u), VertexId::new(v)))
+            .collect();
+        let chosen: Vec<EdgeId> = ids
+            .iter()
+            .zip(pick.iter())
+            .filter_map(|(id, keep)| keep.then_some(*id))
+            .collect();
+        let set = EdgeSet::from_edges(chosen);
+        if set.is_connected(&cat) {
+            prop_assert!(set.is_connected_paper_rule(&cat));
+        }
+    }
+
+    /// MinSup resolution is monotone in the window size and never below one.
+    #[test]
+    fn minsup_resolution_is_sane(fraction in 0.0f64..1.0, small in 1usize..500, grow in 0usize..500) {
+        let ms = MinSup::relative(fraction);
+        let large = small + grow;
+        prop_assert!(ms.resolve(small) >= 1);
+        prop_assert!(ms.resolve(large) >= ms.resolve(small));
+        prop_assert!(ms.resolve(large) <= large as u64);
+    }
+}

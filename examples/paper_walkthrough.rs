@@ -1,0 +1,97 @@
+//! A faithful walkthrough of the paper's running example (Figure 1,
+//! Examples 1–7).
+//!
+//! The nine graphs over vertices v1..v4 arrive in batches of three with a
+//! sliding window of two batches.  The example prints the DSMatrix contents
+//! before and after the window slides (Example 1), the 17 collections of
+//! frequent edges every post-processing algorithm finds (Examples 2–5), and
+//! the 15 connected subgraphs that remain after pruning (Examples 6–7).
+//!
+//! Run with: `cargo run --example paper_walkthrough`
+
+use streaming_fsm::core::{Algorithm, StreamMinerBuilder};
+use streaming_fsm::dsmatrix::{DsMatrix, DsMatrixConfig};
+use streaming_fsm::storage::StorageBackend;
+use streaming_fsm::stream::WindowConfig;
+use streaming_fsm::types::{Batch, EdgeCatalog, EdgeId, GraphSnapshot, MinSup};
+
+fn figure_1_stream() -> Vec<GraphSnapshot> {
+    vec![
+        GraphSnapshot::from_pairs([(1, 4), (2, 3), (3, 4)]), // E1 = {c,d,f}
+        GraphSnapshot::from_pairs([(1, 2), (2, 4), (3, 4)]), // E2 = {a,e,f}
+        GraphSnapshot::from_pairs([(1, 2), (1, 4), (3, 4)]), // E3 = {a,c,f}
+        GraphSnapshot::from_pairs([(1, 2), (1, 4), (2, 3), (3, 4)]), // E4 = {a,c,d,f}
+        GraphSnapshot::from_pairs([(1, 2), (2, 3), (2, 4), (3, 4)]), // E5 = {a,d,e,f}
+        GraphSnapshot::from_pairs([(1, 2), (1, 3), (1, 4)]), // E6 = {a,b,c}
+        GraphSnapshot::from_pairs([(1, 2), (1, 4), (3, 4)]), // E7 = {a,c,f}
+        GraphSnapshot::from_pairs([(1, 2), (1, 4), (2, 3), (3, 4)]), // E8 = {a,c,d,f}
+        GraphSnapshot::from_pairs([(1, 3), (1, 4), (2, 3)]), // E9 = {b,c,d}
+    ]
+}
+
+fn print_matrix(matrix: &mut DsMatrix, label: &str) {
+    println!("DSMatrix ({label}):");
+    println!("  Boundaries: {:?}", matrix.boundaries());
+    for row in 0..matrix.num_items() {
+        let edge = EdgeId::new(row as u32);
+        let bits = matrix.row(edge).expect("row");
+        let rendered: String = (0..bits.len())
+            .map(|i| if bits.get(i) { '1' } else { '0' })
+            .collect();
+        println!("  Row {}: {rendered}", edge.symbol());
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = EdgeCatalog::complete(4);
+    let stream = figure_1_stream();
+
+    // ------------------------------------------------------------------
+    // Example 1: the DSMatrix before and after the window slides.
+    // ------------------------------------------------------------------
+    let mut matrix = DsMatrix::new(DsMatrixConfig::new(
+        WindowConfig::new(2)?,
+        StorageBackend::Memory,
+        catalog.num_edges(),
+    ))?;
+    let mut batches: Vec<Batch> = Vec::new();
+    for (i, chunk) in stream.chunks(3).enumerate() {
+        let transactions = chunk
+            .iter()
+            .map(|g| g.to_transaction(&catalog))
+            .collect::<Result<Vec<_>, _>>()?;
+        batches.push(Batch::from_transactions(i as u64, transactions));
+    }
+    matrix.ingest_batch(&batches[0])?;
+    matrix.ingest_batch(&batches[1])?;
+    print_matrix(&mut matrix, "capturing E1–E6, end of time T6");
+    matrix.ingest_batch(&batches[2])?;
+    print_matrix(&mut matrix, "capturing E4–E9, end of time T9");
+
+    // ------------------------------------------------------------------
+    // Examples 2–5: the post-processing algorithms find 17 collections of
+    // frequent edges; Examples 6: two of them are disjoint and pruned.
+    // ------------------------------------------------------------------
+    for algorithm in [Algorithm::Vertical, Algorithm::DirectVertical] {
+        let mut miner = StreamMinerBuilder::new()
+            .algorithm(algorithm)
+            .window_batches(2)
+            .min_support(MinSup::absolute(2))
+            .catalog(catalog.clone())
+            .build()?;
+        for batch in &batches {
+            miner.ingest_batch(batch)?;
+        }
+        let result = miner.mine()?;
+        println!("=== {algorithm} ===");
+        println!(
+            "collections before the connectivity filter: {}",
+            result.stats().patterns_before_postprocess
+        );
+        println!("pruned as disjoint: {}", result.stats().patterns_pruned);
+        println!("{result}");
+    }
+    println!("Both algorithms return the same 15 frequent connected subgraphs; the direct algorithm never generates the disjoint {{a,f}} and {{c,d}} in the first place (Example 7).");
+    Ok(())
+}
