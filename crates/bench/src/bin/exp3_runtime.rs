@@ -7,16 +7,39 @@
 //! figure, while this binary prints the full table across all algorithms.
 
 use fsm_bench::report::{markdown_table, millis};
-use fsm_bench::{run_algorithm_on, run_baselines_on, Workload};
+use fsm_bench::{run_algorithm_on, run_algorithm_threaded, run_baselines_on, Workload};
 use fsm_core::Algorithm;
 use fsm_storage::StorageBackend;
 use fsm_types::MinSup;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1usize);
+    let mut scale = None;
+    let mut threads = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = if arg == "--threads" {
+            args.next().and_then(|s| s.parse().ok()).map(|n| {
+                // Resolve "all cores" up front so the report names the real
+                // worker count.
+                threads = if n == 0 {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                } else {
+                    n
+                };
+            })
+        } else if scale.is_none() {
+            arg.parse().ok().map(|n| scale = Some(n))
+        } else {
+            None
+        };
+        if parsed.is_none() {
+            eprintln!("usage: exp3_runtime [SCALE] [--threads N]");
+            std::process::exit(2);
+        }
+    }
+    let scale = scale.unwrap_or(1);
     let window = 5;
     let max_len = Some(4);
     let repeats = 3;
@@ -97,6 +120,93 @@ fn main() {
             } else {
                 "see Criterion bench for the statistically robust comparison"
             }
+        );
+    }
+
+    parallel_scaling(scale, threads, window, max_len, repeats);
+}
+
+/// Parallel-scaling run: the two vertical algorithms at 1 worker versus
+/// `threads` workers over the same captured windows.
+///
+/// The pattern cap is two deeper than the main table's so that the
+/// enumeration (the parallel region) dominates the mining call rather than
+/// row loading and post-processing.
+fn parallel_scaling(
+    scale: usize,
+    threads: usize,
+    window: usize,
+    max_len: Option<usize>,
+    repeats: u32,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_len = max_len.map(|m| m + 2);
+    println!("# Parallel scaling — vertical engines at {threads} threads vs 1\n");
+    println!("available cores: {cores}");
+    if cores < threads {
+        println!(
+            "note: only {cores} core(s) visible to this process — speedup is \
+             bounded by hardware, not by the engine; re-run on a multi-core \
+             host for the real curve"
+        );
+    }
+    println!();
+    for workload in Workload::standard_suite(scale) {
+        let minsup = match workload.kind {
+            fsm_bench::WorkloadKind::Dense => MinSup::relative(0.15),
+            _ => MinSup::relative(0.03),
+        };
+        println!("## {} ({})\n", workload.name, workload.stats());
+        let mut rows = Vec::new();
+        for algorithm in [Algorithm::Vertical, Algorithm::DirectVertical] {
+            let timing = |workers: usize| {
+                let mut total = std::time::Duration::ZERO;
+                let mut patterns = 0;
+                for _ in 0..repeats {
+                    let run = run_algorithm_threaded(
+                        &workload,
+                        algorithm,
+                        window,
+                        minsup,
+                        max_len,
+                        StorageBackend::Memory,
+                        workers,
+                    )
+                    .expect("run");
+                    total += run.mining_time;
+                    patterns = run.patterns;
+                }
+                (total / repeats, patterns)
+            };
+            let (sequential, patterns_seq) = timing(1);
+            let (parallel, patterns_par) = timing(threads);
+            assert_eq!(
+                patterns_seq, patterns_par,
+                "parallel run must find identical patterns"
+            );
+            let speedup = sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                algorithm.key().to_string(),
+                millis(sequential),
+                millis(parallel),
+                format!("{speedup:.2}x"),
+                patterns_par.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "miner",
+                    "mine ms (1 thread)",
+                    &format!("mine ms ({threads} threads)"),
+                    "speedup",
+                    "patterns"
+                ],
+                &rows
+            )
         );
     }
 }

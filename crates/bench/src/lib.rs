@@ -12,5 +12,5 @@ pub mod runner;
 pub mod workloads;
 
 pub use report::{markdown_table, Row};
-pub use runner::{run_algorithm_on, run_baselines_on, AlgorithmRun};
+pub use runner::{run_algorithm_on, run_algorithm_threaded, run_baselines_on, AlgorithmRun};
 pub use workloads::{Workload, WorkloadKind};

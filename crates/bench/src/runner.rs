@@ -37,7 +37,8 @@ pub struct AlgorithmRun {
     pub result: MiningResult,
 }
 
-/// Runs one of the five DSMatrix algorithms over a workload.
+/// Runs one of the five DSMatrix algorithms over a workload (sequentially;
+/// see [`run_algorithm_threaded`] for the parallel engine).
 pub fn run_algorithm_on(
     workload: &Workload,
     algorithm: Algorithm,
@@ -46,11 +47,27 @@ pub fn run_algorithm_on(
     max_len: Option<usize>,
     backend: StorageBackend,
 ) -> Result<AlgorithmRun> {
+    run_algorithm_threaded(workload, algorithm, window, minsup, max_len, backend, 1)
+}
+
+/// Runs one of the five DSMatrix algorithms over a workload with an explicit
+/// worker-thread count for the vertical algorithms (`0` = all cores).
+#[allow(clippy::too_many_arguments)]
+pub fn run_algorithm_threaded(
+    workload: &Workload,
+    algorithm: Algorithm,
+    window: usize,
+    minsup: MinSup,
+    max_len: Option<usize>,
+    backend: StorageBackend,
+    threads: usize,
+) -> Result<AlgorithmRun> {
     let mut builder = StreamMinerBuilder::new()
         .algorithm(algorithm)
         .window_batches(window)
         .min_support(minsup)
         .backend(backend)
+        .threads(threads)
         .catalog(workload.catalog.clone());
     if let Some(max) = max_len {
         builder = builder.max_pattern_len(max);

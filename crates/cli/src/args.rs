@@ -51,6 +51,8 @@ pub struct Options {
     /// For N-Triples input: group triples into one graph per N statements
     /// (`None` means group by subject).
     pub group_size: Option<usize>,
+    /// Worker threads for the vertical algorithms (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -67,6 +69,7 @@ impl Default for Options {
             output: OutputKind::All,
             csv: false,
             group_size: None,
+            threads: 1,
         }
     }
 }
@@ -87,6 +90,8 @@ OPTIONS:
   --window <N>          sliding window size in batches     (default: 5)
   --batch-size <N>      transactions per batch             (default: 1000)
   --max-len <N>         cap on pattern cardinality
+  --threads <N>         worker threads for the vertical algorithms
+                        (0 = all cores, default: 1)
   --top-k <N>           report only the k best-supported patterns
   --closed | --maximal  condensed output
   --csv                 emit CSV (edges,support) instead of text
@@ -144,6 +149,7 @@ pub fn parse(args: &[String]) -> Result<Options> {
                 options.batch_size = parse_number(&value("--batch-size")?, "--batch-size")?
             }
             "--max-len" => options.max_len = Some(parse_number(&value("--max-len")?, "--max-len")?),
+            "--threads" => options.threads = parse_number(&value("--threads")?, "--threads")?,
             "--top-k" => options.top_k = Some(parse_number(&value("--top-k")?, "--top-k")?),
             "--group-size" => {
                 options.group_size = Some(parse_number(&value("--group-size")?, "--group-size")?)
@@ -213,7 +219,8 @@ mod tests {
     fn every_flag_is_parsed() {
         let options = parse(&to_args(
             "mine --input log.nt --algorithm vertical --minsup 0.1 --window 3 \
-             --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6",
+             --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6 \
+             --threads 4",
         ))
         .unwrap();
         assert_eq!(options.format, InputFormat::NTriples, "inferred from .nt");
@@ -226,6 +233,7 @@ mod tests {
         assert_eq!(options.output, OutputKind::Closed);
         assert!(options.csv);
         assert_eq!(options.group_size, Some(6));
+        assert_eq!(options.threads, 4);
     }
 
     #[test]

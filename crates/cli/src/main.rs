@@ -57,6 +57,7 @@ fn run(options: &Options) -> Result<()> {
         .algorithm(options.algorithm)
         .window_batches(options.window)
         .min_support(options.minsup)
+        .threads(options.threads)
         .catalog(catalog.clone());
     if let Some(max) = options.max_len {
         builder = builder.max_pattern_len(max);

@@ -28,6 +28,12 @@ pub struct MinerConfig {
     /// from ingested graph snapshots (and mining transactions directly
     /// requires edges the catalog already knows).
     pub catalog: Option<EdgeCatalog>,
+    /// Worker threads for the vertical algorithms' top-level fan-out.
+    ///
+    /// `1` (the default) mines sequentially; `0` uses every available core;
+    /// any other value pins the worker count.  Results are identical for
+    /// every setting — subtrees merge back in canonical order.
+    pub threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -40,6 +46,7 @@ impl Default for MinerConfig {
             limits: MiningLimits::UNBOUNDED,
             backend: StorageBackend::default(),
             catalog: None,
+            threads: 1,
         }
     }
 }
@@ -107,6 +114,13 @@ impl StreamMinerBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the vertical algorithms (`0` = all
+    /// available cores, `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Provides the edge vocabulary up front.
     pub fn catalog(mut self, catalog: EdgeCatalog) -> Self {
         self.config.catalog = Some(catalog);
@@ -152,6 +166,7 @@ mod tests {
             .connectivity(ConnectivityMode::PaperRule)
             .max_pattern_len(3)
             .backend(StorageBackend::Memory)
+            .threads(4)
             .complete_graph_vertices(4)
             .build()
             .unwrap();
@@ -160,6 +175,7 @@ mod tests {
         assert_eq!(config.window.window_batches, 3);
         assert_eq!(config.connectivity, ConnectivityMode::PaperRule);
         assert_eq!(config.limits.max_pattern_len, Some(3));
+        assert_eq!(config.threads, 4);
         assert_eq!(miner.catalog().num_edges(), 6);
     }
 

@@ -39,6 +39,27 @@ pub struct MiningStats {
 }
 
 impl MiningStats {
+    /// Folds the statistics of a subtree mined by a parallel worker into this
+    /// accumulator: work counters (`intersections`, tree totals, pattern
+    /// counts) add, peaks and window-level quantities take the maximum.
+    ///
+    /// Merging in any order yields the same result, so the parallel engine
+    /// stays deterministic regardless of worker scheduling.
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.tree_footprint.merge_sequential(&other.tree_footprint);
+        self.intersections += other.intersections;
+        self.peak_bitvector_bytes = self.peak_bitvector_bytes.max(other.peak_bitvector_bytes);
+        self.patterns_before_postprocess += other.patterns_before_postprocess;
+        self.patterns_pruned += other.patterns_pruned;
+        self.capture_resident_bytes = self
+            .capture_resident_bytes
+            .max(other.capture_resident_bytes);
+        self.capture_on_disk_bytes = self.capture_on_disk_bytes.max(other.capture_on_disk_bytes);
+        self.window_transactions = self.window_transactions.max(other.window_transactions);
+        self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
+    }
+
     /// Peak working-set estimate of the mining step itself (trees or bit
     /// vectors, whichever the algorithm uses).
     pub fn peak_mining_bytes(&self) -> usize {
@@ -97,6 +118,29 @@ mod tests {
             ..MiningStats::default()
         };
         assert_eq!(stats.patterns_after_postprocess(), 15);
+    }
+
+    #[test]
+    fn merge_adds_work_and_maxes_peaks() {
+        let mut a = MiningStats {
+            intersections: 10,
+            peak_bitvector_bytes: 100,
+            patterns_before_postprocess: 3,
+            window_transactions: 6,
+            ..MiningStats::default()
+        };
+        let b = MiningStats {
+            intersections: 5,
+            peak_bitvector_bytes: 400,
+            patterns_before_postprocess: 2,
+            window_transactions: 6,
+            ..MiningStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.intersections, 15);
+        assert_eq!(a.peak_bitvector_bytes, 400);
+        assert_eq!(a.patterns_before_postprocess, 5);
+        assert_eq!(a.window_transactions, 6);
     }
 
     #[test]

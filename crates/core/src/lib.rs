@@ -38,6 +38,30 @@
 //! | [`Algorithm::TopDown`] | §3.3 | one FP-tree per frequent edge, top-down mining |
 //! | [`Algorithm::Vertical`] | §3.4 + §3.5 | bit-vector intersections, post-processing |
 //! | [`Algorithm::DirectVertical`] | §4 | neighbourhood-guided bit-vector intersections |
+//!
+//! # Execution engine
+//!
+//! The two vertical algorithms run on a zero-allocation, optionally
+//! multi-threaded engine:
+//!
+//! * **Threading model** — the top-level enumeration (one subtree per
+//!   frequent single edge) fans out over scoped worker threads with dynamic
+//!   load balancing ([`parallel`]).  Configure it with
+//!   [`StreamMinerBuilder::threads`] / [`MinerConfig::threads`]: `1`
+//!   (default) is sequential, `0` uses every available core.  Subtree results
+//!   merge back in canonical edge order ([`MiningStats::merge`]), so pattern
+//!   lists and statistics are byte-identical for every thread count.
+//! * **Scratch-arena lifetimes** — each worker owns a
+//!   [`scratch::ScratchArena`] for the duration of one mining call: one
+//!   intersection buffer per recursion depth, created the first time the
+//!   depth is reached and reused by every sibling subtree at that depth.
+//!   Buffers move out of the arena while a recursion level is live and move
+//!   back when it completes, so holding a buffer never blocks deeper levels.
+//! * **Allocation discipline** — candidates are screened with the fused
+//!   [`fsm_storage::BitVec::and_count`] kernel before any materialisation;
+//!   only candidates that meet the support threshold write into a scratch
+//!   buffer (via [`fsm_storage::BitVec::and_into`]).  Infrequent candidates
+//!   therefore cost one popcount pass and zero allocations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,8 +75,10 @@ pub mod miner;
 pub mod miners;
 pub mod neighborhood;
 pub mod oracle;
+pub mod parallel;
 pub mod postprocess;
 pub mod result;
+pub mod scratch;
 
 pub use algorithm::{Algorithm, ConnectivityMode};
 pub use baseline::{mine_dstable, mine_dstree, BaselineStructure};
@@ -63,3 +89,4 @@ pub use miner::StreamMiner;
 pub use neighborhood::{neighborhood_of_set, Neighborhood};
 pub use postprocess::{closed_patterns, maximal_patterns, top_k};
 pub use result::MiningResult;
+pub use scratch::ScratchArena;

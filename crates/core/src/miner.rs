@@ -113,6 +113,7 @@ impl StreamMiner {
             &self.catalog,
             resolved,
             self.config.limits,
+            self.config.threads,
         )?;
 
         if self.config.algorithm.needs_postprocessing() {

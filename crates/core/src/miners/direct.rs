@@ -7,8 +7,10 @@ use fsm_fptree::MiningLimits;
 use fsm_storage::BitVec;
 use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
-use super::RawMiningOutput;
+use super::{Bytes, RawMiningOutput};
 use crate::neighborhood::Neighborhood;
+use crate::parallel;
+use crate::scratch::ScratchArena;
 
 /// Mines frequent connected subgraphs directly, without a post-processing
 /// step, by only intersecting the bit vectors of *neighbouring* edges.
@@ -22,11 +24,18 @@ use crate::neighborhood::Neighborhood;
 /// absorbed must be the edge we are about to add.  Example 7's run is exactly
 /// this sequence of intersections (e.g. `{c,d,f}` is reached from `{c,f}` by
 /// adding `d`, never from `{c,d}`, which is not connected).
+///
+/// Like [`crate::miners::vertical::mine_vertical`], the hot loop is
+/// allocation-free: candidates are screened with the fused
+/// [`BitVec::and_count`] kernel and surviving intersections land in per-depth
+/// [`ScratchArena`] buffers, while the fan-out over frequent single edges
+/// runs on `threads` workers (`0` = all cores) and merges deterministically.
 pub fn mine_direct(
     matrix: &mut DsMatrix,
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
@@ -44,25 +53,43 @@ pub fn mine_direct(
     let base_bytes: usize = rows.values().map(BitVec::heap_bytes).sum();
     output.stats.peak_bitvector_bytes = base_bytes;
 
-    for &(edge, support) in &frequent {
-        output
-            .patterns
+    // Singletons are patterns of length 1 and obey the same cardinality cap
+    // as everything else.
+    if !limits.allows(1) {
+        return Ok(output);
+    }
+
+    let worker = |scratch: &mut ScratchArena, idx: usize| -> Result<RawMiningOutput> {
+        let (edge, support) = frequent[idx];
+        let mut sub = RawMiningOutput::default();
+        sub.patterns
             .push(FrequentPattern::new(EdgeSet::singleton(edge), support));
         if !limits.allows(2) || edge.index() >= catalog.num_edges() {
-            continue;
+            return Ok(sub);
         }
         let neighborhood = Neighborhood::of_edge(catalog, edge)?;
-        let vector = rows[&edge].clone();
         grow(
             catalog,
             &rows,
             &neighborhood,
-            &vector,
+            &rows[&edge],
             minsup,
             limits,
-            base_bytes,
-            &mut output,
+            Bytes {
+                base: base_bytes,
+                ancestors: 0,
+            },
+            scratch,
+            &mut sub,
         )?;
+        Ok(sub)
+    };
+
+    // Each worker owns one scratch arena for all the subtrees it processes,
+    // so intersection buffers are allocated once per worker per depth.
+    let threads = parallel::effective_threads(threads, frequent.len());
+    for sub in parallel::run_indexed_stateful(frequent.len(), threads, ScratchArena::new, worker) {
+        output.merge(sub?);
     }
 
     output.stats.patterns_before_postprocess = output.patterns.len();
@@ -79,10 +106,13 @@ fn grow(
     vector: &BitVec,
     minsup: Support,
     limits: MiningLimits,
-    base_bytes: usize,
+    bytes: Bytes,
+    scratch: &mut ScratchArena,
     output: &mut RawMiningOutput,
 ) -> Result<()> {
     let members = neighborhood.members();
+    let depth = members.len();
+    let mut buffer = scratch.take(depth);
     for &candidate in neighborhood.neighbors() {
         // Only frequent edges are ever intersected ("the algorithm only
         // intersects vectors of frequent edges").
@@ -93,31 +123,41 @@ fn grow(
             continue;
         }
         output.stats.intersections += 1;
-        let intersection = vector.and(row);
-        let support = intersection.count_ones();
+        // Fused popcount screen: infrequent candidates never materialise.
+        let support = vector.and_count(row);
         if support < minsup {
             continue;
         }
+        let written = vector.and_into(row, &mut buffer);
+        debug_assert_eq!(written, support);
         let next = neighborhood.extend(catalog, candidate)?;
         output.patterns.push(FrequentPattern::new(
             EdgeSet::from_edges(next.members().iter().copied()),
             support,
         ));
-        let depth_bytes = base_bytes + next.members().len() * intersection.heap_bytes();
-        output.stats.peak_bitvector_bytes = output.stats.peak_bitvector_bytes.max(depth_bytes);
+        // Working set: the frequent rows plus the intersection buffer of
+        // every live recursion level (ancestors + this one).
+        let live = bytes.ancestors + buffer.heap_bytes();
+        output.stats.peak_bitvector_bytes =
+            output.stats.peak_bitvector_bytes.max(bytes.base + live);
         if limits.allows(next.members().len() + 1) {
             grow(
                 catalog,
                 rows,
                 &next,
-                &intersection,
+                &buffer,
                 minsup,
                 limits,
-                base_bytes,
+                Bytes {
+                    base: bytes.base,
+                    ancestors: live,
+                },
+                scratch,
                 output,
             )?;
         }
     }
+    scratch.put(depth, buffer);
     Ok(())
 }
 
@@ -196,7 +236,7 @@ mod tests {
     fn reproduces_example_7_exactly() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         // Example 7 / Example 6: the direct algorithm returns the 15 connected
         // collections — the 17 of Example 2 minus the disjoint {a,f} and {c,d}.
         let expected: Vec<String> = vec![
@@ -238,18 +278,41 @@ mod tests {
         // vertical algorithm because {a,f}, {c,d}, … are never tried.
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let direct = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED).unwrap();
+        let direct = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         let vertical =
-            super::super::vertical::mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+            super::super::vertical::mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert!(direct.stats.intersections > 0);
         assert!(direct.stats.intersections < vertical.stats.intersections);
+    }
+
+    #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let catalog = EdgeCatalog::complete(4);
+        let mut m = paper_matrix();
+        for minsup in 1..=4 {
+            let sequential =
+                mine_direct(&mut m, &catalog, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+            for threads in [2, 4, 0] {
+                let parallel =
+                    mine_direct(&mut m, &catalog, minsup, MiningLimits::UNBOUNDED, threads)
+                        .unwrap();
+                assert_eq!(
+                    parallel.patterns, sequential.patterns,
+                    "threads {threads}, minsup {minsup}"
+                );
+                assert_eq!(
+                    parallel.stats.intersections, sequential.stats.intersections,
+                    "threads {threads}, minsup {minsup}"
+                );
+            }
+        }
     }
 
     #[test]
     fn canonical_extension_enumerates_each_pattern_once() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output = mine_direct(&mut m, &catalog, 1, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_direct(&mut m, &catalog, 1, MiningLimits::UNBOUNDED, 1).unwrap();
         let mut sets: Vec<String> = output.patterns.iter().map(|p| p.edges.symbols()).collect();
         let before = sets.len();
         sets.sort();
@@ -261,12 +324,15 @@ mod tests {
     fn respects_limits_and_handles_edge_cases() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let pairs = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(2)).unwrap();
+        let pairs = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(pairs.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(1)).unwrap();
+        let singles = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
-        let nothing = mine_direct(&mut m, &catalog, 99, MiningLimits::UNBOUNDED).unwrap();
+        // A zero cap forbids even singletons.
+        let nothing = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(0), 1).unwrap();
         assert!(nothing.patterns.is_empty());
+        let unsupported = mine_direct(&mut m, &catalog, 99, MiningLimits::UNBOUNDED, 1).unwrap();
+        assert!(unsupported.patterns.is_empty());
     }
 
     #[test]
@@ -284,7 +350,7 @@ mod tests {
         .unwrap();
         m.ingest_batch(&Batch::from_transactions(0, vec![e(&[0, 2]), e(&[0, 2])]))
             .unwrap();
-        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         let strings = pattern_strings(&output);
         assert!(strings.contains(&"{a}:2".to_string()));
         assert!(strings.contains(&"{c}:2".to_string()));

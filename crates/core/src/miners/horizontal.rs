@@ -233,6 +233,11 @@ mod tests {
         let singles_only = mine_top_down(&mut m, 2, MiningLimits::with_max_len(1)).unwrap();
         assert!(singles_only.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles_only.patterns.len(), 5);
+        // A zero cap forbids even singletons, matching the vertical miners.
+        for strategy in [mine_multi_tree, mine_single_tree, mine_top_down] {
+            let nothing = strategy(&mut m, 2, MiningLimits::with_max_len(0)).unwrap();
+            assert!(nothing.patterns.is_empty());
+        }
     }
 
     #[test]

@@ -19,6 +19,17 @@ use fsm_types::{EdgeCatalog, FrequentPattern, Result, Support};
 use crate::algorithm::Algorithm;
 use crate::instrument::MiningStats;
 
+/// Working-set accounting the vertical miners thread through their
+/// recursion: the resident frequent rows (`base`) plus the intersection
+/// buffers of every live ancestor recursion level (`ancestors`).
+#[derive(Clone, Copy)]
+pub(crate) struct Bytes {
+    /// Heap bytes of the frequent singleton rows, alive for the whole call.
+    pub base: usize,
+    /// Heap bytes of the intersection buffers held by enclosing levels.
+    pub ancestors: usize,
+}
+
 /// Raw output of one algorithm before post-processing.
 #[derive(Debug, Clone, Default)]
 pub struct RawMiningOutput {
@@ -30,22 +41,37 @@ pub struct RawMiningOutput {
     pub stats: MiningStats,
 }
 
+impl RawMiningOutput {
+    /// Appends the patterns of a parallel worker's subtree and folds its
+    /// statistics in (see [`MiningStats::merge`]).  Merging the per-singleton
+    /// subtrees in canonical (edge-index) order reproduces the sequential
+    /// traversal's pattern order exactly.
+    pub fn merge(&mut self, other: RawMiningOutput) {
+        self.patterns.extend(other.patterns);
+        self.stats.merge(&other.stats);
+    }
+}
+
 /// Runs the selected algorithm over the matrix.
 ///
 /// This is the dispatch point used by the facade and by the experiment
-/// harness when it wants raw (pre-post-processing) output.
+/// harness when it wants raw (pre-post-processing) output.  `threads` fans
+/// the vertical algorithms' top-level enumeration out over worker threads
+/// (`0` = all available cores, `1` = sequential); the horizontal algorithms
+/// currently ignore it.
 pub fn run_algorithm(
     algorithm: Algorithm,
     matrix: &mut DsMatrix,
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
     match algorithm {
         Algorithm::MultiTree => horizontal::mine_multi_tree(matrix, minsup, limits),
         Algorithm::SingleTree => horizontal::mine_single_tree(matrix, minsup, limits),
         Algorithm::TopDown => horizontal::mine_top_down(matrix, minsup, limits),
-        Algorithm::Vertical => vertical::mine_vertical(matrix, minsup, limits),
-        Algorithm::DirectVertical => direct::mine_direct(matrix, catalog, minsup, limits),
+        Algorithm::Vertical => vertical::mine_vertical(matrix, minsup, limits, threads),
+        Algorithm::DirectVertical => direct::mine_direct(matrix, catalog, minsup, limits, threads),
     }
 }

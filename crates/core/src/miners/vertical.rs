@@ -5,7 +5,9 @@ use fsm_fptree::MiningLimits;
 use fsm_storage::BitVec;
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
-use super::RawMiningOutput;
+use super::{Bytes, RawMiningOutput};
+use crate::parallel;
+use crate::scratch::ScratchArena;
 
 /// Mines every frequent edge collection by intersecting DSMatrix rows.
 ///
@@ -15,10 +17,20 @@ use super::RawMiningOutput;
 /// the classic vertical (Eclat-style) enumeration the paper describes in
 /// Example 5.  Connected and disconnected collections alike are produced; the
 /// §3.5 post-processing step prunes the disconnected ones afterwards.
+///
+/// Two engine-level optimisations keep the hot loop allocation-free: every
+/// candidate is screened with the fused [`BitVec::and_count`] kernel (so
+/// infrequent candidates never materialise an intersection vector at all),
+/// and surviving intersections are written into a per-depth [`ScratchArena`]
+/// buffer via [`BitVec::and_into`].  The top-level fan-out over frequent
+/// single edges runs on `threads` workers (`0` = all cores); per-edge
+/// subtrees are merged back in canonical order, so the output is identical
+/// to the sequential traversal.
 pub fn mine_vertical(
     matrix: &mut DsMatrix,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
@@ -34,26 +46,61 @@ pub fn mine_vertical(
     let row_bytes: usize = frequent.iter().map(|(_, _, row)| row.heap_bytes()).sum();
     output.stats.peak_bitvector_bytes = row_bytes;
 
-    for (idx, (edge, support, row)) in frequent.iter().enumerate() {
-        output
-            .patterns
-            .push(FrequentPattern::new(EdgeSet::singleton(*edge), *support));
-        if limits.allows(2) {
-            extend(
-                &frequent,
-                idx,
-                &mut vec![*edge],
-                row,
-                minsup,
-                limits,
-                row_bytes,
-                &mut output,
-            );
-        }
+    // Singletons are patterns of length 1 and obey the same cardinality cap
+    // as everything else.
+    if !limits.allows(1) {
+        return Ok(output);
+    }
+
+    // Each worker owns one scratch arena for all the subtrees it processes,
+    // so intersection buffers are allocated once per worker per depth.
+    let threads = parallel::effective_threads(threads, frequent.len());
+    let subtrees = parallel::run_indexed_stateful(
+        frequent.len(),
+        threads,
+        ScratchArena::new,
+        |scratch, idx| mine_subtree(&frequent, idx, minsup, limits, row_bytes, scratch),
+    );
+    for sub in subtrees {
+        output.merge(sub);
     }
 
     output.stats.patterns_before_postprocess = output.patterns.len();
     Ok(output)
+}
+
+/// Mines the enumeration subtree rooted at `frequent[idx]`: the singleton
+/// pattern itself plus every extension by edges after it in canonical order.
+fn mine_subtree(
+    frequent: &[(EdgeId, Support, BitVec)],
+    idx: usize,
+    minsup: Support,
+    limits: MiningLimits,
+    base_bytes: usize,
+    scratch: &mut ScratchArena,
+) -> RawMiningOutput {
+    let (edge, support, row) = &frequent[idx];
+    let mut output = RawMiningOutput::default();
+    output
+        .patterns
+        .push(FrequentPattern::new(EdgeSet::singleton(*edge), *support));
+    if limits.allows(2) {
+        extend(
+            frequent,
+            idx,
+            &mut vec![*edge],
+            row,
+            minsup,
+            limits,
+            Bytes {
+                base: base_bytes,
+                ancestors: 0,
+            },
+            scratch,
+            &mut output,
+        );
+    }
+    output
 }
 
 /// Depth-first extension of `prefix` (whose transaction set is `vector`) with
@@ -66,39 +113,51 @@ fn extend(
     vector: &BitVec,
     minsup: Support,
     limits: MiningLimits,
-    base_bytes: usize,
+    bytes: Bytes,
+    scratch: &mut ScratchArena,
     output: &mut RawMiningOutput,
 ) {
+    let depth = prefix.len();
+    let mut buffer = scratch.take(depth);
     for (next_idx, (edge, _, row)) in frequent.iter().enumerate().skip(from + 1) {
         output.stats.intersections += 1;
-        let intersection = vector.and(row);
-        let support = intersection.count_ones();
+        // Fused popcount screen: infrequent candidates are rejected without
+        // materialising (or allocating) the intersection vector.
+        let support = vector.and_count(row);
         if support < minsup {
             continue;
         }
+        let written = vector.and_into(row, &mut buffer);
+        debug_assert_eq!(written, support);
         prefix.push(*edge);
         output.patterns.push(FrequentPattern::new(
             EdgeSet::from_edges(prefix.iter().copied()),
             support,
         ));
-        // Working set: the frequent rows plus one intersection vector per
-        // recursion level.
-        let depth_bytes = base_bytes + prefix.len() * intersection.heap_bytes();
-        output.stats.peak_bitvector_bytes = output.stats.peak_bitvector_bytes.max(depth_bytes);
+        // Working set: the frequent rows plus the intersection buffer of
+        // every live recursion level (ancestors + this one).
+        let live = bytes.ancestors + buffer.heap_bytes();
+        output.stats.peak_bitvector_bytes =
+            output.stats.peak_bitvector_bytes.max(bytes.base + live);
         if limits.allows(prefix.len() + 1) {
             extend(
                 frequent,
                 next_idx,
                 prefix,
-                &intersection,
+                &buffer,
                 minsup,
                 limits,
-                base_bytes,
+                Bytes {
+                    base: bytes.base,
+                    ancestors: live,
+                },
+                scratch,
                 output,
             );
         }
         prefix.pop();
     }
+    scratch.put(depth, buffer);
 }
 
 #[cfg(test)]
@@ -141,7 +200,7 @@ mod tests {
     #[test]
     fn reproduces_example_5() {
         let mut m = paper_matrix();
-        let output = mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         // Example 5 finds the same 17 collections as the tree-based runs, and
         // spells out the key supports: {a,c}:4, {a,d}:3, {a,f}:4, {b,c}:2,
         // {c,d}:3, {c,f}:3, {d,f}:3.
@@ -174,8 +233,9 @@ mod tests {
     fn agrees_with_the_horizontal_algorithms() {
         let mut m = paper_matrix();
         for minsup in 1..=5 {
-            let vertical =
-                pattern_strings(&mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED).unwrap());
+            let vertical = pattern_strings(
+                &mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap(),
+            );
             let horizontal = pattern_strings(
                 &super::super::horizontal::mine_multi_tree(&mut m, minsup, MiningLimits::UNBOUNDED)
                     .unwrap(),
@@ -185,13 +245,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let mut m = paper_matrix();
+        for minsup in 1..=5 {
+            let sequential = mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+            for threads in [2, 4, 0] {
+                let parallel =
+                    mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                // Not just as sets: the merged order must match exactly.
+                assert_eq!(
+                    parallel.patterns, sequential.patterns,
+                    "threads {threads}, minsup {minsup}"
+                );
+                assert_eq!(
+                    parallel.stats.intersections, sequential.stats.intersections,
+                    "threads {threads}, minsup {minsup}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn respects_pattern_length_limit() {
         let mut m = paper_matrix();
-        let output = mine_vertical(&mut m, 2, MiningLimits::with_max_len(2)).unwrap();
+        let output = mine_vertical(&mut m, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_vertical(&mut m, 2, MiningLimits::with_max_len(1)).unwrap();
+        let singles = mine_vertical(&mut m, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles.stats.intersections, 0);
+        // A zero cap forbids even singletons.
+        let nothing = mine_vertical(&mut m, 2, MiningLimits::with_max_len(0), 1).unwrap();
+        assert!(nothing.patterns.is_empty());
+        assert_eq!(nothing.stats.intersections, 0);
     }
 
     #[test]
@@ -202,12 +287,12 @@ mod tests {
             4,
         ))
         .unwrap();
-        assert!(mine_vertical(&mut empty, 1, MiningLimits::UNBOUNDED)
+        assert!(mine_vertical(&mut empty, 1, MiningLimits::UNBOUNDED, 1)
             .unwrap()
             .patterns
             .is_empty());
         let mut m = paper_matrix();
-        assert!(mine_vertical(&mut m, 7, MiningLimits::UNBOUNDED)
+        assert!(mine_vertical(&mut m, 7, MiningLimits::UNBOUNDED, 1)
             .unwrap()
             .patterns
             .is_empty());

@@ -1,0 +1,149 @@
+//! Minimal data-parallel fan-out for the mining hot path.
+//!
+//! The top level of both vertical algorithms is an embarrassingly parallel
+//! loop over the frequent single edges: every subtree rooted at edge *i* only
+//! reads the shared frequent-row table and writes its own
+//! [`crate::miners::RawMiningOutput`].  This module distributes those
+//! subtrees over `std::thread::scope` workers with dynamic (atomic-counter)
+//! load balancing — subtree costs are heavily skewed towards small indices,
+//! so static chunking would idle most workers.
+//!
+//! Results are returned **in task-index order**, which keeps the merged
+//! pattern list identical to the sequential traversal and the whole engine
+//! deterministic regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a user-facing thread-count knob: `0` means "all available
+/// cores", and the result is clamped to `[1, tasks]` so tiny workloads never
+/// pay spawn overhead for idle workers.
+pub fn effective_threads(requested: usize, tasks: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if requested == 0 { hardware } else { requested };
+    requested.clamp(1, tasks.max(1))
+}
+
+/// Runs `task(0..tasks)` across `threads` scoped workers and returns the
+/// results in index order.  Every worker owns one `init()`-created state for
+/// its whole lifetime (the miners use this to share one scratch arena across
+/// all subtrees a worker processes, so buffers warm up once per worker, not
+/// once per subtree).  With one thread, a single state serves every task.
+pub fn run_indexed_stateful<T, S, I, F>(tasks: usize, threads: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, tasks.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return (0..tasks).map(|index| task(&mut state, index)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..tasks).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= tasks {
+                        break;
+                    }
+                    let value = task(&mut state, index);
+                    let mut slots = slots.lock().unwrap_or_else(|p| p.into_inner());
+                    slots[index] = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 8] {
+            let results = run_indexed_stateful(37, threads, || (), |(), i| i * i);
+            assert_eq!(results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_tiny_task_counts_are_safe() {
+        assert!(run_indexed_stateful(0, 4, || (), |(), i| i).is_empty());
+        assert_eq!(run_indexed_stateful(1, 4, || (), |(), i| i), vec![0]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(8, 2), 2);
+        assert_eq!(effective_threads(1, 0), 1);
+        assert!(effective_threads(0, 1000) >= 1, "auto resolves to >= 1");
+    }
+
+    #[test]
+    fn stateful_variant_reuses_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let results = run_indexed_stateful(
+            20,
+            1,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |state, index| {
+                *state += 1;
+                (*state, index)
+            },
+        );
+        // One thread: one state serves every task and counts them all.
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(results.last(), Some(&(20, 19)));
+        // Multi-threaded: at most one state per worker.
+        let inits = AtomicUsize::new(0);
+        run_indexed_stateful(
+            20,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _| (),
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn work_is_shared_between_workers() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let results = run_indexed_stateful(
+            64,
+            4,
+            || (),
+            |(), i| {
+                // Make tasks slow enough that several workers participate.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                seen.lock().unwrap().insert(std::thread::current().id());
+                i
+            },
+        );
+        assert_eq!(results.len(), 64);
+        assert!(seen.lock().unwrap().len() > 1, "expected multiple workers");
+    }
+}

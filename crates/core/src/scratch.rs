@@ -1,0 +1,92 @@
+//! Depth-indexed scratch buffers for the vertical miners.
+//!
+//! The vertical algorithms (§3.4 and §4) intersect one bit vector per
+//! recursion level.  Allocating those vectors per candidate is the dominant
+//! allocation cost of the hot loop, so each mining call owns a
+//! [`ScratchArena`]: one reusable [`BitVec`] per recursion depth, allocated
+//! the first time that depth is reached and reused for every sibling subtree
+//! afterwards.  Combined with [`BitVec::and_count`] pre-screening (infrequent
+//! candidates are rejected before any buffer is touched) the steady-state
+//! extension step performs no heap allocation at all.
+//!
+//! Buffer hand-out is by *move*: [`ScratchArena::take`] removes the buffer
+//! for a depth (leaving an empty, allocation-free placeholder) so the caller
+//! can fill it while deeper recursion levels keep borrowing the arena, and
+//! [`ScratchArena::put`] returns it when the level completes.
+
+use fsm_storage::BitVec;
+
+/// A per-mining-call pool of intersection buffers, one per recursion depth.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    levels: Vec<BitVec>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena; levels are created lazily as recursion
+    /// deepens.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns the buffer for `depth`, creating empty levels up
+    /// to it on first use.  The slot is left as an empty (allocation-free)
+    /// vector until [`ScratchArena::put`] restores it.
+    pub fn take(&mut self, depth: usize) -> BitVec {
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, BitVec::new);
+        }
+        std::mem::take(&mut self.levels[depth])
+    }
+
+    /// Returns `buffer` to the slot for `depth` so sibling subtrees reuse its
+    /// capacity.
+    pub fn put(&mut self, depth: usize, buffer: BitVec) {
+        debug_assert!(depth < self.levels.len(), "put without matching take");
+        self.levels[depth] = buffer;
+    }
+
+    /// Number of levels materialised so far (the deepest recursion reached).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total heap bytes currently parked in the arena (buffers handed out via
+    /// [`ScratchArena::take`] are counted by their holders instead).
+    pub fn heap_bytes(&self) -> usize {
+        self.levels.iter().map(BitVec::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut buf = arena.take(2);
+        assert_eq!(arena.depth(), 3);
+        assert_eq!(buf.len(), 0);
+        buf.resize(1000);
+        let bytes = buf.heap_bytes();
+        assert!(bytes >= 1000 / 8);
+        arena.put(2, buf);
+        assert_eq!(arena.heap_bytes(), bytes);
+        // Taking the same level again hands back the grown buffer.
+        let again = arena.take(2);
+        assert_eq!(again.heap_bytes(), bytes);
+        arena.put(2, again);
+    }
+
+    #[test]
+    fn taken_levels_read_as_empty() {
+        let mut arena = ScratchArena::new();
+        let mut buf = arena.take(0);
+        buf.resize(128);
+        // While held, the arena accounts nothing for the level.
+        assert_eq!(arena.heap_bytes(), 0);
+        arena.put(0, buf);
+        assert!(arena.heap_bytes() > 0);
+    }
+}

@@ -34,6 +34,9 @@ pub struct DsMatrix {
     num_items: usize,
     num_cols: usize,
     tracker: Option<MemoryTracker>,
+    /// Per-row serialisation buffers reused across window slides, so a slide
+    /// re-serialises every row without allocating per row per batch.
+    row_bufs: Vec<Vec<u8>>,
 }
 
 impl DsMatrix {
@@ -48,6 +51,7 @@ impl DsMatrix {
             num_items: config.expected_edges,
             num_cols: 0,
             tracker: None,
+            row_bufs: Vec::new(),
         })
     }
 
@@ -118,7 +122,9 @@ impl DsMatrix {
             .unwrap_or(0);
         self.num_items = self.num_items.max(max_edge);
 
-        let mut updated: Vec<Vec<u8>> = Vec::with_capacity(self.num_items);
+        if self.row_bufs.len() < self.num_items {
+            self.row_bufs.resize_with(self.num_items, Vec::new);
+        }
         for item_idx in 0..self.num_items {
             let item = EdgeId::new(item_idx as u32);
             let mut row = self.load_row(item_idx)?;
@@ -130,12 +136,17 @@ impl DsMatrix {
             for transaction in batch.iter() {
                 row.push(transaction.contains(item));
             }
-            updated.push(row.to_bytes());
+            row.write_bytes(&mut self.row_bufs[item_idx]);
         }
         // Rewriting the whole store compacts the on-disk file on every slide,
         // mirroring the paper's "remove the old columns, append the new ones".
-        self.rows
-            .rewrite_all(updated.iter().enumerate().map(|(i, r)| (i, r.as_slice())))?;
+        let rows = &mut self.rows;
+        rows.rewrite_all(
+            self.row_bufs[..self.num_items]
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.as_slice())),
+        )?;
         self.num_cols = kept_cols + batch.len();
         self.report_memory();
         Ok(outcome)
@@ -223,11 +234,13 @@ impl DsMatrix {
         Ok(merged)
     }
 
-    /// Bytes resident in main memory (window bookkeeping plus, for the memory
-    /// backend, the row payloads).
+    /// Bytes resident in main memory: window bookkeeping, the reused
+    /// serialisation buffers, plus — for the memory backend — the row
+    /// payloads.
     pub fn resident_bytes(&self) -> usize {
         let bookkeeping = self.window.num_batches() * std::mem::size_of::<(u64, usize)>();
-        bookkeeping + self.rows.resident_bytes()
+        let scratch: usize = self.row_bufs.iter().map(Vec::capacity).sum();
+        bookkeeping + scratch + self.rows.resident_bytes()
     }
 
     /// Bytes written to disk by the row store (zero for the memory backend).

@@ -1,0 +1,200 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size bounds for a generated collection (`min..max`, exclusive max).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest allowed size.
+    pub min: usize,
+    /// One past the largest allowed size.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        Self {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + (rng.next_u64() as usize) % (self.max - self.min)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop chunks, then single elements.
+        if value.len() > self.size.min {
+            let half = value.len() / 2;
+            if half >= self.size.min && half < value.len() {
+                out.push(value[..half].to_vec());
+                out.push(value[value.len() - half..].to_vec());
+            }
+            for i in (0..value.len().min(8)).rev() {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // Element-wise shrinks on a bounded prefix.
+        for (i, item) in value.iter().enumerate().take(8) {
+            for candidate in self.element.shrink(item).into_iter().take(2) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates ordered sets whose size falls in `size` (best effort: drawing
+/// from a small element domain may yield fewer distinct elements).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        for _ in 0..target.saturating_mul(4).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.new_value(rng));
+        }
+        out
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        if value.len() > self.size.min {
+            for item in value.iter().take(8) {
+                let mut next = value.clone();
+                next.remove(item);
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// Generates ordered maps whose size falls in `size` (best effort, as for
+/// [`btree_set`]).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        for _ in 0..target.saturating_mul(4).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.key.new_value(rng), self.value.new_value(rng));
+        }
+        out
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        if value.len() > self.size.min {
+            for key in value.keys().take(8) {
+                let mut next = value.clone();
+                next.remove(key);
+                out.push(next);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, [`strategy::Strategy`]
+//! with `prop_map`, `any::<T>()`, integer/float range strategies, tuple
+//! strategies, and the `collection::{vec, btree_set, btree_map}` combinators.
+//!
+//! Test cases are generated from a deterministic seed derived from the test
+//! name (override with the `PROPTEST_SEED` environment variable), so failures
+//! reproduce across runs.  On failure the runner greedily shrinks the input
+//! (element removal for collections, halving towards the lower bound for
+//! numbers) and reports the minimal failing case.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal muncher behind [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(&config, stringify!($name), &strategy, |($($pat,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (and
+/// triggering shrinking) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} ({}) at {}:{}",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                    left, right, file!(), line!()
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}` ({}) at {}:{}",
+                    left, right, format!($($fmt)+), file!(), line!()
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}

@@ -1,0 +1,204 @@
+//! Value-generation strategies.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one fresh value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns candidate simplifications of a failing value (may be empty).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    ///
+    /// Mapped strategies do not shrink (the mapping is not invertible); keep
+    /// the raw strategy shrinkable where minimal counterexamples matter.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy for any value of a type with a canonical distribution, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical [`Strategy`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform `bool` strategy (shrinks `true` to `false`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Full-range integer strategy used by `any::<uN>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(PhantomData<T>);
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    if *value - 1 != self.start {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
+        }
+
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                if *value == 0 {
+                    Vec::new()
+                } else {
+                    vec![0, *value / 2]
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if *value > self.start {
+            vec![self.start, self.start + (*value - self.start) / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

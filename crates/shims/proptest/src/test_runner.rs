@@ -1,0 +1,220 @@
+//! The case runner: seeded generation, failure detection, greedy shrinking.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (the subset of proptest's knobs the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed assertion inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn base_seed(name: &str) -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse() {
+            return seed;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn outcome<S, F>(test: &F, value: &S::Value) -> Result<(), String>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value.clone()))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(err)) => Err(err.message),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "panicked".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs `config.cases` random cases of `test` against `strategy`, shrinking
+/// and panicking with the minimal failing input on the first failure.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let value = strategy.new_value(&mut rng);
+        if let Err(first_message) = outcome::<S, F>(&test, &value) {
+            let (minimal, message) = shrink::<S, F>(strategy, &test, value, first_message);
+            panic!(
+                "property '{name}' failed (seed {seed}, case {case}).\n\
+                 minimal failing input: {minimal:?}\n{message}"
+            );
+        }
+    }
+}
+
+fn shrink<S, F>(
+    strategy: &S,
+    test: &F,
+    mut current: S::Value,
+    mut message: String,
+) -> (S::Value, String)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut budget = 1000usize;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                return (current, message);
+            }
+            budget -= 1;
+            if let Err(new_message) = outcome::<S, F>(test, &candidate) {
+                current = candidate;
+                message = new_message;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, message);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+    use crate::strategy::any;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let hits = std::cell::Cell::new(0u32);
+        let config = ProptestConfig::with_cases(10);
+        run(&config, "counting", &(0u32..100,), |(v,)| {
+            assert!(v < 100);
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        assert_eq!(hits.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_panics_with_shrunk_input() {
+        let config = ProptestConfig::with_cases(50);
+        run(
+            &config,
+            "always_small",
+            &(collection::vec(any::<bool>(), 0..50),),
+            |(v,)| {
+                if v.len() >= 3 {
+                    Err(TestCaseError::fail("too long"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn shrinking_minimises_vec_length() {
+        let strategy = (collection::vec(any::<bool>(), 0..50),);
+        let test = |(v,): (Vec<bool>,)| {
+            if v.len() >= 3 {
+                Err(TestCaseError::fail("too long"))
+            } else {
+                Ok(())
+            }
+        };
+        let seed_value = vec![true; 20];
+        let (minimal, _) = shrink(&strategy, &test, (seed_value,), "too long".into());
+        assert_eq!(
+            minimal.0.len(),
+            3,
+            "greedy shrink should reach the boundary"
+        );
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(base_seed("abc"), base_seed("abc"));
+        assert_ne!(base_seed("abc"), base_seed("abd"));
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its core types so
+//! that switching to the real `serde` is a manifest-only change, but nothing
+//! in-tree performs serialisation.  These derives therefore accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Derives a no-op `Serialize` implementation marker (emits nothing).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a no-op `Deserialize` implementation marker (emits nothing).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

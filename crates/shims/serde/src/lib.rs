@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without registry access.  No serialisation is performed in-tree; swapping
+//! in the real crate is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive_shim::{Deserialize, Serialize};

@@ -126,6 +126,31 @@ impl BitVec {
         out
     }
 
+    /// Fused kernel: writes `self & other` into `out` (reusing its buffer)
+    /// and returns the popcount of the result in the same pass.
+    ///
+    /// The result has the length of `self`, matching [`BitVec::and`].  This
+    /// is the zero-allocation hot path of the vertical miners: `out` is a
+    /// scratch buffer owned by the caller, so steady-state candidate
+    /// extension performs no heap allocation at all.
+    pub fn and_into(&self, other: &BitVec, out: &mut BitVec) -> u64 {
+        out.words.clear();
+        out.words.resize(self.words.len(), 0);
+        let overlap = self.words.len().min(other.words.len());
+        let mut count = 0u64;
+        for ((dst, &a), &b) in out.words[..overlap]
+            .iter_mut()
+            .zip(&self.words[..overlap])
+            .zip(&other.words[..overlap])
+        {
+            let masked = a & b;
+            count += u64::from(masked.count_ones());
+            *dst = masked;
+        }
+        out.len = self.len;
+        count
+    }
+
     /// Returns the union `self | other` as a new vector whose length is the
     /// maximum of the operand lengths.
     pub fn or(&self, other: &BitVec) -> BitVec {
@@ -155,6 +180,9 @@ impl BitVec {
     /// This is the window-slide operation: when the oldest batch leaves the
     /// window its columns are removed and the remaining columns shift left
     /// ("shifting all columns from Cols 4–6 to Cols 1–3" in Example 1).
+    ///
+    /// The shift happens in place, word by word, so a window slide reuses the
+    /// row's existing buffer instead of allocating a fresh one.
     pub fn drop_prefix(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -167,18 +195,17 @@ impl BitVec {
         let new_len = self.len - n;
         let word_shift = n / WORD_BITS;
         let bit_shift = n % WORD_BITS;
-        let old = std::mem::take(&mut self.words);
-        let mut new_words = vec![0u64; new_len.div_ceil(WORD_BITS)];
-        for (i, word) in new_words.iter_mut().enumerate() {
-            let lo = old.get(i + word_shift).copied().unwrap_or(0);
-            *word = if bit_shift == 0 {
-                lo
-            } else {
-                let hi = old.get(i + word_shift + 1).copied().unwrap_or(0);
-                (lo >> bit_shift) | (hi << (WORD_BITS - bit_shift))
-            };
+        let new_words = new_len.div_ceil(WORD_BITS);
+        if bit_shift == 0 {
+            self.words.copy_within(word_shift.., 0);
+        } else {
+            for i in 0..new_words {
+                let lo = self.words[i + word_shift];
+                let hi = self.words.get(i + word_shift + 1).copied().unwrap_or(0);
+                self.words[i] = (lo >> bit_shift) | (hi << (WORD_BITS - bit_shift));
+            }
         }
-        self.words = new_words;
+        self.words.truncate(new_words);
         self.len = new_len;
         self.clear_tail();
     }
@@ -207,11 +234,20 @@ impl BitVec {
     /// length header followed by the words).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Serialises into `out`, clearing and reusing its buffer (the
+    /// allocation-free counterpart of [`BitVec::to_bytes`] used when the
+    /// DSMatrix re-serialises every row on a window slide).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(8 + self.words.len() * 8);
         out.extend_from_slice(&(self.len as u64).to_le_bytes());
         for word in &self.words {
             out.extend_from_slice(&word.to_le_bytes());
         }
-        out
     }
 
     /// Reconstructs a vector from [`BitVec::to_bytes`] output.
@@ -317,6 +353,27 @@ mod tests {
     }
 
     #[test]
+    fn and_into_matches_and_and_reuses_the_buffer() {
+        let a = bv("111110");
+        let c = bv("101111");
+        let mut scratch = BitVec::new();
+        let count = a.and_into(&c, &mut scratch);
+        assert_eq!(scratch, a.and(&c));
+        assert_eq!(count, 4);
+        // Second use reuses the buffer (and resizes correctly downwards).
+        let short = bv("10");
+        let count = short.and_into(&c, &mut scratch);
+        assert_eq!(scratch, short.and(&c));
+        assert_eq!(count, 1);
+        assert_eq!(scratch.len(), 2);
+        // Longer result than the buffer previously held.
+        let long = bv(&"1".repeat(200));
+        let count = long.and_into(&long.clone(), &mut scratch);
+        assert_eq!(count, 200);
+        assert_eq!(scratch.len(), 200);
+    }
+
+    #[test]
     fn and_with_handles_shorter_operand() {
         let mut a = bv("1111");
         let b = bv("10");
@@ -386,6 +443,17 @@ mod tests {
             let v = bv(pattern);
             let back = BitVec::from_bytes(&v.to_bytes()).unwrap();
             assert_eq!(v, back, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn write_bytes_reuses_buffers_and_roundtrips() {
+        let mut buf = Vec::new();
+        for pattern in ["", "1", "10110", &"011".repeat(40)] {
+            let v = bv(pattern);
+            v.write_bytes(&mut buf);
+            assert_eq!(buf, v.to_bytes(), "pattern {pattern}");
+            assert_eq!(BitVec::from_bytes(&buf).unwrap(), v);
         }
     }
 

@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A snapshot of the tracker state: current and peak bytes per category plus
 /// the peak of the total across categories.
@@ -84,16 +82,24 @@ impl MemoryTracker {
         Self::default()
     }
 
+    /// Locks the shared state; a poisoned lock (a panic while holding it)
+    /// still yields the data, since gauges stay meaningful.
+    fn state(&self) -> MutexGuard<'_, TrackerState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Sets the current resident size of `category` to an absolute value.
     pub fn set(&self, category: &str, bytes: u64) {
-        let mut state = self.state.lock();
+        let mut state = self.state();
         state.current.insert(category.to_string(), bytes);
         state.recompute(category);
     }
 
     /// Adds `bytes` to the current resident size of `category`.
     pub fn add(&self, category: &str, bytes: u64) {
-        let mut state = self.state.lock();
+        let mut state = self.state();
         *state.current.entry(category.to_string()).or_insert(0) += bytes;
         state.recompute(category);
     }
@@ -101,7 +107,7 @@ impl MemoryTracker {
     /// Subtracts `bytes` from the current resident size of `category`,
     /// saturating at zero.
     pub fn sub(&self, category: &str, bytes: u64) {
-        let mut state = self.state.lock();
+        let mut state = self.state();
         let entry = state.current.entry(category.to_string()).or_insert(0);
         *entry = entry.saturating_sub(bytes);
         state.recompute(category);
@@ -109,7 +115,7 @@ impl MemoryTracker {
 
     /// Resets current gauges to zero (peaks are preserved).
     pub fn clear_current(&self) {
-        let mut state = self.state.lock();
+        let mut state = self.state();
         for value in state.current.values_mut() {
             *value = 0;
         }
@@ -117,12 +123,12 @@ impl MemoryTracker {
 
     /// Resets everything, including peaks.
     pub fn reset(&self) {
-        *self.state.lock() = TrackerState::default();
+        *self.state() = TrackerState::default();
     }
 
     /// Takes a snapshot of the tracker state.
     pub fn report(&self) -> MemoryReport {
-        let state = self.state.lock();
+        let state = self.state();
         MemoryReport {
             current: state.current.clone(),
             peak: state.peak.clone(),
@@ -132,12 +138,12 @@ impl MemoryTracker {
 
     /// Peak bytes observed for one category.
     pub fn peak_of(&self, category: &str) -> u64 {
-        self.state.lock().peak.get(category).copied().unwrap_or(0)
+        self.state().peak.get(category).copied().unwrap_or(0)
     }
 
     /// Peak of the summed resident bytes across all categories.
     pub fn total_peak(&self) -> u64 {
-        self.state.lock().total_peak
+        self.state().total_peak
     }
 }
 

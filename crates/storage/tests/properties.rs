@@ -45,6 +45,58 @@ proptest! {
         prop_assert!(va.and_count(&vb) <= vb.count_ones());
     }
 
+    /// The fused `and_into` kernel agrees with the allocating `and` exactly —
+    /// same bits, same length, and the returned count matches the popcount —
+    /// even when the scratch buffer is reused across differently-sized
+    /// operands.
+    #[test]
+    fn bitvec_and_into_matches_and(
+        a in proptest::collection::vec(any::<bool>(), 0..300),
+        b in proptest::collection::vec(any::<bool>(), 0..300),
+        c in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let va = BitVec::from_bools(a);
+        let vb = BitVec::from_bools(b);
+        let vc = BitVec::from_bools(c);
+        let mut scratch = BitVec::new();
+        // First use populates the buffer...
+        let count = va.and_into(&vb, &mut scratch);
+        prop_assert_eq!(&scratch, &va.and(&vb));
+        prop_assert_eq!(count, va.and(&vb).count_ones());
+        prop_assert_eq!(count, va.and_count(&vb));
+        // ...and reuse with different operands must fully overwrite it.
+        let count = vc.and_into(&va, &mut scratch);
+        prop_assert_eq!(&scratch, &vc.and(&va));
+        prop_assert_eq!(count, vc.and(&va).count_ones());
+        prop_assert_eq!(scratch.len(), vc.len());
+    }
+
+    /// `and_count` equals materialising the intersection and counting it.
+    #[test]
+    fn bitvec_and_count_matches_materialised(
+        a in proptest::collection::vec(any::<bool>(), 0..300),
+        b in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let va = BitVec::from_bools(a);
+        let vb = BitVec::from_bools(b);
+        prop_assert_eq!(va.and_count(&vb), va.and(&vb).count_ones());
+    }
+
+    /// `write_bytes` into a reused buffer equals a fresh `to_bytes`.
+    #[test]
+    fn bitvec_write_bytes_matches_to_bytes(
+        a in proptest::collection::vec(any::<bool>(), 0..300),
+        b in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let mut buf = Vec::new();
+        for bits in [a, b] {
+            let v = BitVec::from_bools(bits);
+            v.write_bytes(&mut buf);
+            prop_assert_eq!(&buf, &v.to_bytes());
+            prop_assert_eq!(BitVec::from_bytes(&buf).unwrap(), v);
+        }
+    }
+
     /// Dropping a prefix behaves like slicing the boolean sequence.
     #[test]
     fn bitvec_drop_prefix_is_slicing(
