@@ -1,0 +1,124 @@
+//! Parallel scaling of the horizontal (FP-tree) algorithms.
+//!
+//! Companion to the vertical-scaling section of `exp3_runtime`: the three
+//! horizontal miners fan their per-pivot projected databases over the same
+//! worker pool as the vertical miners fan their subtrees, so this binary
+//! reports mine time at 1 worker versus `--threads N` workers (default 4,
+//! `0` = all cores) for `multi-tree`, `single-tree` and `top-down`, and
+//! asserts that both runs find identical patterns.
+//!
+//! Like the vertical section, the numbers are hardware-bound: on a host that
+//! exposes a single core the speedup column reads ~1.0x by construction, and
+//! the binary says so rather than pretending otherwise.
+
+use fsm_bench::report::{markdown_table, millis};
+use fsm_bench::{run_algorithm_threaded, Workload};
+use fsm_core::Algorithm;
+use fsm_storage::StorageBackend;
+use fsm_types::MinSup;
+
+fn main() {
+    let mut scale = None;
+    let mut threads = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = if arg == "--threads" {
+            args.next().and_then(|s| s.parse().ok()).map(|n| {
+                threads = if n == 0 {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                } else {
+                    n
+                };
+            })
+        } else if scale.is_none() {
+            arg.parse().ok().map(|n| scale = Some(n))
+        } else {
+            None
+        };
+        if parsed.is_none() {
+            eprintln!("usage: exp_horizontal_scaling [SCALE] [--threads N]");
+            std::process::exit(2);
+        }
+    }
+    let scale = scale.unwrap_or(1);
+    let window = 5;
+    let max_len = Some(4);
+    let repeats = 3u32;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("# Horizontal scaling — FP-tree miners at {threads} threads vs 1\n");
+    println!("available cores: {cores}");
+    if cores < threads {
+        println!(
+            "note: only {cores} core(s) visible to this process — speedup is \
+             bounded by hardware, not by the engine; re-run on a multi-core \
+             host for the real curve"
+        );
+    }
+    println!();
+
+    for workload in Workload::standard_suite(scale) {
+        let minsup = match workload.kind {
+            fsm_bench::WorkloadKind::Dense => MinSup::relative(0.15),
+            _ => MinSup::relative(0.03),
+        };
+        println!("## {} ({})\n", workload.name, workload.stats());
+        let mut rows = Vec::new();
+        for algorithm in [
+            Algorithm::MultiTree,
+            Algorithm::SingleTree,
+            Algorithm::TopDown,
+        ] {
+            let timing = |workers: usize| {
+                let mut total = std::time::Duration::ZERO;
+                let mut patterns = 0;
+                for _ in 0..repeats {
+                    let run = run_algorithm_threaded(
+                        &workload,
+                        algorithm,
+                        window,
+                        minsup,
+                        max_len,
+                        StorageBackend::Memory,
+                        workers,
+                    )
+                    .expect("run");
+                    total += run.mining_time;
+                    patterns = run.patterns;
+                }
+                (total / repeats, patterns)
+            };
+            let (sequential, patterns_seq) = timing(1);
+            let (parallel, patterns_par) = timing(threads);
+            assert_eq!(
+                patterns_seq, patterns_par,
+                "parallel run must find identical patterns"
+            );
+            let speedup = sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                algorithm.key().to_string(),
+                millis(sequential),
+                millis(parallel),
+                format!("{speedup:.2}x"),
+                patterns_par.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "miner",
+                    "mine ms (1 thread)",
+                    &format!("mine ms ({threads} threads)"),
+                    "speedup",
+                    "patterns"
+                ],
+                &rows
+            )
+        );
+    }
+}

@@ -1,8 +1,24 @@
 //! Shared harness code for the experiment binaries and Criterion benches.
 //!
-//! Every experiment binary (one per table/figure of the paper, see
-//! `EXPERIMENTS.md`) builds its workloads and runners from this crate so that
-//! the same streams and the same measurement conventions are used everywhere.
+//! Every experiment binary (one per table/figure of the paper) builds its
+//! workloads and runners from this crate so that the same streams and the
+//! same measurement conventions are used everywhere:
+//!
+//! * [`workloads`] — deterministic synthetic streams (graph-model, QUEST,
+//!   dense connect4-like) at a given scale, plus their edge catalogs;
+//! * [`runner`] — capture + mine one workload with one algorithm or
+//!   baseline, returning uniform [`AlgorithmRun`] measurements.
+//!   [`run_algorithm_threaded`] exposes the engine's `threads` knob (all
+//!   five algorithms honour it; `0` = all cores, results identical for any
+//!   worker count);
+//! * [`report`] — markdown tables and unit formatting for the binaries.
+//!
+//! Entry points live in `src/bin/`: `exp1_accuracy` … `exp5_scalability`
+//! mirror the paper's experiments, `exp_horizontal_scaling` and the
+//! parallel-scaling / slide-cost sections of `exp3_runtime` cover the
+//! engine work that goes beyond the paper, and the `ablation_*` binaries
+//! isolate individual design decisions.  Criterion-style benches (under
+//! `benches/`) give the statistically robust counterparts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

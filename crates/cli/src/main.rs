@@ -14,6 +14,13 @@
 //! of `--window` batches with the selected algorithm, and the frequent
 //! connected collections of the final window are printed (optionally closed /
 //! maximal / top-k, as text or CSV).
+//!
+//! `--threads N` sets the mining worker count for **all five** algorithms
+//! (per-pivot FP-trees for the horizontal family, per-singleton subtrees for
+//! the vertical family); `0` uses every core, and the output is identical
+//! for any setting.  Capture is incremental regardless of threading: each
+//! batch is one appended row segment, so ingest cost tracks the batch, not
+//! the window.
 
 mod args;
 

@@ -9,6 +9,27 @@ use crate::algorithm::{Algorithm, ConnectivityMode};
 use crate::miner::StreamMiner;
 
 /// Full configuration of a streaming miner.
+///
+/// `MinerConfig` is plain data: build one directly when you want to spell
+/// every knob out, or go through [`StreamMinerBuilder`] for the fluent path.
+///
+/// ```
+/// use fsm_core::{Algorithm, MinerConfig, StreamMiner};
+/// use fsm_storage::StorageBackend;
+/// use fsm_types::{EdgeCatalog, MinSup};
+///
+/// let config = MinerConfig {
+///     algorithm: Algorithm::SingleTree,
+///     min_support: MinSup::absolute(2),
+///     backend: StorageBackend::Memory,
+///     catalog: Some(EdgeCatalog::complete(4)),
+///     threads: 0, // all available cores; output identical to threads: 1
+///     ..MinerConfig::default()
+/// };
+/// let miner = StreamMiner::new(config).unwrap();
+/// assert_eq!(miner.config().algorithm, Algorithm::SingleTree);
+/// assert_eq!(miner.config().threads, 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MinerConfig {
     /// Which of the five algorithms to run when [`StreamMiner::mine`] is
@@ -28,11 +49,13 @@ pub struct MinerConfig {
     /// from ingested graph snapshots (and mining transactions directly
     /// requires edges the catalog already knows).
     pub catalog: Option<EdgeCatalog>,
-    /// Worker threads for the vertical algorithms' top-level fan-out.
+    /// Worker threads for the top-level mining fan-out — per-singleton
+    /// subtrees for the vertical algorithms, per-pivot projected databases
+    /// for the horizontal (FP-tree) algorithms.
     ///
     /// `1` (the default) mines sequentially; `0` uses every available core;
     /// any other value pins the worker count.  Results are identical for
-    /// every setting — subtrees merge back in canonical order.
+    /// every setting — per-worker outputs merge back in canonical order.
     pub threads: usize,
 }
 
@@ -114,8 +137,22 @@ impl StreamMinerBuilder {
         self
     }
 
-    /// Sets the worker-thread count for the vertical algorithms (`0` = all
-    /// available cores, `1` = sequential).
+    /// Sets the worker-thread count for mining — all five algorithms honour
+    /// it (`0` = all available cores, `1` = sequential), and every setting
+    /// produces byte-identical results.
+    ///
+    /// ```
+    /// use fsm_core::{Algorithm, StreamMinerBuilder};
+    /// use fsm_types::EdgeCatalog;
+    ///
+    /// let miner = StreamMinerBuilder::new()
+    ///     .algorithm(Algorithm::TopDown)
+    ///     .threads(0) // fan the per-pivot FP-trees over every core
+    ///     .catalog(EdgeCatalog::complete(4))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(miner.config().threads, 0);
+    /// ```
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
         self

@@ -21,7 +21,9 @@ pub struct MiningStats {
     /// Number of bit-vector intersections performed (zero for the horizontal
     /// algorithms).
     pub intersections: u64,
-    /// Peak bytes of simultaneously-alive bit vectors during vertical mining.
+    /// Peak bytes of simultaneously-alive bit vectors: intersection working
+    /// set for the vertical algorithms, the materialised row snapshot for the
+    /// horizontal ones.
     pub peak_bitvector_bytes: usize,
     /// Number of frequent collections found before the connectivity filter.
     pub patterns_before_postprocess: usize,
@@ -32,6 +34,10 @@ pub struct MiningStats {
     pub capture_resident_bytes: usize,
     /// Bytes the capture structure keeps on disk at mining time.
     pub capture_on_disk_bytes: u64,
+    /// Cumulative 64-bit words the capture structure has written since it was
+    /// created (the incremental-slide cost counter; see
+    /// [`fsm_dsmatrix::DsMatrix::capture_stats`]).
+    pub capture_words_written: u64,
     /// Number of window transactions the run mined over.
     pub window_transactions: usize,
     /// The absolute minimum support the thresholds resolved to.
@@ -56,6 +62,7 @@ impl MiningStats {
             .capture_resident_bytes
             .max(other.capture_resident_bytes);
         self.capture_on_disk_bytes = self.capture_on_disk_bytes.max(other.capture_on_disk_bytes);
+        self.capture_words_written = self.capture_words_written.max(other.capture_words_written);
         self.window_transactions = self.window_transactions.max(other.window_transactions);
         self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
     }

@@ -41,16 +41,19 @@
 //!
 //! # Execution engine
 //!
-//! The two vertical algorithms run on a zero-allocation, optionally
-//! multi-threaded engine:
+//! All five algorithms run on a zero-allocation, optionally multi-threaded
+//! engine:
 //!
 //! * **Threading model** — the top-level enumeration (one subtree per
-//!   frequent single edge) fans out over scoped worker threads with dynamic
-//!   load balancing ([`parallel`]).  Configure it with
+//!   frequent single edge for the vertical family, one projected database
+//!   per pivot edge for the horizontal family) fans out over scoped worker
+//!   threads with dynamic load balancing ([`parallel`]).  Configure it with
 //!   [`StreamMinerBuilder::threads`] / [`MinerConfig::threads`]: `1`
-//!   (default) is sequential, `0` uses every available core.  Subtree results
-//!   merge back in canonical edge order ([`MiningStats::merge`]), so pattern
-//!   lists and statistics are byte-identical for every thread count.
+//!   (default) is sequential, `0` uses every available core.  Per-worker
+//!   results merge back in canonical edge order ([`MiningStats::merge`]), so
+//!   pattern lists and statistics are byte-identical for every thread count —
+//!   property-tested for all five algorithms in
+//!   `crates/core/tests/miner_agreement.rs`.
 //! * **Scratch-arena lifetimes** — each worker owns a
 //!   [`scratch::ScratchArena`] for the duration of one mining call: one
 //!   intersection buffer per recursion depth, created the first time the
@@ -61,7 +64,13 @@
 //!   [`fsm_storage::BitVec::and_count`] kernel before any materialisation;
 //!   only candidates that meet the support threshold write into a scratch
 //!   buffer (via [`fsm_storage::BitVec::and_into`]).  Infrequent candidates
-//!   therefore cost one popcount pass and zero allocations.
+//!   therefore cost one popcount pass and zero allocations.  The horizontal
+//!   miners snapshot the matrix once ([`fsm_dsmatrix::DsMatrix::snapshot`])
+//!   and each worker recycles one [`fsm_dsmatrix::ProjectionScratch`], so
+//!   steady-state projection allocates nothing either.
+//! * **Incremental capture** — the DSMatrix itself never rewrites surviving
+//!   rows on a window slide (see [`fsm_dsmatrix`]); the words it does write
+//!   surface as [`MiningStats::capture_words_written`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -124,6 +124,7 @@ impl StreamMiner {
         raw.stats.elapsed = start.elapsed();
         raw.stats.capture_resident_bytes = self.matrix.resident_bytes();
         raw.stats.capture_on_disk_bytes = self.matrix.on_disk_bytes();
+        raw.stats.capture_words_written = self.matrix.capture_stats().words_written;
         raw.stats.window_transactions = self.matrix.num_transactions();
         raw.stats.resolved_minsup = resolved;
         Ok(MiningResult::new(raw.patterns, raw.stats))

@@ -9,21 +9,31 @@
 //!   trees pile up in memory;
 //! * **single-tree** (§3.2) builds one FP-tree and counts node-path subsets;
 //! * **top-down** (§3.3) builds one FP-tree and mines it top-down.
+//!
+//! The per-pivot work units are independent (pivot `x`'s projected database
+//! only reads rows after `x`), so all three algorithms fan the pivots out
+//! over the [`crate::parallel`] engine: the matrix is snapshotted once
+//! ([`DsMatrix::snapshot`]), each worker owns one
+//! [`ProjectionScratch`] for allocation-free projection, and per-pivot
+//! outputs merge back in canonical edge order — pattern lists and statistics
+//! are byte-identical for every thread count.
 
-use fsm_dsmatrix::DsMatrix;
+use fsm_dsmatrix::{DsMatrix, ProjectionScratch};
 use fsm_fptree::growth::MineOutcome;
 use fsm_fptree::{MiningLimits, ProjectedDb};
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
 use super::RawMiningOutput;
+use crate::parallel;
 
 /// §3.1 — mining with multiple recursive FP-trees.
 pub fn mine_multi_tree(
     matrix: &mut DsMatrix,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(matrix, minsup, limits, fsm_fptree::mine_recursive)
+    mine_horizontal(matrix, minsup, limits, threads, fsm_fptree::mine_recursive)
 }
 
 /// §3.2 — frequency counting on a single FP-tree per frequent edge.
@@ -31,11 +41,13 @@ pub fn mine_single_tree(
     matrix: &mut DsMatrix,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
     mine_horizontal(
         matrix,
         minsup,
         limits,
+        threads,
         fsm_fptree::mine_by_subset_enumeration,
     )
 }
@@ -45,27 +57,27 @@ pub fn mine_top_down(
     matrix: &mut DsMatrix,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(matrix, minsup, limits, fsm_fptree::mine_top_down)
+    mine_horizontal(matrix, minsup, limits, threads, fsm_fptree::mine_top_down)
 }
 
 /// Shared outline of the three horizontal algorithms, parameterised by the
 /// projected-database mining strategy.
+///
+/// `threads` fans the per-pivot loop out over scoped workers (`0` = all
+/// cores, `1` = sequential); each worker reuses one projection scratch for
+/// every pivot it processes, and results merge in canonical order so the
+/// output never depends on the worker count.
 fn mine_horizontal(
     matrix: &mut DsMatrix,
     minsup: Support,
     limits: MiningLimits,
+    threads: usize,
     strategy: fn(&ProjectedDb, Support, MiningLimits) -> MineOutcome,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
-
-    // Step 1: frequent single edges from the row sums.
-    let singletons = matrix.singleton_supports()?;
-    let frequent: Vec<(EdgeId, Support)> = singletons
-        .into_iter()
-        .filter(|(_, support)| *support >= minsup)
-        .collect();
 
     // The limit passed to the projected-database miner applies to the suffix
     // (the pattern minus the pivot edge).
@@ -74,35 +86,60 @@ fn mine_horizontal(
         Some(max) => MiningLimits::with_max_len(max.saturating_sub(1).max(1)),
         None => MiningLimits::UNBOUNDED,
     };
+    let singles_only = matches!(limits.max_pattern_len, Some(1));
 
-    // Step 2: one projected database per frequent edge.
-    for &(edge, support) in &frequent {
-        output
-            .patterns
-            .push(FrequentPattern::new(EdgeSet::singleton(edge), support));
+    // Step 1: materialise the window once; frequent single edges come from
+    // the snapshot's row sums.  The snapshot is the mining working set of the
+    // horizontal family (the trees come and go on top of it), so its bytes
+    // are recorded the same way the vertical miners record their resident
+    // frequent rows.
+    let snapshot = matrix.snapshot()?;
+    output.stats.peak_bitvector_bytes = snapshot.heap_bytes();
+    let frequent: Vec<(EdgeId, Support)> = snapshot
+        .singleton_supports()
+        .into_iter()
+        .filter(|(_, support)| *support >= minsup)
+        .collect();
 
-        if matches!(limits.max_pattern_len, Some(1)) {
-            continue;
-        }
-
-        let projected = matrix.project(edge)?;
-        if projected.is_empty() {
-            continue;
-        }
-        let outcome = strategy(&projected, minsup, suffix_limits);
-        output
-            .stats
-            .tree_footprint
-            .merge_sequential(&outcome.footprint);
-        for (suffix, suffix_support) in outcome.sets {
-            let mut edges = Vec::with_capacity(suffix.len() + 1);
-            edges.push(edge);
-            edges.extend(suffix);
-            output.patterns.push(FrequentPattern::new(
-                EdgeSet::from_edges(edges),
-                suffix_support,
-            ));
-        }
+    // Step 2: one projected database per frequent edge, mined in parallel.
+    // Pivot costs are skewed (small pivots see the largest projected
+    // databases), which is exactly the case the dynamic load balancer of
+    // `parallel::run_indexed_stateful` handles.
+    let threads = parallel::effective_threads(threads, frequent.len());
+    let per_pivot = parallel::run_indexed_stateful(
+        frequent.len(),
+        threads,
+        ProjectionScratch::new,
+        |scratch, idx| {
+            let (edge, support) = frequent[idx];
+            let mut out = RawMiningOutput::default();
+            out.patterns
+                .push(FrequentPattern::new(EdgeSet::singleton(edge), support));
+            if singles_only {
+                return out;
+            }
+            let projected = snapshot.project_into(edge, scratch);
+            if projected.is_empty() {
+                return out;
+            }
+            let outcome = strategy(projected, minsup, suffix_limits);
+            out.stats
+                .tree_footprint
+                .merge_sequential(&outcome.footprint);
+            for (suffix, suffix_support) in outcome.sets {
+                let mut edges = Vec::with_capacity(suffix.len() + 1);
+                edges.push(edge);
+                edges.extend(suffix);
+                out.patterns.push(FrequentPattern::new(
+                    EdgeSet::from_edges(edges),
+                    suffix_support,
+                ));
+            }
+            out
+        },
+    );
+    for subtree in per_pivot {
+        output.merge(subtree);
     }
 
     output.stats.patterns_before_postprocess = output.patterns.len();
@@ -178,7 +215,7 @@ mod tests {
     #[test]
     fn multi_tree_finds_the_17_collections_of_example_2() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_multi_tree(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(output.patterns.len(), 17);
         assert_eq!(pattern_strings(&output), expected_17());
         assert!(
@@ -190,7 +227,7 @@ mod tests {
     #[test]
     fn single_tree_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_single_tree(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_single_tree(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(
             output.stats.tree_footprint.peak_trees, 1,
@@ -201,15 +238,37 @@ mod tests {
     #[test]
     fn top_down_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_top_down(&mut m, 2, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_top_down(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(output.stats.tree_footprint.peak_trees, 1);
     }
 
     #[test]
+    fn parallel_run_is_identical_to_sequential() {
+        let mut m = paper_matrix();
+        for miner in [mine_multi_tree, mine_single_tree, mine_top_down] {
+            for minsup in 1..=5 {
+                let sequential = miner(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+                for threads in [2, 4, 0] {
+                    let parallel = miner(&mut m, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                    // Not just as sets: the merged order must match exactly.
+                    assert_eq!(
+                        parallel.patterns, sequential.patterns,
+                        "threads {threads}, minsup {minsup}"
+                    );
+                    assert_eq!(
+                        parallel.stats, sequential.stats,
+                        "threads {threads}, minsup {minsup}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn higher_minsup_reduces_the_result() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 4, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_multi_tree(&mut m, 4, MiningLimits::UNBOUNDED, 1).unwrap();
         // minsup 4: singletons a:5, c:5, d:4, f:4 plus pairs {a,c}:4, {a,f}:4.
         assert_eq!(
             pattern_strings(&output),
@@ -227,15 +286,15 @@ mod tests {
     #[test]
     fn max_pattern_len_caps_results() {
         let mut m = paper_matrix();
-        let output = mine_single_tree(&mut m, 2, MiningLimits::with_max_len(2)).unwrap();
+        let output = mine_single_tree(&mut m, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
         assert!(output.patterns.iter().any(|p| p.len() == 2));
-        let singles_only = mine_top_down(&mut m, 2, MiningLimits::with_max_len(1)).unwrap();
+        let singles_only = mine_top_down(&mut m, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles_only.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles_only.patterns.len(), 5);
         // A zero cap forbids even singletons, matching the vertical miners.
         for strategy in [mine_multi_tree, mine_single_tree, mine_top_down] {
-            let nothing = strategy(&mut m, 2, MiningLimits::with_max_len(0)).unwrap();
+            let nothing = strategy(&mut m, 2, MiningLimits::with_max_len(0), 1).unwrap();
             assert!(nothing.patterns.is_empty());
         }
     }
@@ -243,7 +302,7 @@ mod tests {
     #[test]
     fn unsatisfiable_minsup_returns_nothing() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 100, MiningLimits::UNBOUNDED).unwrap();
+        let output = mine_multi_tree(&mut m, 100, MiningLimits::UNBOUNDED, 1).unwrap();
         assert!(output.patterns.is_empty());
         assert_eq!(output.stats.patterns_before_postprocess, 0);
     }

@@ -56,9 +56,10 @@ impl RawMiningOutput {
 ///
 /// This is the dispatch point used by the facade and by the experiment
 /// harness when it wants raw (pre-post-processing) output.  `threads` fans
-/// the vertical algorithms' top-level enumeration out over worker threads
-/// (`0` = all available cores, `1` = sequential); the horizontal algorithms
-/// currently ignore it.
+/// every algorithm's top-level enumeration — per-singleton subtrees for the
+/// vertical family, per-pivot projected databases for the horizontal family —
+/// out over worker threads (`0` = all available cores, `1` = sequential).
+/// Results are byte-identical for every thread count.
 pub fn run_algorithm(
     algorithm: Algorithm,
     matrix: &mut DsMatrix,
@@ -68,9 +69,9 @@ pub fn run_algorithm(
     threads: usize,
 ) -> Result<RawMiningOutput> {
     match algorithm {
-        Algorithm::MultiTree => horizontal::mine_multi_tree(matrix, minsup, limits),
-        Algorithm::SingleTree => horizontal::mine_single_tree(matrix, minsup, limits),
-        Algorithm::TopDown => horizontal::mine_top_down(matrix, minsup, limits),
+        Algorithm::MultiTree => horizontal::mine_multi_tree(matrix, minsup, limits, threads),
+        Algorithm::SingleTree => horizontal::mine_single_tree(matrix, minsup, limits, threads),
+        Algorithm::TopDown => horizontal::mine_top_down(matrix, minsup, limits, threads),
         Algorithm::Vertical => vertical::mine_vertical(matrix, minsup, limits, threads),
         Algorithm::DirectVertical => direct::mine_direct(matrix, catalog, minsup, limits, threads),
     }

@@ -237,8 +237,13 @@ mod tests {
                 &mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap(),
             );
             let horizontal = pattern_strings(
-                &super::super::horizontal::mine_multi_tree(&mut m, minsup, MiningLimits::UNBOUNDED)
-                    .unwrap(),
+                &super::super::horizontal::mine_multi_tree(
+                    &mut m,
+                    minsup,
+                    MiningLimits::UNBOUNDED,
+                    1,
+                )
+                .unwrap(),
             );
             assert_eq!(vertical, horizontal, "minsup {minsup}");
         }

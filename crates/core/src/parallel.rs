@@ -1,12 +1,14 @@
 //! Minimal data-parallel fan-out for the mining hot path.
 //!
-//! The top level of both vertical algorithms is an embarrassingly parallel
-//! loop over the frequent single edges: every subtree rooted at edge *i* only
-//! reads the shared frequent-row table and writes its own
-//! [`crate::miners::RawMiningOutput`].  This module distributes those
-//! subtrees over `std::thread::scope` workers with dynamic (atomic-counter)
-//! load balancing — subtree costs are heavily skewed towards small indices,
-//! so static chunking would idle most workers.
+//! The top level of all five algorithms is an embarrassingly parallel loop
+//! over the frequent single edges: a vertical subtree rooted at edge *i* only
+//! reads the shared frequent-row table, and a horizontal pivot *i* only reads
+//! the shared row snapshot — either way each task writes its own
+//! [`crate::miners::RawMiningOutput`].  This module distributes those tasks
+//! over `std::thread::scope` workers with dynamic (atomic-counter) load
+//! balancing — task costs are heavily skewed towards small indices (they see
+//! the most extensions / the largest projected databases), so static chunking
+//! would idle most workers.
 //!
 //! Results are returned **in task-index order**, which keeps the merged
 //! pattern list identical to the sequential traversal and the whole engine

@@ -1,7 +1,8 @@
-//! Property tests for the zero-allocation / parallel vertical engine: on
+//! Property tests for the zero-allocation / parallel mining engine: on
 //! arbitrary (seeded, shrinkable) streams, the §3.4 vertical miner plus the
-//! §3.5 connectivity filter agrees exactly with the §4 direct miner, and
-//! every thread count produces byte-identical output.
+//! §3.5 connectivity filter agrees exactly with the §4 direct miner, and —
+//! for all five algorithms, horizontal and vertical alike — every thread
+//! count produces byte-identical output.
 
 use fsm_core::{miners, Algorithm, ConnectivityChecker, ConnectivityMode};
 use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
@@ -99,8 +100,10 @@ proptest! {
     }
 
     /// The parallel engine is deterministic: every thread count reproduces
-    /// the sequential pattern list (order included) and statistics, for both
-    /// vertical algorithms.
+    /// the sequential pattern list (order included) and statistics, for all
+    /// five algorithms — the three horizontal (FP-tree) miners fan per-pivot
+    /// projected databases out exactly as the vertical miners fan out their
+    /// per-singleton subtrees.
     #[test]
     fn thread_count_never_changes_the_output(
         raw in arb_stream(),
@@ -110,7 +113,7 @@ proptest! {
         let catalog = EdgeCatalog::complete(VERTICES);
         let mut matrix = ingest(&raw, window);
 
-        for algorithm in [Algorithm::Vertical, Algorithm::DirectVertical] {
+        for algorithm in Algorithm::ALL {
             let sequential = miners::run_algorithm(
                 algorithm,
                 &mut matrix,
@@ -137,16 +140,15 @@ proptest! {
                     algorithm,
                     threads
                 );
+                // Byte-identical statistics too: intersection counts, tree
+                // footprints, pattern counts — nothing may depend on the
+                // worker count.
                 prop_assert_eq!(
-                    parallel.stats.intersections,
-                    sequential.stats.intersections,
+                    &parallel.stats,
+                    &sequential.stats,
                     "{} with {} threads",
                     algorithm,
                     threads
-                );
-                prop_assert_eq!(
-                    parallel.stats.patterns_before_postprocess,
-                    sequential.stats.patterns_before_postprocess
                 );
             }
         }

@@ -3,19 +3,45 @@
 //! Each **row** represents one domain edge (item), each **column** one
 //! transaction of the current window; entry `(x, t)` is `1` iff transaction
 //! `t` contains edge `x`.  The matrix keeps one global boundary value per
-//! batch so a window slide simply discards a prefix of every row and appends
-//! the new batch's columns — no per-row bookkeeping, which is the advantage
-//! over the DSTable the paper emphasises (§2.3).
+//! batch so a window slide simply discards the evicted batch's columns and
+//! appends the new batch's columns — no per-row bookkeeping, which is the
+//! advantage over the DSTable the paper emphasises (§2.3).
 //!
-//! The matrix is "kept on the disk": by default rows live in a
-//! [`fsm_storage::RowStore`] backed by a temporary file and are loaded one at
-//! a time while mining, so the resident footprint during capture is only the
-//! boundary bookkeeping.  An in-memory backend exists for tests and for the
-//! storage ablation.
+//! # What this crate owns
+//!
+//! * [`DsMatrix`] — the capture structure itself: ingest batches, slide the
+//!   window, read rows/columns, report memory.  Construction goes through
+//!   [`DsMatrixConfig`] (window size, storage backend, expected domain).
+//! * [`RowSnapshot`] / [`ProjectionScratch`] — an immutable, concurrently
+//!   readable copy of the live window plus per-worker scratch space, which is
+//!   how the parallel horizontal miners build per-pivot projected databases
+//!   without contending on `&mut DsMatrix`.
+//!
+//! # Incremental capture
+//!
+//! Physically the rows live in a [`fsm_storage::SegmentedWindowStore`]: one
+//! immutable segment per ingested batch, holding bit chunks only for the rows
+//! the batch touches.  [`DsMatrix::ingest_batch`] therefore costs
+//! `O(rows touched by the batch + evicted columns)` — it appends one segment
+//! and, when the window is full, unlinks the oldest — instead of rewriting
+//! every cell of every row as a flat-row layout would.  The
+//! [`DsMatrix::capture_stats`] counters expose the words actually written so
+//! tests and benchmarks can assert the bound.  Reads assemble flat
+//! [`fsm_storage::BitVec`] rows on demand, so the mining algorithms see
+//! exactly the paper's conceptual matrix.
+//!
+//! The matrix is "kept on the disk" by default: segments live in per-batch
+//! paged files under a temporary directory and are loaded row-chunk at a time
+//! while mining, so the resident footprint during capture is only the
+//! boundary bookkeeping and the per-segment indexes.  An in-memory backend
+//! exists for tests and for the storage ablation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod matrix;
+mod snapshot;
 
+pub use fsm_storage::CaptureStats;
 pub use matrix::{DsMatrix, DsMatrixConfig};
+pub use snapshot::{ProjectedRows, ProjectionScratch, RowSnapshot};

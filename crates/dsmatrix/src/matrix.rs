@@ -1,8 +1,12 @@
 //! DSMatrix implementation.
 
-use fsm_storage::{BitVec, MemoryTracker, RowStore, StorageBackend};
+use std::collections::BTreeMap;
+
+use fsm_storage::{BitVec, CaptureStats, MemoryTracker, SegmentedWindowStore, StorageBackend};
 use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, EdgeId, FsmError, Result, Support, Transaction};
+
+use crate::snapshot::{ProjectedRows, RowSnapshot};
 
 /// Construction options for a [`DsMatrix`].
 #[derive(Debug, Clone, Default)]
@@ -28,15 +32,24 @@ impl DsMatrixConfig {
 }
 
 /// The Data Stream Matrix of the paper (§2.3).
+///
+/// Rows are stored as per-batch segments in a
+/// [`SegmentedWindowStore`]: ingesting a batch appends one segment holding
+/// only the rows the batch touches, and a window slide drops the oldest
+/// segment whole.  Capture cost is therefore proportional to the entering
+/// batch plus the evicted columns — never to the full window — while reads
+/// ([`DsMatrix::row`], [`DsMatrix::snapshot`]) materialise flat
+/// [`BitVec`] rows identical to the paper's conceptual matrix.
 pub struct DsMatrix {
-    rows: RowStore,
+    store: SegmentedWindowStore,
     window: SlidingWindow,
     num_items: usize,
     num_cols: usize,
     tracker: Option<MemoryTracker>,
-    /// Per-row serialisation buffers reused across window slides, so a slide
-    /// re-serialises every row without allocating per row per batch.
-    row_bufs: Vec<Vec<u8>>,
+    /// Reused per-ingest map of row id → bit chunk for the entering batch.
+    chunks: BTreeMap<usize, BitVec>,
+    /// Recycled chunk buffers for the map above.
+    spare_chunks: Vec<BitVec>,
 }
 
 impl DsMatrix {
@@ -46,12 +59,13 @@ impl DsMatrix {
     /// Creates an empty matrix.
     pub fn new(config: DsMatrixConfig) -> Result<Self> {
         Ok(Self {
-            rows: RowStore::open(config.backend)?,
+            store: SegmentedWindowStore::open(config.backend)?,
             window: SlidingWindow::new(config.window),
             num_items: config.expected_edges,
             num_cols: 0,
             tracker: None,
-            row_bufs: Vec::new(),
+            chunks: BTreeMap::new(),
+            spare_chunks: Vec::new(),
         })
     }
 
@@ -98,20 +112,23 @@ impl DsMatrix {
 
     /// Returns `true` if the rows are spilled to disk rather than resident.
     pub fn is_disk_backed(&self) -> bool {
-        !self.rows.is_memory_resident()
+        !self.store.is_memory_resident()
     }
 
     /// Ingests one batch, sliding the window if it is already full.
     ///
-    /// This is the single-scan capture step: every row is extended with one
-    /// bit per new transaction, and — when the window slides — the columns of
-    /// the evicted batch are dropped from the front of every row first.
+    /// This is the incremental capture step: the entering batch becomes one
+    /// new row segment (touching only the rows that actually occur in the
+    /// batch), and — when the window slides — the evicted batch's segment is
+    /// dropped whole.  Unevicted row prefixes are never rewritten; the
+    /// [`DsMatrix::capture_stats`] counters prove it.
     pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
-        // Work out how many leading columns leave the window.
         let outcome = self.window.push(batch.id, batch.len());
-        let dropped = outcome.evicted.map(|(_, cols)| cols).unwrap_or(0);
-        let old_cols = self.num_cols;
-        let kept_cols = old_cols - dropped;
+        if let Some((_, cols)) = outcome.evicted {
+            let dropped = self.store.pop_segment()?;
+            debug_assert_eq!(dropped, cols, "window bookkeeping must match the store");
+            self.num_cols -= dropped;
+        }
 
         // Grow the domain if the batch mentions edges beyond the current rows.
         let max_edge = batch
@@ -122,45 +139,62 @@ impl DsMatrix {
             .unwrap_or(0);
         self.num_items = self.num_items.max(max_edge);
 
-        if self.row_bufs.len() < self.num_items {
-            self.row_bufs.resize_with(self.num_items, Vec::new);
-        }
-        for item_idx in 0..self.num_items {
-            let item = EdgeId::new(item_idx as u32);
-            let mut row = self.load_row(item_idx)?;
-            // Rows created late (new edges) are padded so that every row has
-            // the same number of columns.
-            row.resize(old_cols);
-            row.drop_prefix(dropped);
-            debug_assert_eq!(row.len(), kept_cols);
-            for transaction in batch.iter() {
-                row.push(transaction.contains(item));
+        // One bit chunk per row the batch touches; rows absent from the batch
+        // cost nothing and read back as zeros.
+        debug_assert!(self.chunks.is_empty());
+        for (col, transaction) in batch.iter().enumerate() {
+            for edge in transaction.iter() {
+                let chunk = self.chunks.entry(edge.index()).or_insert_with(|| {
+                    let mut chunk = self.spare_chunks.pop().unwrap_or_default();
+                    chunk.resize(0);
+                    chunk.resize(batch.len());
+                    chunk
+                });
+                chunk.set(col, true);
             }
-            row.write_bytes(&mut self.row_bufs[item_idx]);
         }
-        // Rewriting the whole store compacts the on-disk file on every slide,
-        // mirroring the paper's "remove the old columns, append the new ones".
-        let rows = &mut self.rows;
-        rows.rewrite_all(
-            self.row_bufs[..self.num_items]
-                .iter()
-                .enumerate()
-                .map(|(i, r)| (i, r.as_slice())),
-        )?;
-        self.num_cols = kept_cols + batch.len();
+        self.store
+            .push_segment(batch.len(), self.chunks.iter().map(|(id, c)| (*id, c)))?;
+        while let Some((_, chunk)) = self.chunks.pop_first() {
+            self.spare_chunks.push(chunk);
+        }
+        self.num_cols += batch.len();
+        debug_assert_eq!(self.num_cols, self.store.num_cols());
         self.report_memory();
         Ok(outcome)
     }
 
+    /// Cumulative capture-cost counters (words/rows written, segments
+    /// appended and dropped).  Differencing `words_written` across two
+    /// [`DsMatrix::ingest_batch`] calls yields the exact write cost of one
+    /// slide.
+    pub fn capture_stats(&self) -> CaptureStats {
+        self.store.stats()
+    }
+
     /// Loads the bit-vector row of `item` (all zeros if the edge has never
-    /// occurred).
+    /// occurred), assembled from the live per-batch segments.
     pub fn row(&mut self, item: EdgeId) -> Result<BitVec> {
-        if item.index() >= self.num_items {
-            return Ok(BitVec::zeros(self.num_cols));
+        let mut row = BitVec::new();
+        if item.index() < self.num_items {
+            self.store.assemble_row(item.index(), &mut row)?;
         }
-        let mut row = self.load_row(item.index())?;
         row.resize(self.num_cols);
         Ok(row)
+    }
+
+    /// Materialises every live-window row into an immutable [`RowSnapshot`]
+    /// that can be read concurrently (the parallel horizontal miners project
+    /// from a snapshot so workers never contend on `&mut self`).
+    pub fn snapshot(&mut self) -> Result<RowSnapshot> {
+        let mut rows = Vec::with_capacity(self.num_items);
+        for idx in 0..self.num_items {
+            let mut row = BitVec::new();
+            self.store.assemble_row(idx, &mut row)?;
+            row.resize(self.num_cols);
+            rows.push(row);
+        }
+        Ok(RowSnapshot::new(rows, self.num_cols))
     }
 
     /// Support of a single edge: the row sum (number of `1`s) of its row.
@@ -188,8 +222,9 @@ impl DsMatrix {
             )));
         }
         let mut edges = Vec::new();
+        let mut row = BitVec::new();
         for idx in 0..self.num_items {
-            let row = self.load_row(idx)?;
+            self.store.assemble_row(idx, &mut row)?;
             if row.get(column) {
                 edges.push(EdgeId::new(idx as u32));
             }
@@ -203,7 +238,13 @@ impl DsMatrix {
     ///
     /// The result is a weighted transaction list ready for FP-tree
     /// construction; identical suffixes are merged to keep it small.
-    pub fn project(&mut self, pivot: EdgeId) -> Result<Vec<(Vec<EdgeId>, Support)>> {
+    ///
+    /// Only the pivot row and the rows after it are assembled, so a single
+    /// projection never materialises the whole window.  Callers projecting
+    /// every pivot in a loop should [`DsMatrix::snapshot`] once and use
+    /// [`RowSnapshot::project_into`] instead — that is what the parallel
+    /// horizontal miners do.
+    pub fn project(&mut self, pivot: EdgeId) -> Result<ProjectedRows> {
         let pivot_row = self.row(pivot)?;
         let columns: Vec<usize> = pivot_row.iter_ones().collect();
         if columns.is_empty() {
@@ -211,8 +252,9 @@ impl DsMatrix {
         }
         // suffixes[i] collects the items of window column columns[i].
         let mut suffixes: Vec<Vec<EdgeId>> = vec![Vec::new(); columns.len()];
+        let mut row = BitVec::new();
         for idx in (pivot.index() + 1)..self.num_items {
-            let row = self.load_row(idx)?;
+            self.store.assemble_row(idx, &mut row)?;
             for (slot, &col) in columns.iter().enumerate() {
                 if row.get(col) {
                     suffixes[slot].push(EdgeId::new(idx as u32));
@@ -221,7 +263,7 @@ impl DsMatrix {
         }
         // Merge identical suffixes into weighted entries.
         suffixes.sort();
-        let mut merged: Vec<(Vec<EdgeId>, Support)> = Vec::new();
+        let mut merged: ProjectedRows = Vec::new();
         for suffix in suffixes {
             if suffix.is_empty() {
                 continue;
@@ -234,27 +276,18 @@ impl DsMatrix {
         Ok(merged)
     }
 
-    /// Bytes resident in main memory: window bookkeeping, the reused
-    /// serialisation buffers, plus — for the memory backend — the row
-    /// payloads.
+    /// Bytes resident in main memory: window bookkeeping, the reused chunk
+    /// buffers, plus — for the memory backend — the segment payloads.
     pub fn resident_bytes(&self) -> usize {
         let bookkeeping = self.window.num_batches() * std::mem::size_of::<(u64, usize)>();
-        let scratch: usize = self.row_bufs.iter().map(Vec::capacity).sum();
-        bookkeeping + scratch + self.rows.resident_bytes()
+        let scratch: usize = self.spare_chunks.iter().map(BitVec::heap_bytes).sum();
+        bookkeeping + scratch + self.store.resident_bytes()
     }
 
-    /// Bytes written to disk by the row store (zero for the memory backend).
+    /// Bytes written to disk by the live segments (zero for the memory
+    /// backend).
     pub fn on_disk_bytes(&self) -> u64 {
-        self.rows.on_disk_bytes()
-    }
-
-    fn load_row(&mut self, idx: usize) -> Result<BitVec> {
-        if !self.rows.contains_row(idx) {
-            return Ok(BitVec::new());
-        }
-        let bytes = self.rows.get_row(idx)?;
-        BitVec::from_bytes(&bytes)
-            .ok_or_else(|| FsmError::corrupt(format!("row {idx} failed to deserialise")))
+        self.store.on_disk_bytes()
     }
 
     fn report_memory(&self) {

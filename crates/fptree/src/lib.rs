@@ -21,6 +21,17 @@
 //! itemsets — a fact the integration and property tests assert — while
 //! differing in how many trees they materialise, which is precisely what the
 //! paper's space experiment measures.
+//!
+//! # Entry points and threading
+//!
+//! The strategies are pure functions `(&ProjectedDb, Support, MiningLimits)
+//! -> MineOutcome` with no shared mutable state, which is what lets
+//! `fsm_core::miners::horizontal` call them from parallel workers (one
+//! projected database per pivot edge) under the engine-wide `threads`
+//! contract: any worker count, byte-identical results.  This crate itself
+//! spawns no threads; keep new strategies pure the same way.  Each
+//! [`growth::MineOutcome`] carries the [`growth::Footprint`] (trees built /
+//! alive / peak bytes) that the space experiment aggregates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -177,12 +177,12 @@ impl BitVec {
 
     /// Drops the first `n` bits, shifting the remainder towards index 0.
     ///
-    /// This is the window-slide operation: when the oldest batch leaves the
-    /// window its columns are removed and the remaining columns shift left
-    /// ("shifting all columns from Cols 4–6 to Cols 1–3" in Example 1).
-    ///
-    /// The shift happens in place, word by word, so a window slide reuses the
-    /// row's existing buffer instead of allocating a fresh one.
+    /// A general in-place prefix-drop primitive (word-by-word, reusing the
+    /// existing buffer).  It implemented the window slide when rows were
+    /// stored flat — "shifting all columns from Cols 4–6 to Cols 1–3" in the
+    /// paper's Example 1 — before the segmented store made slides
+    /// append/unlink operations; it is retained (and still benchmarked in
+    /// `bitvec_kernels`) for consumers that maintain their own flat rows.
     pub fn drop_prefix(&mut self, n: usize) {
         if n == 0 {
             return;
@@ -207,6 +207,35 @@ impl BitVec {
         }
         self.words.truncate(new_words);
         self.len = new_len;
+        self.clear_tail();
+    }
+
+    /// Appends every bit of `other` after the current contents, preserving
+    /// order (`self = self ++ other`).
+    ///
+    /// This is the row-assembly primitive of the segmented window store: a
+    /// row of the live window is the concatenation of its per-batch segments,
+    /// and this routine splices one segment onto the row word-by-word (two
+    /// shifts and an OR per word) instead of bit-by-bit.
+    pub fn extend_from_bitvec(&mut self, other: &BitVec) {
+        if other.len == 0 {
+            return;
+        }
+        let shift = self.len % WORD_BITS;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            return;
+        }
+        self.words.reserve(other.words.len());
+        for &word in &other.words {
+            // Low bits fill the free space of the current last word; high
+            // bits spill into a fresh word.
+            *self.words.last_mut().expect("shift != 0 implies non-empty") |= word << shift;
+            self.words.push(word >> (WORD_BITS - shift));
+        }
+        self.len += other.len;
+        self.words.truncate(self.len.div_ceil(WORD_BITS));
         self.clear_tail();
     }
 
@@ -254,22 +283,39 @@ impl BitVec {
     ///
     /// Returns `None` if the buffer is truncated or malformed.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut v = Self::new();
+        v.read_bytes(bytes).then_some(v)
+    }
+
+    /// Deserialises [`BitVec::to_bytes`] output into `self`, reusing the
+    /// existing word buffer (the allocation-free counterpart of
+    /// [`BitVec::from_bytes`], and the read-side twin of
+    /// [`BitVec::write_bytes`]).
+    ///
+    /// Returns `false` — leaving `self` empty — if the buffer is truncated
+    /// or malformed.
+    pub fn read_bytes(&mut self, bytes: &[u8]) -> bool {
+        self.words.clear();
+        self.len = 0;
         if bytes.len() < 8 {
-            return None;
+            return false;
         }
-        let len = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        let Ok(header) = bytes[..8].try_into() else {
+            return false;
+        };
+        let len = u64::from_le_bytes(header) as usize;
         let expected_words = len.div_ceil(WORD_BITS);
         let body = &bytes[8..];
         if body.len() != expected_words * 8 {
-            return None;
+            return false;
         }
-        let words = body
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
-            .collect();
-        let mut v = Self { words, len };
-        v.clear_tail();
-        Some(v)
+        self.words.extend(
+            body.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))),
+        );
+        self.len = len;
+        self.clear_tail();
+        true
     }
 
     /// Heap bytes used by the word buffer (for memory accounting).
@@ -435,6 +481,43 @@ mod tests {
         }
         let ones: Vec<usize> = v.iter_ones().collect();
         assert_eq!(ones, vec![0, 1, 63, 64, 127, 149]);
+    }
+
+    #[test]
+    fn extend_from_bitvec_matches_push_loop() {
+        let patterns = [
+            "",
+            "1",
+            "0110",
+            &"10".repeat(40),
+            &"1".repeat(63),
+            &"01".repeat(64),
+            &"001".repeat(50),
+        ];
+        for left in patterns {
+            for right in patterns {
+                let mut fast = bv(left);
+                fast.extend_from_bitvec(&bv(right));
+                let mut slow = bv(left);
+                for c in right.chars() {
+                    slow.push(c == '1');
+                }
+                assert_eq!(fast, slow, "left {left:?} right {right:?}");
+                assert_eq!(fast.len(), left.len() + right.len());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_bitvec_keeps_tail_clean() {
+        // A dirty tail would corrupt popcounts and equality; splice at a
+        // non-word-aligned boundary and check the invariants.
+        let mut v = bv("101");
+        v.extend_from_bitvec(&bv(&"1".repeat(130)));
+        assert_eq!(v.count_ones(), 132);
+        let mut w = v.clone();
+        w.resize(v.len());
+        assert_eq!(v, w);
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!   by the vertical mining algorithms (§3.4, §4);
 //! * [`PagedFile`] — a minimal fixed-page file abstraction;
 //! * [`RowStore`] — a disk- or memory-backed store of variable-length rows,
-//!   used by the DSMatrix and DSTable to spill window contents to disk;
+//!   used by the DSTable (and by every window segment) to spill contents to
+//!   disk;
+//! * [`SegmentedWindowStore`] — an append-friendly queue of per-batch row
+//!   segments: the DSMatrix capture path, where a window slide appends one
+//!   segment and unlinks one instead of rewriting every row (writes are
+//!   counted in [`CaptureStats`]);
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
@@ -22,11 +27,13 @@
 pub mod bitvec;
 pub mod paged;
 pub mod rowstore;
+pub mod segment;
 pub mod temp;
 pub mod tracker;
 
 pub use bitvec::BitVec;
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
+pub use segment::{CaptureStats, SegmentedWindowStore};
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};

@@ -116,16 +116,29 @@ impl RowStore {
 
     /// Reads row `id` back.
     pub fn get_row(&mut self, id: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.get_row_into(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads row `id` into `out`, clearing and reusing its buffer (the
+    /// allocation-free counterpart of [`RowStore::get_row`] for read paths
+    /// that scan many rows).
+    pub fn get_row_into(&mut self, id: usize, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
         match &mut self.inner {
-            Inner::Memory { rows } => rows
-                .get(&id)
-                .cloned()
-                .ok_or_else(|| FsmError::corrupt(format!("row {id} not present"))),
+            Inner::Memory { rows } => {
+                let row = rows
+                    .get(&id)
+                    .ok_or_else(|| FsmError::corrupt(format!("row {id} not present")))?;
+                out.extend_from_slice(row);
+                Ok(())
+            }
             Inner::Disk { file, index, .. } => {
                 let &(first_page, len) = index
                     .get(&id)
                     .ok_or_else(|| FsmError::corrupt(format!("row {id} not present")))?;
-                let mut out = Vec::with_capacity(len);
+                out.reserve(len);
                 let mut remaining = len;
                 let mut page = first_page;
                 while remaining > 0 {
@@ -135,7 +148,7 @@ impl RowStore {
                     remaining -= take;
                     page += 1;
                 }
-                Ok(out)
+                Ok(())
             }
         }
     }
