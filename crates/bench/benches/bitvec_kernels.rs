@@ -7,7 +7,7 @@
 //! the fused / in-place variants the engine uses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fsm_storage::BitVec;
+use fsm_storage::{BitVec, SegmentedWindowStore, StorageBackend};
 
 fn vectors(bits: usize) -> (BitVec, BitVec) {
     let a: BitVec = (0..bits).map(|i| i % 3 == 0).collect();
@@ -43,6 +43,57 @@ fn intersection_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Chunk-aware kernels: intersecting a flat row against a segmented row
+/// without assembling it, versus assembling into a reused buffer first and
+/// using the flat kernel.
+///
+/// This quantifies the trade the engine's defaults are built on: the
+/// streaming cursor needs no scratch memory at all, but pays per-word
+/// stitching, while splice-into-a-buffer amortises to a plain memcpy + flat
+/// AND — which is why the DSMatrix keeps a spliced row *cache* as the miners'
+/// read surface and reserves the cursor for cache-less one-off reads.
+fn chunked_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitvec_chunked");
+    group.sample_size(30);
+
+    for bits in [8 * 1024usize, 128 * 1024] {
+        let (a, b) = vectors(bits);
+        // A window of 16 misaligned segments all touching row 0.
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        let seg_cols = bits / 16 + 3;
+        let mut produced = 0;
+        while produced < bits {
+            let cols = seg_cols.min(bits - produced);
+            let chunk: BitVec = (produced..produced + cols).map(|i| b.get(i)).collect();
+            store.push_segment(cols, [(0usize, &chunk)]).unwrap();
+            produced += cols;
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("and_count_chunked", bits),
+            &(),
+            |bench, ()| {
+                let row = store.chunked_row(0).unwrap();
+                bench.iter(|| std::hint::black_box(a.and_count_chunked(&row)))
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("assemble_then_and_count", bits),
+            &(),
+            |bench, ()| {
+                let row = store.chunked_row(0).unwrap();
+                let mut flat = BitVec::new();
+                bench.iter(|| {
+                    row.assemble_into(&mut flat);
+                    std::hint::black_box(a.and_count(&flat))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn slide_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("bitvec_slide");
     group.sample_size(30);
@@ -62,5 +113,10 @@ fn slide_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, intersection_kernels, slide_kernels);
+criterion_group!(
+    benches,
+    intersection_kernels,
+    chunked_kernels,
+    slide_kernels
+);
 criterion_main!(benches);

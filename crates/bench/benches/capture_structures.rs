@@ -5,6 +5,11 @@
 //! structures, plus the mining cost over each structure with the same
 //! FP-growth strategy.  The DSMatrix is expected to have the cheapest slide on
 //! dense data because it only drops a prefix of every bit row.
+//!
+//! A second group benchmarks the DSMatrix *read* surface: constructing the
+//! zero-copy `WindowView` versus materialising the eager `RowSnapshot` over
+//! the same captured window (the view should cost nanoseconds regardless of
+//! window size; the snapshot scales with it).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsm_bench::Workload;
@@ -68,5 +73,45 @@ fn capture(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, capture);
+fn read_surface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_read_surface");
+    group.sample_size(10);
+
+    for workload in [Workload::graph_model(1, 11), Workload::dense(1, 12)] {
+        let mut matrix = DsMatrix::new(DsMatrixConfig::new(
+            WindowConfig::new(5).unwrap(),
+            StorageBackend::Memory,
+            workload.catalog.num_edges(),
+        ))
+        .unwrap();
+        for batch in &workload.batches {
+            matrix.ingest_batch(batch).unwrap();
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("view_zero_copy", &workload.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let view = matrix.view().unwrap();
+                    std::hint::black_box(view.num_transactions())
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_eager", &workload.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let snapshot = matrix.snapshot().unwrap();
+                    std::hint::black_box(snapshot.num_transactions())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, capture, read_surface);
 criterion_main!(benches);

@@ -20,7 +20,9 @@
 //! the vertical family); `0` uses every core, and the output is identical
 //! for any setting.  Capture is incremental regardless of threading: each
 //! batch is one appended row segment, so ingest cost tracks the batch, not
-//! the window.
+//! the window.  Reads are incremental too — mining runs off a zero-copy
+//! window view on the memory backend, and the stderr summary reports how
+//! many words the read path had to materialise (zero in the steady state).
 
 mod args;
 
@@ -87,6 +89,15 @@ fn run(options: &Options) -> Result<()> {
         batches.len(),
         options.algorithm,
         result.stats().elapsed
+    );
+    eprintln!(
+        "read path: {} words materialised for this mine call{}",
+        result.stats().read_words_assembled,
+        if result.stats().read_words_assembled == 0 {
+            " (zero-copy window view)"
+        } else {
+            " (disk-backend row assembly)"
+        }
     );
 
     let mut patterns: Vec<FrequentPattern> = match options.output {

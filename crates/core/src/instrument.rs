@@ -38,6 +38,12 @@ pub struct MiningStats {
     /// created (the incremental-slide cost counter; see
     /// [`fsm_dsmatrix::DsMatrix::capture_stats`]).
     pub capture_words_written: u64,
+    /// 64-bit words of window data the read path materialised *for this mine
+    /// call* (the read-amplification counter; see
+    /// [`fsm_dsmatrix::DsMatrix::read_stats`]).  Zero on the memory backend,
+    /// whose miners borrow the incrementally-maintained row cache zero-copy;
+    /// on the disk backends it is the eager row-assembly fallback.
+    pub read_words_assembled: u64,
     /// Number of window transactions the run mined over.
     pub window_transactions: usize,
     /// The absolute minimum support the thresholds resolved to.
@@ -63,6 +69,7 @@ impl MiningStats {
             .max(other.capture_resident_bytes);
         self.capture_on_disk_bytes = self.capture_on_disk_bytes.max(other.capture_on_disk_bytes);
         self.capture_words_written = self.capture_words_written.max(other.capture_words_written);
+        self.read_words_assembled = self.read_words_assembled.max(other.read_words_assembled);
         self.window_transactions = self.window_transactions.max(other.window_transactions);
         self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
     }

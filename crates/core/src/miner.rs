@@ -107,6 +107,7 @@ impl StreamMiner {
             .min_support
             .resolve(self.matrix.num_transactions());
 
+        let read_before = self.matrix.read_stats().words_assembled;
         let mut raw = miners::run_algorithm(
             self.config.algorithm,
             &mut self.matrix,
@@ -115,6 +116,11 @@ impl StreamMiner {
             self.config.limits,
             self.config.threads,
         )?;
+        // Read amplification of this call: words the read path materialised.
+        // Zero in the steady state on the memory backend (zero-copy view);
+        // the disk backends pay one eager assembly, released right after.
+        raw.stats.read_words_assembled = self.matrix.read_stats().words_assembled - read_before;
+        self.matrix.trim_cache();
 
         if self.config.algorithm.needs_postprocessing() {
             let checker = ConnectivityChecker::new(&self.catalog, self.config.connectivity);

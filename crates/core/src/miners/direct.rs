@@ -30,6 +30,9 @@ use crate::scratch::ScratchArena;
 /// [`BitVec::and_count`] kernel and surviving intersections land in per-depth
 /// [`ScratchArena`] buffers, while the fan-out over frequent single edges
 /// runs on `threads` workers (`0` = all cores) and merges deterministically.
+/// Singleton rows are borrowed zero-copy from the
+/// [`fsm_dsmatrix::WindowView`] and their supports come from ingest-time
+/// counters, so on the memory backend setup materialises no window data.
 pub fn mine_direct(
     matrix: &mut DsMatrix,
     catalog: &EdgeCatalog,
@@ -40,17 +43,18 @@ pub fn mine_direct(
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
 
-    // Frequent single edges and their rows.
-    let singletons = matrix.singleton_supports()?;
-    let mut rows: BTreeMap<EdgeId, BitVec> = BTreeMap::new();
+    // Frequent single edges and their rows, borrowed zero-copy from the
+    // window view (supports come from ingest-time counters).
+    let view = matrix.view()?;
+    let mut rows: BTreeMap<EdgeId, &BitVec> = BTreeMap::new();
     let mut frequent: Vec<(EdgeId, Support)> = Vec::new();
-    for (edge, support) in singletons {
+    for (edge, support) in view.singleton_supports() {
         if support >= minsup {
-            rows.insert(edge, matrix.row(edge)?);
+            rows.insert(edge, view.row(edge).expect("view covers every listed edge"));
             frequent.push((edge, support));
         }
     }
-    let base_bytes: usize = rows.values().map(BitVec::heap_bytes).sum();
+    let base_bytes: usize = rows.values().map(|row| row.heap_bytes()).sum();
     output.stats.peak_bitvector_bytes = base_bytes;
 
     // Singletons are patterns of length 1 and obey the same cardinality cap
@@ -72,7 +76,7 @@ pub fn mine_direct(
             catalog,
             &rows,
             &neighborhood,
-            &rows[&edge],
+            rows[&edge],
             minsup,
             limits,
             Bytes {
@@ -101,7 +105,7 @@ pub fn mine_direct(
 #[allow(clippy::too_many_arguments)]
 fn grow(
     catalog: &EdgeCatalog,
-    rows: &BTreeMap<EdgeId, BitVec>,
+    rows: &BTreeMap<EdgeId, &BitVec>,
     neighborhood: &Neighborhood,
     vector: &BitVec,
     minsup: Support,

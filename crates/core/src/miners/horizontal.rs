@@ -12,11 +12,12 @@
 //!
 //! The per-pivot work units are independent (pivot `x`'s projected database
 //! only reads rows after `x`), so all three algorithms fan the pivots out
-//! over the [`crate::parallel`] engine: the matrix is snapshotted once
-//! ([`DsMatrix::snapshot`]), each worker owns one
-//! [`ProjectionScratch`] for allocation-free projection, and per-pivot
-//! outputs merge back in canonical edge order — pattern lists and statistics
-//! are byte-identical for every thread count.
+//! over the [`crate::parallel`] engine: workers share one zero-copy
+//! [`fsm_dsmatrix::WindowView`] ([`DsMatrix::view`] — nothing is copied on
+//! the memory backend; the disk backends assemble rows once per mine call),
+//! each worker owns one [`ProjectionScratch`] for allocation-free
+//! projection, and per-pivot outputs merge back in canonical edge order —
+//! pattern lists and statistics are byte-identical for every thread count.
 
 use fsm_dsmatrix::{DsMatrix, ProjectionScratch};
 use fsm_fptree::growth::MineOutcome;
@@ -88,14 +89,15 @@ fn mine_horizontal(
     };
     let singles_only = matches!(limits.max_pattern_len, Some(1));
 
-    // Step 1: materialise the window once; frequent single edges come from
-    // the snapshot's row sums.  The snapshot is the mining working set of the
-    // horizontal family (the trees come and go on top of it), so its bytes
-    // are recorded the same way the vertical miners record their resident
-    // frequent rows.
-    let snapshot = matrix.snapshot()?;
-    output.stats.peak_bitvector_bytes = snapshot.heap_bytes();
-    let frequent: Vec<(EdgeId, Support)> = snapshot
+    // Step 1: take the shared window view; frequent single edges come from
+    // the matrix's ingest-time support counters.  The rows the view exposes
+    // are the mining working set of the horizontal family (the trees come
+    // and go on top of them), so their bytes are recorded the same way the
+    // vertical miners record their resident frequent rows — on the memory
+    // backend they are shared with the capture structure, not copied.
+    let view = matrix.view()?;
+    output.stats.peak_bitvector_bytes = view.heap_bytes();
+    let frequent: Vec<(EdgeId, Support)> = view
         .singleton_supports()
         .into_iter()
         .filter(|(_, support)| *support >= minsup)
@@ -118,7 +120,7 @@ fn mine_horizontal(
             if singles_only {
                 return out;
             }
-            let projected = snapshot.project_into(edge, scratch);
+            let projected = view.project_into(edge, scratch);
             if projected.is_empty() {
                 return out;
             }

@@ -26,6 +26,12 @@ use crate::scratch::ScratchArena;
 /// single edges runs on `threads` workers (`0` = all cores); per-edge
 /// subtrees are merged back in canonical order, so the output is identical
 /// to the sequential traversal.
+///
+/// Rows are read through the zero-copy [`fsm_dsmatrix::WindowView`]:
+/// singleton supports come from ingest-time counters and the frequent rows
+/// are *borrowed* from the matrix's incrementally-maintained cache (memory
+/// backend) rather than assembled per call, so on the memory backend this
+/// function materialises no window data at all.
 pub fn mine_vertical(
     matrix: &mut DsMatrix,
     minsup: Support,
@@ -35,14 +41,19 @@ pub fn mine_vertical(
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
 
-    // Frequent single edges with their rows loaded once.
-    let singletons = matrix.singleton_supports()?;
-    let mut frequent: Vec<(EdgeId, Support, BitVec)> = Vec::new();
-    for (edge, support) in singletons {
-        if support >= minsup {
-            frequent.push((edge, support, matrix.row(edge)?));
-        }
-    }
+    // Frequent single edges with their rows borrowed from the view.  All
+    // rows of one view share the same column alignment, so the intersection
+    // kernels below see exactly the flat-matrix bit strings.
+    let view = matrix.view()?;
+    let frequent: Vec<(EdgeId, Support, &BitVec)> = view
+        .singleton_supports()
+        .into_iter()
+        .filter(|(_, support)| *support >= minsup)
+        .map(|(edge, support)| {
+            let row = view.row(edge).expect("view covers every listed edge");
+            (edge, support, row)
+        })
+        .collect();
     let row_bytes: usize = frequent.iter().map(|(_, _, row)| row.heap_bytes()).sum();
     output.stats.peak_bitvector_bytes = row_bytes;
 
@@ -72,7 +83,7 @@ pub fn mine_vertical(
 /// Mines the enumeration subtree rooted at `frequent[idx]`: the singleton
 /// pattern itself plus every extension by edges after it in canonical order.
 fn mine_subtree(
-    frequent: &[(EdgeId, Support, BitVec)],
+    frequent: &[(EdgeId, Support, &BitVec)],
     idx: usize,
     minsup: Support,
     limits: MiningLimits,
@@ -107,7 +118,7 @@ fn mine_subtree(
 /// every frequent edge after position `from` in canonical order.
 #[allow(clippy::too_many_arguments)]
 fn extend(
-    frequent: &[(EdgeId, Support, BitVec)],
+    frequent: &[(EdgeId, Support, &BitVec)],
     from: usize,
     prefix: &mut Vec<EdgeId>,
     vector: &BitVec,

@@ -12,12 +12,16 @@
 //! * [`DsMatrix`] — the capture structure itself: ingest batches, slide the
 //!   window, read rows/columns, report memory.  Construction goes through
 //!   [`DsMatrixConfig`] (window size, storage backend, expected domain).
-//! * [`RowSnapshot`] / [`ProjectionScratch`] — an immutable, concurrently
-//!   readable copy of the live window plus per-worker scratch space, which is
-//!   how the parallel horizontal miners build per-pivot projected databases
+//! * [`WindowView`] / [`ProjectionScratch`] — the miners' read surface: an
+//!   immutable, concurrently-shareable view of the live window (zero-copy on
+//!   the memory backend) plus per-worker scratch space, which is how the
+//!   parallel miners read rows and build per-pivot projected databases
 //!   without contending on `&mut DsMatrix`.
+//! * [`RowSnapshot`] — the demoted eager copy: retained as the reference for
+//!   the view's byte-identity tests and for callers that need an owned copy
+//!   of the window outliving the matrix.
 //!
-//! # Incremental capture
+//! # Incremental capture — and incremental reads
 //!
 //! Physically the rows live in a [`fsm_storage::SegmentedWindowStore`]: one
 //! immutable segment per ingested batch, holding bit chunks only for the rows
@@ -26,22 +30,33 @@
 //! and, when the window is full, unlinks the oldest — instead of rewriting
 //! every cell of every row as a flat-row layout would.  The
 //! [`DsMatrix::capture_stats`] counters expose the words actually written so
-//! tests and benchmarks can assert the bound.  Reads assemble flat
-//! [`fsm_storage::BitVec`] rows on demand, so the mining algorithms see
-//! exactly the paper's conceptual matrix.
+//! tests and benchmarks can assert the bound.
+//!
+//! The *read* side is incremental too: on the memory backend the matrix
+//! maintains a generation-tagged flat-row cache at ingest/evict time (splice
+//! the entering chunk, lazily zero the evicted prefix, amortised
+//! `drop_prefix` compaction) together with per-edge support counters, so
+//! [`DsMatrix::view`] hands the miners a zero-copy [`WindowView`] and the
+//! steady-state read cost of a mine call is proportional to the rows the
+//! slide touched, not to the window.  [`DsMatrix::read_stats`] counts the
+//! words the read path actually materialises, mirroring `capture_stats` on
+//! the write side.
 //!
 //! The matrix is "kept on the disk" by default: segments live in per-batch
-//! paged files under a temporary directory and are loaded row-chunk at a time
-//! while mining, so the resident footprint during capture is only the
-//! boundary bookkeeping and the per-segment indexes.  An in-memory backend
-//! exists for tests and for the storage ablation.
+//! paged files under a temporary directory, the resident footprint during
+//! capture is only the boundary bookkeeping, counters and per-segment
+//! indexes, and [`DsMatrix::view`] falls back to assembling flat rows for
+//! the duration of a mine call.  An in-memory backend serves the zero-copy
+//! path, tests, and the storage ablation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod matrix;
 mod snapshot;
+mod view;
 
 pub use fsm_storage::CaptureStats;
-pub use matrix::{DsMatrix, DsMatrixConfig};
+pub use matrix::{DsMatrix, DsMatrixConfig, ReadStats};
 pub use snapshot::{ProjectedRows, ProjectionScratch, RowSnapshot};
+pub use view::WindowView;

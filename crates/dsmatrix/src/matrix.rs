@@ -1,12 +1,61 @@
 //! DSMatrix implementation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use fsm_storage::{BitVec, CaptureStats, MemoryTracker, SegmentedWindowStore, StorageBackend};
 use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, EdgeId, FsmError, Result, Support, Transaction};
 
 use crate::snapshot::{ProjectedRows, RowSnapshot};
+use crate::view::WindowView;
+
+/// Cumulative read-path cost counters of a [`DsMatrix`].
+///
+/// The incremental-capture story of PR 2 measured *writes*
+/// ([`CaptureStats`]); these counters measure *reads* the same way, so the
+/// read-amplification section of `exp3_runtime` reports measured words, not
+/// a model.  Differencing `words_assembled` across a mine call gives the
+/// exact number of words the read path had to materialise for it — zero in
+/// the steady state on the memory backend, where [`DsMatrix::view`] borrows
+/// the incrementally-maintained row cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// 64-bit words copied into flat rows by eager reads
+    /// ([`DsMatrix::row`], [`DsMatrix::snapshot`], the disk-backend fallback
+    /// of [`DsMatrix::view`]).
+    pub words_assembled: u64,
+    /// Flat rows materialised by those eager reads.
+    pub rows_assembled: u64,
+    /// Words spliced into the incremental row cache at ingest time (cost
+    /// proportional to the rows the batch touches).
+    pub cache_splice_words: u64,
+    /// Words moved by the amortised [`BitVec::drop_prefix`] compaction of the
+    /// row cache's dead prefix.
+    pub cache_compact_words: u64,
+}
+
+/// The incrementally-maintained flat-row cache behind [`DsMatrix::view`].
+///
+/// Invariants (memory backend): `rows[i]` holds item `i`'s window bits at
+/// positions `[offset, offset + k)` for some `k <= num_cols` (missing tail
+/// bits read as zero), and every bit below `offset` is zero.  A slide zeroes
+/// the evicted chunk in place and grows `offset` (lazy eviction); the entering
+/// chunk is spliced onto the touched rows only.  The physical dead prefix is
+/// compacted with [`BitVec::drop_prefix`] once it outgrows the live window,
+/// which keeps the amortised per-slide maintenance cost proportional to the
+/// rows the slide touches.
+#[derive(Default)]
+struct RowCache {
+    rows: Vec<BitVec>,
+    /// Dead (all-zero) bits at the front of every cached row.
+    offset: usize,
+    /// `false` on the disk backends: the cache is then only a scratch target
+    /// for the eager [`DsMatrix::view`] fallback, never maintained at ingest.
+    enabled: bool,
+    /// Store generation the cached rows reflect (see
+    /// [`fsm_storage::SegmentedWindowStore::generation`]).
+    generation: u64,
+}
 
 /// Construction options for a [`DsMatrix`].
 #[derive(Debug, Clone, Default)]
@@ -37,9 +86,12 @@ impl DsMatrixConfig {
 /// [`SegmentedWindowStore`]: ingesting a batch appends one segment holding
 /// only the rows the batch touches, and a window slide drops the oldest
 /// segment whole.  Capture cost is therefore proportional to the entering
-/// batch plus the evicted columns — never to the full window — while reads
-/// ([`DsMatrix::row`], [`DsMatrix::snapshot`]) materialise flat
-/// [`BitVec`] rows identical to the paper's conceptual matrix.
+/// batch plus the evicted columns — never to the full window.  Reads go
+/// through [`DsMatrix::view`], which on the memory backend borrows an
+/// incrementally-maintained row cache (zero-copy, same slide-proportional
+/// cost bound); eager flat-[`BitVec`] reads ([`DsMatrix::row`],
+/// [`DsMatrix::snapshot`]) remain as the disk fallback and test reference,
+/// identical to the paper's conceptual matrix bit for bit.
 pub struct DsMatrix {
     store: SegmentedWindowStore,
     window: SlidingWindow,
@@ -50,6 +102,18 @@ pub struct DsMatrix {
     chunks: BTreeMap<usize, BitVec>,
     /// Recycled chunk buffers for the map above.
     spare_chunks: Vec<BitVec>,
+    /// Singleton supports, maintained at ingest/evict time (never by row
+    /// scans): `supports[i]` is the popcount of item `i`'s window row.
+    supports: Vec<Support>,
+    /// Per live segment, the `(row, ones)` pairs it contributed — what a
+    /// future eviction must subtract from `supports` (and zero in the cache).
+    segment_ones: VecDeque<Vec<(usize, u64)>>,
+    /// The incrementally-maintained read surface behind [`DsMatrix::view`].
+    cache: RowCache,
+    /// Cumulative read-path cost counters.
+    read_stats: ReadStats,
+    /// Reused chunk buffer for the segment-direct [`DsMatrix::column`] read.
+    col_chunk: BitVec,
 }
 
 impl DsMatrix {
@@ -58,14 +122,26 @@ impl DsMatrix {
 
     /// Creates an empty matrix.
     pub fn new(config: DsMatrixConfig) -> Result<Self> {
+        let store = SegmentedWindowStore::open(config.backend)?;
+        let cache = RowCache {
+            rows: Vec::new(),
+            offset: 0,
+            enabled: store.is_memory_resident(),
+            generation: store.generation(),
+        };
         Ok(Self {
-            store: SegmentedWindowStore::open(config.backend)?,
+            store,
             window: SlidingWindow::new(config.window),
             num_items: config.expected_edges,
             num_cols: 0,
             tracker: None,
             chunks: BTreeMap::new(),
             spare_chunks: Vec::new(),
+            supports: vec![0; config.expected_edges],
+            segment_ones: VecDeque::new(),
+            cache,
+            read_stats: ReadStats::default(),
+            col_chunk: BitVec::new(),
         })
     }
 
@@ -128,6 +204,24 @@ impl DsMatrix {
             let dropped = self.store.pop_segment()?;
             debug_assert_eq!(dropped, cols, "window bookkeeping must match the store");
             self.num_cols -= dropped;
+            // Incremental evict: subtract the leaving segment's popcounts
+            // from the support counters, zero its bits in the cached rows it
+            // touched, and grow the dead prefix — no other row is visited.
+            let evicted = self
+                .segment_ones
+                .pop_front()
+                .ok_or_else(|| FsmError::corrupt("segment bookkeeping out of sync"))?;
+            for &(row, ones) in &evicted {
+                self.supports[row] -= ones;
+                if self.cache.enabled {
+                    self.cache.rows[row]
+                        .clear_range(self.cache.offset, self.cache.offset + dropped);
+                }
+            }
+            if self.cache.enabled {
+                self.cache.offset += dropped;
+                self.compact_cache_if_due();
+            }
         }
 
         // Grow the domain if the batch mentions edges beyond the current rows.
@@ -138,6 +232,12 @@ impl DsMatrix {
             .max()
             .unwrap_or(0);
         self.num_items = self.num_items.max(max_edge);
+        if self.supports.len() < self.num_items {
+            self.supports.resize(self.num_items, 0);
+        }
+        if self.cache.enabled && self.cache.rows.len() < self.num_items {
+            self.cache.rows.resize_with(self.num_items, BitVec::new);
+        }
 
         // One bit chunk per row the batch touches; rows absent from the batch
         // cost nothing and read back as zeros.
@@ -155,6 +255,27 @@ impl DsMatrix {
         }
         self.store
             .push_segment(batch.len(), self.chunks.iter().map(|(id, c)| (*id, c)))?;
+
+        // Incremental read-side maintenance, again touching only the rows the
+        // batch touches: bump the support counters, remember what an eventual
+        // eviction must undo, and splice the chunk onto the cached row.
+        let mut entering = Vec::with_capacity(self.chunks.len());
+        let splice_at = self.cache.offset + self.num_cols;
+        for (&id, chunk) in self.chunks.iter() {
+            let ones = chunk.count_ones();
+            self.supports[id] += ones;
+            entering.push((id, ones));
+            if self.cache.enabled {
+                let row = &mut self.cache.rows[id];
+                debug_assert!(row.len() <= splice_at, "cached row ahead of the window");
+                row.resize(splice_at);
+                row.extend_from_bitvec(chunk);
+                self.read_stats.cache_splice_words += chunk.len().div_ceil(64) as u64;
+            }
+        }
+        self.segment_ones.push_back(entering);
+        self.cache.generation = self.store.generation();
+
         while let Some((_, chunk)) = self.chunks.pop_first() {
             self.spare_chunks.push(chunk);
         }
@@ -162,6 +283,26 @@ impl DsMatrix {
         debug_assert_eq!(self.num_cols, self.store.num_cols());
         self.report_memory();
         Ok(outcome)
+    }
+
+    /// Physically drops the cache's dead prefix once it outgrows the live
+    /// window.  Rationing the [`BitVec::drop_prefix`] pass this way keeps its
+    /// amortised cost per slide below the words the slide itself wrote, so
+    /// lazy eviction never degrades into per-slide full-row rewrites.
+    fn compact_cache_if_due(&mut self) {
+        const MIN_DEAD_BITS: usize = 512;
+        if self.cache.offset < self.num_cols.max(MIN_DEAD_BITS) {
+            return;
+        }
+        for row in &mut self.cache.rows {
+            if row.is_empty() {
+                continue;
+            }
+            self.read_stats.cache_compact_words +=
+                (row.len().saturating_sub(self.cache.offset)).div_ceil(64) as u64;
+            row.drop_prefix(self.cache.offset);
+        }
+        self.cache.offset = 0;
     }
 
     /// Cumulative capture-cost counters (words/rows written, segments
@@ -174,59 +315,171 @@ impl DsMatrix {
 
     /// Loads the bit-vector row of `item` (all zeros if the edge has never
     /// occurred), assembled from the live per-batch segments.
+    ///
+    /// This reads the segment store — the ground truth — not the row cache,
+    /// which is exactly what makes it useful as the reference the cache's
+    /// shadow-model tests compare against.  Miners should go through
+    /// [`DsMatrix::view`] instead.
     pub fn row(&mut self, item: EdgeId) -> Result<BitVec> {
         let mut row = BitVec::new();
         if item.index() < self.num_items {
-            self.store.assemble_row(item.index(), &mut row)?;
+            // Memory backend: concatenate the borrowed chunk view (no
+            // serialise round-trip); disk: decode chunk by chunk.
+            if let Some(chunked) = self.store.chunked_row(item.index()) {
+                chunked.assemble_into(&mut row);
+            } else {
+                self.store.assemble_row(item.index(), &mut row)?;
+            }
+            self.read_stats.rows_assembled += 1;
         }
         row.resize(self.num_cols);
+        self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
         Ok(row)
     }
 
-    /// Materialises every live-window row into an immutable [`RowSnapshot`]
-    /// that can be read concurrently (the parallel horizontal miners project
-    /// from a snapshot so workers never contend on `&mut self`).
+    /// The zero-copy read surface over the live window: what all five miners
+    /// read.
+    ///
+    /// On the memory backend this borrows the incrementally-maintained row
+    /// cache — nothing is copied, so the steady-state read cost of a mine
+    /// call is whatever the preceding slides already paid (rows touched by
+    /// the slide, counted in [`DsMatrix::read_stats`]).  On the disk backends
+    /// every row is first assembled eagerly into the cache buffers (the
+    /// demoted [`DsMatrix::snapshot`]-style fallback; the window data cannot
+    /// be borrowed off disk), after which the view API is identical.
+    pub fn view(&mut self) -> Result<WindowView<'_>> {
+        if self.cache.enabled {
+            debug_assert_eq!(
+                self.cache.generation,
+                self.store.generation(),
+                "row cache must be maintained by every ingest"
+            );
+            if self.cache.rows.len() < self.num_items {
+                self.cache.rows.resize_with(self.num_items, BitVec::new);
+            }
+        } else {
+            // Eager fallback into the cache's buffers.  Direct callers that
+            // keep taking views reuse the allocations; the `StreamMiner`
+            // facade instead calls `trim_cache()` after each mine so the
+            // between-mines resident footprint stays bookkeeping-only (the
+            // paper's on-disk space story).
+            self.cache.offset = 0;
+            self.cache.rows.resize_with(self.num_items, BitVec::new);
+            for idx in 0..self.num_items {
+                let mut row = std::mem::take(&mut self.cache.rows[idx]);
+                self.store.assemble_row(idx, &mut row)?;
+                row.resize(self.num_cols);
+                self.read_stats.rows_assembled += 1;
+                self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
+                self.cache.rows[idx] = row;
+            }
+        }
+        debug_assert!(self.supports.len() >= self.num_items);
+        Ok(WindowView::new(
+            &self.cache.rows[..self.num_items],
+            &self.supports[..self.num_items],
+            self.cache.offset,
+            self.num_cols,
+        ))
+    }
+
+    /// Cumulative read-path cost counters (words eagerly assembled, cache
+    /// maintenance work).  Differencing `words_assembled` across a mine call
+    /// measures that call's read amplification.
+    pub fn read_stats(&self) -> ReadStats {
+        self.read_stats
+    }
+
+    /// Frees the eager [`DsMatrix::view`] fallback materialisation of the
+    /// disk backends (no-op on the memory backend, whose cache is the
+    /// incrementally-maintained read surface, not a copy).
+    ///
+    /// The facade calls this after a disk-backed mine so the window's
+    /// resident footprint between mine calls stays what the paper promises:
+    /// bookkeeping only.
+    pub fn trim_cache(&mut self) {
+        if !self.cache.enabled {
+            self.cache.rows = Vec::new();
+        }
+    }
+
+    /// Materialises every live-window row into an immutable [`RowSnapshot`].
+    ///
+    /// Demoted from the default read path: miners now share the zero-copy
+    /// [`DsMatrix::view`].  The eager snapshot remains for callers that need
+    /// an owned copy outliving the matrix, and as the reference surface the
+    /// view's byte-identity tests compare against.
     pub fn snapshot(&mut self) -> Result<RowSnapshot> {
         let mut rows = Vec::with_capacity(self.num_items);
         for idx in 0..self.num_items {
             let mut row = BitVec::new();
             self.store.assemble_row(idx, &mut row)?;
             row.resize(self.num_cols);
+            self.read_stats.rows_assembled += 1;
+            self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
             rows.push(row);
         }
         Ok(RowSnapshot::new(rows, self.num_cols))
     }
 
-    /// Support of a single edge: the row sum (number of `1`s) of its row.
+    /// Support of a single edge, from the counters maintained at
+    /// ingest/evict time (no row scan).
     pub fn support(&mut self, item: EdgeId) -> Result<Support> {
-        Ok(self.row(item)?.count_ones())
+        Ok(self.supports.get(item.index()).copied().unwrap_or(0))
     }
 
     /// Supports of every edge in canonical order — the first step of both
-    /// vertical algorithms (§3.4 and §4).
+    /// vertical algorithms (§3.4 and §4).  Counter reads, no row scans.
     pub fn singleton_supports(&mut self) -> Result<Vec<(EdgeId, Support)>> {
-        let mut out = Vec::with_capacity(self.num_items);
-        for idx in 0..self.num_items {
-            let item = EdgeId::new(idx as u32);
-            out.push((item, self.support(item)?));
-        }
-        Ok(out)
+        Ok(self
+            .supports
+            .iter()
+            .take(self.num_items)
+            .enumerate()
+            .map(|(idx, &support)| (EdgeId::new(idx as u32), support))
+            .collect())
     }
 
     /// Reconstructs one window transaction (one column read downwards).
+    ///
+    /// Reads only the *owning segment's* chunks — the rows that batch
+    /// touched — instead of assembling every row of the matrix, so the cost
+    /// is `O(rows in the segment)` rather than `O(edges × window)`.
     pub fn column(&mut self, column: usize) -> Result<Transaction> {
-        if column >= self.num_cols {
-            return Err(FsmError::corrupt(format!(
+        let (seg, offset) = self.store.locate_column(column).ok_or_else(|| {
+            FsmError::corrupt(format!(
                 "column {column} out of range ({} transactions in window)",
                 self.num_cols
-            )));
-        }
+            ))
+        })?;
         let mut edges = Vec::new();
-        let mut row = BitVec::new();
-        for idx in 0..self.num_items {
-            self.store.assemble_row(idx, &mut row)?;
-            if row.get(column) {
-                edges.push(EdgeId::new(idx as u32));
+        if self.store.is_memory_resident() {
+            // Memory backend: borrow the chunks, copy nothing.
+            let chunks = self
+                .store
+                .segment_chunks(seg)
+                .ok_or_else(|| FsmError::corrupt(format!("segment {seg} vanished")))?;
+            for (id, chunk) in chunks {
+                if chunk.get(offset) {
+                    edges.push(EdgeId::new(id as u32));
+                }
+            }
+        } else {
+            // Disk backend: one chunk read per touched row, through a single
+            // scratch buffer reused across rows (and across calls).
+            let ids = self
+                .store
+                .segment_row_ids(seg)
+                .ok_or_else(|| FsmError::corrupt(format!("segment {seg} vanished")))?;
+            for id in ids {
+                if self
+                    .store
+                    .read_segment_chunk(seg, id, &mut self.col_chunk)?
+                    && self.col_chunk.get(offset)
+                {
+                    edges.push(EdgeId::new(id as u32));
+                }
+                self.read_stats.words_assembled += self.col_chunk.len().div_ceil(64) as u64;
             }
         }
         Ok(Transaction::from_edges(edges))
@@ -277,11 +530,19 @@ impl DsMatrix {
     }
 
     /// Bytes resident in main memory: window bookkeeping, the reused chunk
-    /// buffers, plus — for the memory backend — the segment payloads.
+    /// buffers, the support counters and row cache, plus — for the memory
+    /// backend — the segment payloads.
     pub fn resident_bytes(&self) -> usize {
         let bookkeeping = self.window.num_batches() * std::mem::size_of::<(u64, usize)>();
         let scratch: usize = self.spare_chunks.iter().map(BitVec::heap_bytes).sum();
-        bookkeeping + scratch + self.store.resident_bytes()
+        let counters = self.supports.capacity() * std::mem::size_of::<Support>()
+            + self
+                .segment_ones
+                .iter()
+                .map(|s| s.capacity() * std::mem::size_of::<(usize, u64)>())
+                .sum::<usize>();
+        let cache: usize = self.cache.rows.iter().map(BitVec::heap_bytes).sum();
+        bookkeeping + scratch + counters + cache + self.store.resident_bytes()
     }
 
     /// Bytes written to disk by the live segments (zero for the memory

@@ -1,13 +1,14 @@
-//! Immutable row snapshots and reusable projection scratch space.
+//! Eager row snapshots and reusable projection scratch space.
 //!
-//! The horizontal miners project the matrix once per frequent edge.  Loading
-//! rows straight from the (possibly disk-backed) matrix inside a parallel
-//! fan-out would serialise every worker behind `&mut DsMatrix`; a
-//! [`RowSnapshot`] materialises the live window once, after which any number
-//! of workers can read it concurrently (`&self` everywhere).  Each worker
-//! owns one [`ProjectionScratch`] so that building a projected database
-//! allocates nothing in the steady state: suffix vectors are recycled from
-//! call to call.
+//! [`RowSnapshot`] copies every live-window row into an immutable,
+//! concurrently-readable block.  It used to be the only way the parallel
+//! horizontal miners could share the window; since the zero-copy
+//! [`crate::WindowView`] took over as the default read surface, the eager
+//! snapshot is retained as (a) the reference the view's byte-identity tests
+//! compare against and (b) an owned, `'static`-friendly copy for callers
+//! that need the window to outlive the matrix.  [`ProjectionScratch`] is the
+//! per-worker recycled buffer set both read surfaces project through, so
+//! steady-state projection allocates nothing.
 
 use fsm_storage::BitVec;
 use fsm_types::{EdgeId, Support};
@@ -76,46 +77,7 @@ impl RowSnapshot {
         pivot: EdgeId,
         scratch: &'a mut ProjectionScratch,
     ) -> &'a ProjectedRows {
-        scratch.reset();
-        let Some(pivot_row) = self.rows.get(pivot.index()) else {
-            return &scratch.db;
-        };
-        scratch.columns.extend(pivot_row.iter_ones());
-        if scratch.columns.is_empty() {
-            return &scratch.db;
-        }
-        for _ in 0..scratch.columns.len() {
-            let mut suffix = scratch.spare.pop().unwrap_or_default();
-            suffix.clear();
-            scratch.suffixes.push(suffix);
-        }
-        // suffixes[i] collects the items of window column columns[i]; the
-        // row-major sweep appends items in ascending (canonical) order.
-        for (offset, row) in self.rows[pivot.index() + 1..].iter().enumerate() {
-            let idx = pivot.index() + 1 + offset;
-            for (slot, &col) in scratch.columns.iter().enumerate() {
-                if row.get(col) {
-                    scratch.suffixes[slot].push(EdgeId::new(idx as u32));
-                }
-            }
-        }
-        // Merge identical suffixes into weighted entries; emptied vectors go
-        // back to the spare pool for the next pivot.
-        scratch.suffixes.sort();
-        for suffix in scratch.suffixes.drain(..) {
-            if suffix.is_empty() {
-                scratch.spare.push(suffix);
-                continue;
-            }
-            match scratch.db.last_mut() {
-                Some((prev, count)) if *prev == suffix => {
-                    *count += 1;
-                    scratch.spare.push(suffix);
-                }
-                _ => scratch.db.push((suffix, 1)),
-            }
-        }
-        &scratch.db
+        project_rows_into(&self.rows, 0, pivot, scratch)
     }
 
     /// Convenience wrapper around [`RowSnapshot::project_into`] that
@@ -125,6 +87,66 @@ impl RowSnapshot {
         self.project_into(pivot, &mut scratch);
         scratch.db
     }
+}
+
+/// The one projection implementation behind both read surfaces
+/// ([`RowSnapshot::project_into`] and [`crate::WindowView::project_into`]):
+/// build the `{pivot}`-projected database from `rows` into `scratch`,
+/// treating bit `c + offset` of every row as logical window column `c`
+/// (the eager snapshot is exactly the `offset = 0` case).
+///
+/// Sharing the body is what makes the two surfaces byte-identical by
+/// construction rather than by parallel maintenance.
+pub(crate) fn project_rows_into<'a>(
+    rows: &[BitVec],
+    offset: usize,
+    pivot: EdgeId,
+    scratch: &'a mut ProjectionScratch,
+) -> &'a ProjectedRows {
+    scratch.reset();
+    let Some(pivot_row) = rows.get(pivot.index()) else {
+        return &scratch.db;
+    };
+    // All set bits sit at or past the dead prefix, so the translation to
+    // logical columns never underflows.
+    scratch
+        .columns
+        .extend(pivot_row.iter_ones().map(|c| c - offset));
+    if scratch.columns.is_empty() {
+        return &scratch.db;
+    }
+    for _ in 0..scratch.columns.len() {
+        let mut suffix = scratch.spare.pop().unwrap_or_default();
+        suffix.clear();
+        scratch.suffixes.push(suffix);
+    }
+    // suffixes[i] collects the items of window column columns[i]; the
+    // row-major sweep appends items in ascending (canonical) order.
+    for (after, row) in rows[pivot.index() + 1..].iter().enumerate() {
+        let idx = pivot.index() + 1 + after;
+        for (slot, &col) in scratch.columns.iter().enumerate() {
+            if row.get(col + offset) {
+                scratch.suffixes[slot].push(EdgeId::new(idx as u32));
+            }
+        }
+    }
+    // Merge identical suffixes into weighted entries; emptied vectors go
+    // back to the spare pool for the next pivot.
+    scratch.suffixes.sort();
+    for suffix in scratch.suffixes.drain(..) {
+        if suffix.is_empty() {
+            scratch.spare.push(suffix);
+            continue;
+        }
+        match scratch.db.last_mut() {
+            Some((prev, count)) if *prev == suffix => {
+                *count += 1;
+                scratch.spare.push(suffix);
+            }
+            _ => scratch.db.push((suffix, 1)),
+        }
+    }
+    &scratch.db
 }
 
 /// Reusable buffers for building projected databases.

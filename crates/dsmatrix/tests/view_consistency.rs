@@ -1,0 +1,250 @@
+//! The zero-copy read path must be observationally identical to the eager
+//! one.
+//!
+//! Three surfaces are pinned against each other on arbitrary slide
+//! sequences (uneven batches, empty batches, growing domain, both storage
+//! backends):
+//!
+//! * the incrementally-maintained row cache behind [`DsMatrix::view`] versus
+//!   from-scratch assembly out of the segment store ([`DsMatrix::row`], the
+//!   ground truth);
+//! * [`WindowView::project_into`] / `singleton_supports` versus the eager
+//!   [`RowSnapshot`] equivalents (byte-identical output);
+//! * the segment-direct [`DsMatrix::column`] versus reading every row.
+//!
+//! A separate test forces the cache's amortised `drop_prefix` compaction and
+//! checks the rows survive it, and the read-amplification counters are
+//! asserted directly: steady-state view construction on the memory backend
+//! materialises zero words.
+
+use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+use fsm_storage::StorageBackend;
+use fsm_stream::WindowConfig;
+use fsm_types::{Batch, EdgeId, Transaction};
+use proptest::prelude::*;
+
+fn matrix(window: usize, backend: StorageBackend, expected: usize) -> DsMatrix {
+    DsMatrix::new(DsMatrixConfig::new(
+        WindowConfig::new(window).unwrap(),
+        backend,
+        expected,
+    ))
+    .unwrap()
+}
+
+fn batch(id: u64, transactions: &[&[u32]]) -> Batch {
+    Batch::from_transactions(
+        id,
+        transactions
+            .iter()
+            .map(|t| Transaction::from_raw(t.iter().copied()))
+            .collect(),
+    )
+}
+
+/// Renders item `item`'s window row as seen through the view.
+fn view_row_string(m: &mut DsMatrix, item: u32) -> String {
+    let view = m.view().unwrap();
+    (0..view.num_transactions())
+        .map(|col| {
+            if view.get(EdgeId::new(item), col) {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect()
+}
+
+/// Renders item `item`'s window row assembled from the segment store — the
+/// from-scratch reference the cache must match.
+fn store_row_string(m: &mut DsMatrix, item: u32) -> String {
+    let row = m.row(EdgeId::new(item)).unwrap();
+    (0..row.len())
+        .map(|i| if row.get(i) { '1' } else { '0' })
+        .collect()
+}
+
+/// Pins every read surface of `m` against the eager reference.
+fn assert_view_matches_eager(m: &mut DsMatrix) {
+    let num_items = m.num_items();
+    let num_cols = m.num_transactions();
+
+    // 1. Cached rows equal from-scratch assembly (plus rows past the domain).
+    for item in 0..(num_items as u32 + 2) {
+        assert_eq!(
+            view_row_string(m, item),
+            store_row_string(m, item),
+            "cached row {item} diverged from the segment store"
+        );
+    }
+
+    // 2. Counter-maintained supports equal row popcounts; projection through
+    //    the view is byte-identical to the eager snapshot's.
+    let snapshot = m.snapshot().unwrap();
+    let view = m.view().unwrap();
+    assert_eq!(view.num_items(), num_items);
+    assert_eq!(view.num_transactions(), num_cols);
+    assert_eq!(
+        view.singleton_supports(),
+        snapshot.singleton_supports(),
+        "supports diverged from the row sums"
+    );
+    for pivot in 0..(num_items as u32 + 2) {
+        assert_eq!(
+            view.project(EdgeId::new(pivot)),
+            snapshot.project(EdgeId::new(pivot)),
+            "projected database of pivot {pivot} diverged"
+        );
+    }
+
+    // 3. Segment-direct columns equal the per-row reconstruction.
+    for col in 0..num_cols {
+        let from_rows: Vec<u32> = (0..num_items as u32)
+            .filter(|&item| {
+                m.row(EdgeId::new(item))
+                    .map(|row| row.get(col))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let from_segment: Vec<u32> = m.column(col).unwrap().iter().map(|e| e.0).collect();
+        assert_eq!(from_segment, from_rows, "column {col} diverged");
+    }
+}
+
+#[test]
+fn view_matches_eager_reads_on_a_fixed_stream() {
+    for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+        let mut m = matrix(2, backend.clone(), 6);
+        let batches = [
+            batch(0, &[&[2, 3, 5], &[0, 4, 5], &[0, 2, 5]]),
+            batch(1, &[&[0, 2, 3, 5], &[0, 3, 4, 5], &[0, 1, 2]]),
+            batch(2, &[&[0, 2, 5], &[0, 2, 3, 5], &[1, 2, 3]]),
+            batch(3, &[]),
+            batch(4, &[&[7], &[0, 7]]),
+        ];
+        for b in &batches {
+            m.ingest_batch(b).unwrap();
+            assert_view_matches_eager(&mut m);
+        }
+    }
+}
+
+#[test]
+fn steady_state_views_are_zero_copy_on_the_memory_backend() {
+    let mut m = matrix(3, StorageBackend::Memory, 8);
+    for id in 0..6u64 {
+        m.ingest_batch(&batch(id, &[&[0, 1], &[2, 3], &[(id % 8) as u32]]))
+            .unwrap();
+        let before = m.read_stats().words_assembled;
+        let view = m.view().unwrap();
+        assert!(view.num_transactions() > 0);
+        let _ = view;
+        assert_eq!(
+            m.read_stats().words_assembled,
+            before,
+            "memory-backend view construction must materialise nothing"
+        );
+    }
+    // The disk backend pays the (counted) eager fallback instead.
+    let mut disk = matrix(3, StorageBackend::DiskTemp, 8);
+    disk.ingest_batch(&batch(0, &[&[0, 1], &[2, 3]])).unwrap();
+    let before = disk.read_stats().words_assembled;
+    let _ = disk.view().unwrap();
+    assert!(
+        disk.read_stats().words_assembled > before,
+        "disk-backend views assemble rows and must say so"
+    );
+}
+
+#[test]
+fn cache_survives_prefix_compaction() {
+    // One 80-column batch per slide with a window of 2 batches: the dead
+    // prefix grows by 80 bits per slide and must cross the compaction
+    // threshold several times over 20 slides.
+    let mut m = matrix(2, StorageBackend::Memory, 4);
+    for id in 0..20u64 {
+        let edge = (id % 4) as u32;
+        let transactions: Vec<Vec<u32>> = (0..80)
+            .map(|t| {
+                if t % 3 == 0 {
+                    vec![edge, (edge + 1) % 4]
+                } else {
+                    vec![edge]
+                }
+            })
+            .collect();
+        let refs: Vec<&[u32]> = transactions.iter().map(|t| t.as_slice()).collect();
+        m.ingest_batch(&batch(id, &refs)).unwrap();
+        for item in 0..4 {
+            assert_eq!(
+                view_row_string(&mut m, item),
+                store_row_string(&mut m, item),
+                "row {item} after slide {id}"
+            );
+        }
+    }
+    assert!(
+        m.read_stats().cache_compact_words > 0,
+        "the compaction path was never exercised"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On arbitrary streams, the incrementally-maintained cache (and every
+    /// other view surface) equals from-scratch assembly after every slide,
+    /// on both storage backends.
+    #[test]
+    fn incremental_cache_matches_from_scratch_assembly(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::btree_set(0u32..10, 0..4)
+                    .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+                0..4,
+            ),
+            1..8,
+        ),
+        window in 1usize..4,
+    ) {
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut m = matrix(window, backend, 0);
+            for (id, transactions) in raw.iter().enumerate() {
+                let b = Batch::from_transactions(
+                    id as u64,
+                    transactions
+                        .iter()
+                        .map(|t| Transaction::from_raw(t.iter().copied()))
+                        .collect(),
+                );
+                m.ingest_batch(&b).unwrap();
+                for item in 0..m.num_items() as u32 {
+                    prop_assert_eq!(
+                        view_row_string(&mut m, item),
+                        store_row_string(&mut m, item),
+                        "row {} after batch {}",
+                        item,
+                        id
+                    );
+                }
+                let snapshot = m.snapshot().unwrap();
+                let expected_supports = snapshot.singleton_supports();
+                let expected_projections: Vec<_> = (0..m.num_items() as u32)
+                    .map(|p| snapshot.project(EdgeId::new(p)))
+                    .collect();
+                let view = m.view().unwrap();
+                prop_assert_eq!(view.singleton_supports(), expected_supports);
+                for (pivot, expected) in expected_projections.iter().enumerate() {
+                    prop_assert_eq!(
+                        &view.project(EdgeId::new(pivot as u32)),
+                        expected,
+                        "pivot {} after batch {}",
+                        pivot,
+                        id
+                    );
+                }
+            }
+        }
+    }
+}

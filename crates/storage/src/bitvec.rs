@@ -175,6 +175,44 @@ impl BitVec {
             .sum()
     }
 
+    /// Word-stream twin of [`BitVec::and_count`]: counts the set bits of the
+    /// intersection of `self` with an operand given as a stream of 64-bit
+    /// words (missing trailing words read as zero).
+    ///
+    /// This is how the chunk-aware kernels consume a
+    /// [`crate::segment::ChunkedRow`] without materialising it.
+    pub fn and_count_words<I>(&self, other: I) -> u64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        self.words
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Word-stream twin of [`BitVec::and_into`]: writes the intersection of
+    /// `self` with a word-stream operand into `out` (reusing its buffer) and
+    /// returns the popcount of the result in the same pass.  The result has
+    /// the length of `self`.
+    pub fn and_into_words<I>(&self, other: I, out: &mut BitVec) -> u64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        out.words.clear();
+        out.words.resize(self.words.len(), 0);
+        let mut words = other.into_iter();
+        let mut count = 0u64;
+        for (dst, &a) in out.words.iter_mut().zip(&self.words) {
+            let masked = a & words.next().unwrap_or(0);
+            count += u64::from(masked.count_ones());
+            *dst = masked;
+        }
+        out.len = self.len;
+        count
+    }
+
     /// Drops the first `n` bits, shifting the remainder towards index 0.
     ///
     /// A general in-place prefix-drop primitive (word-by-word, reusing the
@@ -237,6 +275,46 @@ impl BitVec {
         self.len += other.len;
         self.words.truncate(self.len.div_ceil(WORD_BITS));
         self.clear_tail();
+    }
+
+    /// Clears every bit in `[start, end)` without changing the length.
+    ///
+    /// This is the lazy-eviction primitive of the incremental row cache: when
+    /// the window slides, the evicted batch's bits are zeroed in place (word
+    /// masks, no shifting) and the physical prefix is only compacted with
+    /// [`BitVec::drop_prefix`] once enough dead columns have accumulated.
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_word = start / WORD_BITS;
+        let last_word = (end - 1) / WORD_BITS;
+        let head_mask = !(u64::MAX << (start % WORD_BITS));
+        let tail_bits = end % WORD_BITS;
+        let tail_mask = if tail_bits == 0 {
+            0
+        } else {
+            u64::MAX << tail_bits
+        };
+        if first_word == last_word {
+            self.words[first_word] &= head_mask | tail_mask;
+            return;
+        }
+        self.words[first_word] &= head_mask;
+        for word in &mut self.words[first_word + 1..last_word] {
+            *word = 0;
+        }
+        self.words[last_word] &= tail_mask;
+    }
+
+    /// The backing 64-bit words (little-endian within each word; bits past
+    /// [`BitVec::len`] are always zero).
+    ///
+    /// Exposed so chunk-level readers ([`crate::segment::ChunkedRow`]) can
+    /// stream a row's words without materialising a flat copy.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -471,6 +549,32 @@ mod tests {
         v.drop_prefix(10);
         assert!(v.is_empty());
         assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn clear_range_matches_a_set_loop() {
+        let cases = [
+            (0usize, 0usize),
+            (0, 3),
+            (2, 6),
+            (0, 64),
+            (1, 64),
+            (63, 65),
+            (64, 128),
+            (10, 150),
+            (100, 100),
+            (190, 400),
+        ];
+        for (start, end) in cases {
+            let mut fast = BitVec::from_bools((0..200).map(|i| i % 3 != 0));
+            let mut slow = fast.clone();
+            fast.clear_range(start, end);
+            for i in start..end.min(200) {
+                slow.set(i, false);
+            }
+            assert_eq!(fast, slow, "range [{start}, {end})");
+            assert_eq!(fast.len(), 200);
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`SegmentedWindowStore`] — an append-friendly queue of per-batch row
 //!   segments: the DSMatrix capture path, where a window slide appends one
 //!   segment and unlinks one instead of rewriting every row (writes are
-//!   counted in [`CaptureStats`]);
+//!   counted in [`CaptureStats`]).  On the memory backend its segments are
+//!   readable zero-copy through [`ChunkedRow`] views and the chunk-aware
+//!   `BitVec` kernels;
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
@@ -34,6 +36,6 @@ pub mod tracker;
 pub use bitvec::BitVec;
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
-pub use segment::{CaptureStats, SegmentedWindowStore};
+pub use segment::{CaptureStats, ChunkCursor, ChunkedRow, SegmentedWindowStore};
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};

@@ -161,6 +161,16 @@ impl RowStore {
         }
     }
 
+    /// Iterates the stored row ids in ascending order (reads only the
+    /// in-memory index, never the payload).
+    pub fn row_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        let ids: Vec<usize> = match &self.inner {
+            Inner::Memory { rows } => rows.keys().copied().collect(),
+            Inner::Disk { index, .. } => index.keys().copied().collect(),
+        };
+        ids.into_iter()
+    }
+
     /// Number of distinct rows stored.
     pub fn num_rows(&self) -> usize {
         match &self.inner {

@@ -13,15 +13,36 @@
 //! * **drop** the oldest segment (cost: one file/map removal),
 //!
 //! so capture cost is `O(rows touched by the new batch + evicted columns)`
-//! and unevicted row prefixes are never rewritten.  Rows of the live window
-//! are materialised on demand by concatenating the per-segment chunks
-//! ([`BitVec::extend_from_bitvec`]) with zero-fill for rows a segment never
-//! mentions, which reproduces the flat-row semantics bit for bit.
+//! and unevicted row prefixes are never rewritten.
+//!
+//! # Read surface
+//!
+//! The write side has always been incremental; this module also keeps the
+//! *read* side from paying full-window cost:
+//!
+//! * On the memory backend, segments hold decoded [`BitVec`] chunks, so
+//!   readers can borrow a row's per-segment chunks **zero-copy**
+//!   ([`SegmentedWindowStore::chunked_row`], returning a [`ChunkedRow`]) or a
+//!   single segment's chunks directly
+//!   ([`SegmentedWindowStore::segment_chunks`]).  A [`ChunkedRow`] streams
+//!   the logical row's 64-bit words across segment boundaries with zero-fill
+//!   for segments that never saw the row, and the chunk-aware kernels
+//!   [`BitVec::and_count_chunked`] / [`BitVec::and_into_chunked`] consume
+//!   that stream without materialising the row.
+//! * The disk backends fall back to [`SegmentedWindowStore::assemble_row`],
+//!   which concatenates the per-segment chunks into a flat row
+//!   ([`BitVec::extend_from_bitvec`]), reproducing the flat-row semantics bit
+//!   for bit.
+//! * [`SegmentedWindowStore::generation`] is a monotonic counter bumped by
+//!   every segment append or drop, so cached derivations of the window (the
+//!   DSMatrix row cache) can tag themselves with the store state they
+//!   reflect.
 //!
 //! Every write is counted in [`CaptureStats`], which is how the benchmark
 //! harness (and the slide-cost tests) assert the incremental behaviour
 //! instead of merely hoping for it.
 
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
@@ -29,6 +50,8 @@ use crate::bitvec::BitVec;
 use crate::rowstore::{RowStore, StorageBackend};
 use crate::temp::TempDir;
 use fsm_types::{FsmError, Result};
+
+const WORD_BITS: usize = 64;
 
 /// Cumulative capture-cost counters of a [`SegmentedWindowStore`].
 ///
@@ -49,11 +72,18 @@ pub struct CaptureStats {
     pub segments_dropped: u64,
 }
 
+enum SegmentRows {
+    /// Memory backend: decoded chunks, borrowable zero-copy.
+    Memory(BTreeMap<usize, BitVec>),
+    /// Disk backends: serialised chunks in a paged file.
+    Disk(RowStore),
+}
+
 struct Segment {
     /// Number of window columns (transactions) this segment contributes.
     cols: usize,
     /// Row chunks of the segment; rows without a set bit are absent.
-    rows: RowStore,
+    rows: SegmentRows,
     /// Backing file to delete on eviction (disk backends only).
     path: Option<PathBuf>,
 }
@@ -69,15 +99,17 @@ enum Placement {
 
 /// A queue of per-batch row segments backing one sliding window.
 ///
-/// All three [`StorageBackend`]s are supported: `Memory` keeps segments in
-/// maps, the disk backends write one paged file per segment (so eviction is
-/// one `unlink`, never a rewrite of surviving data).
+/// All three [`StorageBackend`]s are supported: `Memory` keeps segments as
+/// decoded chunk maps (zero-copy readable), the disk backends write one paged
+/// file per segment (so eviction is one `unlink`, never a rewrite of
+/// surviving data).
 pub struct SegmentedWindowStore {
     placement: Placement,
     segments: VecDeque<Segment>,
     next_id: u64,
     page_size: usize,
     stats: CaptureStats,
+    generation: u64,
     /// Reusable (de)serialisation buffer for row chunks.
     buf: Vec<u8>,
     /// Reusable decoded chunk for [`SegmentedWindowStore::assemble_row`].
@@ -115,6 +147,7 @@ impl SegmentedWindowStore {
             next_id: 0,
             page_size: Self::SEGMENT_PAGE_SIZE,
             stats: CaptureStats::default(),
+            generation: 0,
             buf: Vec::new(),
             chunk: BitVec::new(),
         })
@@ -135,6 +168,16 @@ impl SegmentedWindowStore {
         self.segments.iter().map(|s| s.cols).sum()
     }
 
+    /// Monotonic counter bumped by every [`SegmentedWindowStore::push_segment`]
+    /// and [`SegmentedWindowStore::pop_segment`].
+    ///
+    /// Readers that cache a derivation of the window (assembled rows, support
+    /// counters) tag the cache with the generation it was computed at; a
+    /// mismatch means the window changed underneath them.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// The cumulative capture-cost counters.
     pub fn stats(&self) -> CaptureStats {
         self.stats
@@ -151,11 +194,14 @@ impl SegmentedWindowStore {
         I: IntoIterator<Item = (usize, &'a BitVec)>,
     {
         let (store, path) = match &self.placement {
-            Placement::Memory => (RowStore::open(StorageBackend::Memory)?, None),
+            Placement::Memory => (SegmentRows::Memory(BTreeMap::new()), None),
             Placement::Disk { dir, .. } => {
                 let path = dir.join(format!("seg-{}.pages", self.next_id));
                 (
-                    RowStore::with_page_size(StorageBackend::DiskAt(path.clone()), self.page_size)?,
+                    SegmentRows::Disk(RowStore::with_page_size(
+                        StorageBackend::DiskAt(path.clone()),
+                        self.page_size,
+                    )?),
                     Some(path),
                 )
             }
@@ -168,12 +214,22 @@ impl SegmentedWindowStore {
         };
         for (id, chunk) in rows {
             debug_assert_eq!(chunk.len(), cols, "row chunk must span the segment");
-            chunk.write_bytes(&mut self.buf);
-            segment.rows.put_row(id, &self.buf)?;
+            match &mut segment.rows {
+                SegmentRows::Memory(map) => {
+                    map.insert(id, chunk.clone());
+                }
+                SegmentRows::Disk(store) => {
+                    chunk.write_bytes(&mut self.buf);
+                    store.put_row(id, &self.buf)?;
+                }
+            }
             self.stats.rows_written += 1;
-            self.stats.words_written += self.buf.len().div_ceil(8) as u64;
+            // One header word plus the payload words — identical for both
+            // backends so the slide-cost tables are backend-independent.
+            self.stats.words_written += 1 + chunk.len().div_ceil(WORD_BITS) as u64;
         }
         self.stats.segments_written += 1;
+        self.generation += 1;
         self.segments.push_back(segment);
         Ok(())
     }
@@ -195,6 +251,7 @@ impl SegmentedWindowStore {
             std::fs::remove_file(&path)?;
         }
         self.stats.segments_dropped += 1;
+        self.generation += 1;
         Ok(cols)
     }
 
@@ -202,6 +259,10 @@ impl SegmentedWindowStore {
     /// the concatenation of the row's chunk in every live segment, with
     /// zero-fill where a segment never saw the row.  The result is always
     /// exactly [`SegmentedWindowStore::num_cols`] bits long.
+    ///
+    /// This is the eager read path; memory-backend readers that only need to
+    /// scan or intersect the row should prefer the zero-copy
+    /// [`SegmentedWindowStore::chunked_row`].
     pub fn assemble_row(&mut self, id: usize, out: &mut BitVec) -> Result<()> {
         out.resize(0);
         // Split borrows: the queue, the byte buffer and the decoded chunk
@@ -214,19 +275,126 @@ impl SegmentedWindowStore {
             ..
         } = self;
         for segment in segments.iter_mut() {
-            if segment.rows.contains_row(id) {
-                segment.rows.get_row_into(id, buf)?;
-                if !chunk.read_bytes(buf) {
+            match &mut segment.rows {
+                SegmentRows::Memory(map) => match map.get(&id) {
+                    Some(chunk) => out.extend_from_bitvec(chunk),
+                    None => out.resize(out.len() + segment.cols),
+                },
+                SegmentRows::Disk(store) => {
+                    if store.contains_row(id) {
+                        store.get_row_into(id, buf)?;
+                        if !chunk.read_bytes(buf) {
+                            return Err(FsmError::corrupt(format!(
+                                "row {id} chunk failed to deserialise"
+                            )));
+                        }
+                        out.extend_from_bitvec(chunk);
+                    } else {
+                        out.resize(out.len() + segment.cols);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrows row `id` as a zero-copy [`ChunkedRow`] over the live segments.
+    ///
+    /// Returns `None` on the disk backends, whose chunks are not
+    /// memory-resident — callers fall back to
+    /// [`SegmentedWindowStore::assemble_row`].
+    pub fn chunked_row(&self, id: usize) -> Option<ChunkedRow<'_>> {
+        if !self.is_memory_resident() {
+            return None;
+        }
+        let mut parts = Vec::with_capacity(self.segments.len());
+        let mut len = 0;
+        for segment in &self.segments {
+            let chunk = match &segment.rows {
+                SegmentRows::Memory(map) => map.get(&id),
+                SegmentRows::Disk(_) => unreachable!("memory placement holds memory segments"),
+            };
+            len += segment.cols;
+            parts.push((segment.cols, chunk));
+        }
+        Some(ChunkedRow { parts, len })
+    }
+
+    /// Number of columns contributed by segment `seg` (0 = oldest live).
+    pub fn segment_cols(&self, seg: usize) -> Option<usize> {
+        self.segments.get(seg).map(|s| s.cols)
+    }
+
+    /// Borrows the `(row id, chunk)` pairs of segment `seg` in ascending row
+    /// order — the zero-copy way to scan one batch's touched rows.
+    ///
+    /// Returns `None` on the disk backends (use
+    /// [`SegmentedWindowStore::segment_row_ids`] +
+    /// [`SegmentedWindowStore::read_segment_chunk`] there) or if `seg` is out
+    /// of range.
+    pub fn segment_chunks(
+        &self,
+        seg: usize,
+    ) -> Option<impl Iterator<Item = (usize, &BitVec)> + '_> {
+        match &self.segments.get(seg)?.rows {
+            SegmentRows::Memory(map) => Some(map.iter().map(|(id, chunk)| (*id, chunk))),
+            SegmentRows::Disk(_) => None,
+        }
+    }
+
+    /// The row ids segment `seg` holds a chunk for, in ascending order (works
+    /// on every backend; for disk segments this reads only the in-memory
+    /// index).
+    pub fn segment_row_ids(&self, seg: usize) -> Option<Vec<usize>> {
+        match &self.segments.get(seg)?.rows {
+            SegmentRows::Memory(map) => Some(map.keys().copied().collect()),
+            SegmentRows::Disk(store) => Some(store.row_ids().collect()),
+        }
+    }
+
+    /// Reads the chunk of row `id` in segment `seg` into `out` (cleared
+    /// first).  Returns `Ok(false)` — leaving `out` empty — if the segment
+    /// never saw the row.
+    pub fn read_segment_chunk(&mut self, seg: usize, id: usize, out: &mut BitVec) -> Result<bool> {
+        let Self { segments, buf, .. } = self;
+        let segment = segments
+            .get_mut(seg)
+            .ok_or_else(|| FsmError::corrupt(format!("segment {seg} out of range")))?;
+        out.resize(0);
+        match &mut segment.rows {
+            SegmentRows::Memory(map) => match map.get(&id) {
+                Some(chunk) => {
+                    out.extend_from_bitvec(chunk);
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            SegmentRows::Disk(store) => {
+                if !store.contains_row(id) {
+                    return Ok(false);
+                }
+                store.get_row_into(id, buf)?;
+                if !out.read_bytes(buf) {
                     return Err(FsmError::corrupt(format!(
                         "row {id} chunk failed to deserialise"
                     )));
                 }
-                out.extend_from_bitvec(chunk);
-            } else {
-                out.resize(out.len() + segment.cols);
+                Ok(true)
             }
         }
-        Ok(())
+    }
+
+    /// Maps a live-window column to `(segment index, column offset within the
+    /// segment)`.  Returns `None` when `col` is past the window.
+    pub fn locate_column(&self, col: usize) -> Option<(usize, usize)> {
+        let mut start = 0;
+        for (seg, segment) in self.segments.iter().enumerate() {
+            if col < start + segment.cols {
+                return Some((seg, col - start));
+            }
+            start += segment.cols;
+        }
+        None
     }
 
     /// Bytes held in main memory: for the memory backend the payloads, for
@@ -234,14 +402,29 @@ impl SegmentedWindowStore {
     pub fn resident_bytes(&self) -> usize {
         self.segments
             .iter()
-            .map(|s| s.rows.resident_bytes() + std::mem::size_of::<Segment>())
+            .map(|s| {
+                let rows = match &s.rows {
+                    SegmentRows::Memory(map) => map
+                        .values()
+                        .map(|chunk| chunk.heap_bytes() + std::mem::size_of::<usize>() * 2)
+                        .sum(),
+                    SegmentRows::Disk(store) => store.resident_bytes(),
+                };
+                rows + std::mem::size_of::<Segment>()
+            })
             .sum()
     }
 
     /// Bytes held on disk across all live segments (zero for the memory
     /// backend).
     pub fn on_disk_bytes(&self) -> u64 {
-        self.segments.iter().map(|s| s.rows.on_disk_bytes()).sum()
+        self.segments
+            .iter()
+            .map(|s| match &s.rows {
+                SegmentRows::Memory(_) => 0,
+                SegmentRows::Disk(store) => store.on_disk_bytes(),
+            })
+            .sum()
     }
 }
 
@@ -259,6 +442,177 @@ impl std::fmt::Debug for SegmentedWindowStore {
             .field("segments", &self.segments.len())
             .field("cols", &self.num_cols())
             .finish()
+    }
+}
+
+/// A zero-copy view of one logical window row: the row's per-segment chunks
+/// borrowed in window order, with absent chunks standing for all-zero spans.
+///
+/// The row's flat bit string is the concatenation of the parts; the cursor
+/// returned by [`ChunkedRow::words`] streams that string as 64-bit words
+/// (stitching across misaligned segment boundaries) so kernels can consume
+/// the row without ever materialising it.
+#[derive(Debug, Clone)]
+pub struct ChunkedRow<'a> {
+    /// `(columns, chunk)` per live segment; `None` = the segment never saw
+    /// this row (reads as zeros).
+    parts: Vec<(usize, Option<&'a BitVec>)>,
+    len: usize,
+}
+
+impl<'a> ChunkedRow<'a> {
+    /// Builds a chunked row from `(columns, chunk)` parts (exposed for tests
+    /// and for readers that gather chunks themselves).
+    pub fn from_parts(parts: Vec<(usize, Option<&'a BitVec>)>) -> Self {
+        let len = parts.iter().map(|(cols, _)| cols).sum();
+        if cfg!(debug_assertions) {
+            for (cols, chunk) in &parts {
+                if let Some(chunk) = chunk {
+                    debug_assert_eq!(chunk.len(), *cols, "chunk must span its segment");
+                }
+            }
+        }
+        Self { parts, len }
+    }
+
+    /// Number of bits (live-window columns) the row spans.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the row spans no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits — per-chunk popcounts, no assembly.
+    pub fn count_ones(&self) -> u64 {
+        self.parts
+            .iter()
+            .filter_map(|(_, chunk)| chunk.as_ref())
+            .map(|chunk| chunk.count_ones())
+            .sum()
+    }
+
+    /// Streams the row's 64-bit words in order, zero-filling absent chunks
+    /// and stitching across segment boundaries that are not word-aligned.
+    pub fn words(&self) -> ChunkCursor<'a, '_> {
+        ChunkCursor {
+            parts: &self.parts,
+            part: 0,
+            word_in_part: 0,
+            acc: 0,
+            acc_bits: 0,
+            emitted: 0,
+            total_words: self.len.div_ceil(WORD_BITS),
+        }
+    }
+
+    /// Materialises the row into `out` (cleared first) — the chunk-level twin
+    /// of [`SegmentedWindowStore::assemble_row`].
+    pub fn assemble_into(&self, out: &mut BitVec) {
+        out.resize(0);
+        for (cols, chunk) in &self.parts {
+            match chunk {
+                Some(chunk) => out.extend_from_bitvec(chunk),
+                None => out.resize(out.len() + cols),
+            }
+        }
+    }
+}
+
+/// Word cursor over a [`ChunkedRow`]: yields the logical row's `u64` words
+/// with zero-fill, two shifts and an OR per chunk word.
+pub struct ChunkCursor<'a, 'b> {
+    parts: &'b [(usize, Option<&'a BitVec>)],
+    part: usize,
+    /// Next word to read within the current part's chunk.
+    word_in_part: usize,
+    /// Bits carried over from the previous part (low `acc_bits` bits valid).
+    acc: u64,
+    acc_bits: usize,
+    emitted: usize,
+    total_words: usize,
+}
+
+impl Iterator for ChunkCursor<'_, '_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.emitted >= self.total_words {
+            return None;
+        }
+        // Fill the accumulator until it holds a whole word (or the row ends).
+        while self.acc_bits < WORD_BITS && self.part < self.parts.len() {
+            let (cols, chunk) = &self.parts[self.part];
+            let remaining_bits = cols - self.word_in_part * WORD_BITS;
+            if remaining_bits == 0 {
+                self.part += 1;
+                self.word_in_part = 0;
+                continue;
+            }
+            let take = remaining_bits.min(WORD_BITS);
+            let word = match chunk {
+                Some(chunk) => {
+                    let raw = chunk.as_words()[self.word_in_part];
+                    if take == WORD_BITS {
+                        raw
+                    } else {
+                        raw & ((1u64 << take) - 1)
+                    }
+                }
+                None => 0,
+            };
+            if self.acc_bits < WORD_BITS {
+                self.acc |= word << self.acc_bits;
+            }
+            let consumed = take.min(WORD_BITS - self.acc_bits);
+            if consumed == take {
+                // The whole chunk word fit; advance within the part.
+                if take == WORD_BITS {
+                    self.word_in_part += 1;
+                } else {
+                    self.part += 1;
+                    self.word_in_part = 0;
+                }
+                self.acc_bits += take;
+            } else {
+                // The word straddles the output boundary: emit what fits and
+                // keep the spill for the next output word.
+                let out = self.acc;
+                self.acc = word >> consumed;
+                self.acc_bits = take - consumed;
+                if take == WORD_BITS {
+                    self.word_in_part += 1;
+                } else {
+                    self.part += 1;
+                    self.word_in_part = 0;
+                }
+                self.emitted += 1;
+                return Some(out);
+            }
+        }
+        let out = self.acc;
+        self.acc = 0;
+        self.acc_bits = 0;
+        self.emitted += 1;
+        Some(out)
+    }
+}
+
+impl BitVec {
+    /// Chunk-aware twin of [`BitVec::and_count`]: counts the set bits of
+    /// `self & row` where `row` is a [`ChunkedRow`], without materialising
+    /// either the row or the intersection.
+    pub fn and_count_chunked(&self, row: &ChunkedRow<'_>) -> u64 {
+        self.and_count_words(row.words())
+    }
+
+    /// Chunk-aware twin of [`BitVec::and_into`]: writes `self & row` into
+    /// `out` (reusing its buffer) and returns the popcount of the result in
+    /// the same pass.  The result has the length of `self`.
+    pub fn and_into_chunked(&self, row: &ChunkedRow<'_>, out: &mut BitVec) -> u64 {
+        self.and_into_words(row.words(), out)
     }
 }
 
@@ -311,6 +665,102 @@ mod tests {
         }
         let mut empty = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
         assert!(empty.pop_segment().is_err());
+    }
+
+    #[test]
+    fn generation_bumps_on_push_and_pop() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        assert_eq!(store.generation(), 0);
+        store.push_segment(2, [(0, &bv("11"))]).unwrap();
+        assert_eq!(store.generation(), 1);
+        store.push_segment(1, [(0, &bv("1"))]).unwrap();
+        assert_eq!(store.generation(), 2);
+        store.pop_segment().unwrap();
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn chunked_row_streams_the_assembled_words() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        // Misaligned segment widths to exercise the stitching: 3 + 70 + 64.
+        let wide = bv(&"10".repeat(35));
+        store
+            .push_segment(3, [(0, &bv("101")), (1, &bv("011"))])
+            .unwrap();
+        store.push_segment(70, [(0, &wide)]).unwrap();
+        store.push_segment(64, [(1, &bv(&"1".repeat(64)))]).unwrap();
+
+        for id in [0usize, 1, 9] {
+            let mut flat = BitVec::new();
+            store.assemble_row(id, &mut flat).unwrap();
+            let chunked = store.chunked_row(id).unwrap();
+            assert_eq!(chunked.len(), flat.len(), "row {id}");
+            assert_eq!(chunked.count_ones(), flat.count_ones(), "row {id}");
+            let streamed: Vec<u64> = chunked.words().collect();
+            assert_eq!(streamed, flat.as_words(), "row {id}");
+            let mut reassembled = BitVec::new();
+            chunked.assemble_into(&mut reassembled);
+            assert_eq!(reassembled, flat, "row {id}");
+        }
+    }
+
+    #[test]
+    fn chunked_kernels_match_flat_kernels() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        store
+            .push_segment(3, [(0, &bv("101")), (1, &bv("011"))])
+            .unwrap();
+        store
+            .push_segment(70, [(0, &bv(&"10".repeat(35)))])
+            .unwrap();
+        store.push_segment(5, [(1, &bv("11011"))]).unwrap();
+
+        let mut flat0 = BitVec::new();
+        store.assemble_row(0, &mut flat0).unwrap();
+        let chunked1 = store.chunked_row(1).unwrap();
+        let mut flat1 = BitVec::new();
+        chunked1.assemble_into(&mut flat1);
+
+        assert_eq!(flat0.and_count_chunked(&chunked1), flat0.and_count(&flat1));
+        let mut out = BitVec::new();
+        let count = flat0.and_into_chunked(&chunked1, &mut out);
+        assert_eq!(out, flat0.and(&flat1));
+        assert_eq!(count, out.count_ones());
+    }
+
+    #[test]
+    fn chunked_row_is_absent_on_disk_backends() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        store.push_segment(2, [(0, &bv("10"))]).unwrap();
+        assert!(store.chunked_row(0).is_none());
+        assert!(store.segment_chunks(0).is_none());
+        // The index-level accessors still work.
+        assert_eq!(store.segment_row_ids(0).unwrap(), vec![0]);
+        let mut chunk = BitVec::new();
+        assert!(store.read_segment_chunk(0, 0, &mut chunk).unwrap());
+        assert_eq!(format!("{chunk:?}"), "BitVec[10]");
+        assert!(!store.read_segment_chunk(0, 9, &mut chunk).unwrap());
+        assert!(store.read_segment_chunk(5, 0, &mut chunk).is_err());
+    }
+
+    #[test]
+    fn segment_accessors_locate_columns_and_rows() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        store.push_segment(3, [(4, &bv("111"))]).unwrap();
+        store
+            .push_segment(2, [(1, &bv("01")), (4, &bv("10"))])
+            .unwrap();
+        assert_eq!(store.segment_cols(0), Some(3));
+        assert_eq!(store.segment_cols(1), Some(2));
+        assert_eq!(store.segment_cols(2), None);
+        assert_eq!(store.locate_column(0), Some((0, 0)));
+        assert_eq!(store.locate_column(2), Some((0, 2)));
+        assert_eq!(store.locate_column(3), Some((1, 0)));
+        assert_eq!(store.locate_column(4), Some((1, 1)));
+        assert_eq!(store.locate_column(5), None);
+        let rows: Vec<usize> = store.segment_chunks(1).unwrap().map(|(id, _)| id).collect();
+        assert_eq!(rows, vec![1, 4]);
+        assert_eq!(store.segment_row_ids(1).unwrap(), vec![1, 4]);
     }
 
     #[test]
