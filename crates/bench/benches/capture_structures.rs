@@ -10,6 +10,11 @@
 //! zero-copy `WindowView` versus materialising the eager `RowSnapshot` over
 //! the same captured window (the view should cost nanoseconds regardless of
 //! window size; the snapshot scales with it).
+//!
+//! A third group benchmarks the *disk* read surface: assembling a view over
+//! a disk-backed window with the chunk cache disabled (budget 0 — every call
+//! fetches and decodes all pages again) versus an unlimited budget (after
+//! the first call, assembly is served from decoded chunks pinned in memory).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fsm_bench::Workload;
@@ -113,5 +118,38 @@ fn read_surface(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, capture, read_surface);
+fn disk_read_surface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_read_surface");
+    group.sample_size(10);
+
+    for workload in [Workload::graph_model(1, 11), Workload::dense(1, 12)] {
+        for (label, budget) in [
+            ("view_eager_budget0", 0usize),
+            ("view_budgeted", usize::MAX),
+        ] {
+            let mut matrix = DsMatrix::new(
+                DsMatrixConfig::new(
+                    WindowConfig::new(5).unwrap(),
+                    StorageBackend::DiskTemp,
+                    workload.catalog.num_edges(),
+                )
+                .with_cache_budget(budget),
+            )
+            .unwrap();
+            for batch in &workload.batches {
+                matrix.ingest_batch(batch).unwrap();
+            }
+
+            group.bench_with_input(BenchmarkId::new(label, &workload.name), &(), |b, ()| {
+                b.iter(|| {
+                    let view = matrix.view().unwrap();
+                    std::hint::black_box(view.num_transactions())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, capture, read_surface, disk_read_surface);
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! workspace within the approved dependency set — no clap).
 
 use fsm_core::Algorithm;
+use fsm_storage::StorageBackend;
 use fsm_types::{FsmError, MinSup, Result};
 
 /// Input file formats the CLI understands.
@@ -53,6 +54,12 @@ pub struct Options {
     pub group_size: Option<usize>,
     /// Worker threads for the vertical algorithms (0 = all cores).
     pub threads: usize,
+    /// DSMatrix storage backend (the paper's default keeps the window on
+    /// disk).
+    pub backend: StorageBackend,
+    /// Byte budget of the decoded-chunk cache the disk backend reads
+    /// through (0 disables it).
+    pub cache_budget: usize,
 }
 
 impl Default for Options {
@@ -70,6 +77,8 @@ impl Default for Options {
             csv: false,
             group_size: None,
             threads: 1,
+            backend: StorageBackend::default(),
+            cache_budget: 0,
         }
     }
 }
@@ -92,6 +101,11 @@ OPTIONS:
   --max-len <N>         cap on pattern cardinality
   --threads <N>         worker threads for the vertical algorithms
                         (0 = all cores, default: 1)
+  --backend <disk|memory>   where the DSMatrix keeps the window
+                        (default: disk, the paper's space posture)
+  --cache-budget <BYTES>    decoded-chunk cache budget for the disk
+                        backend; 0 disables it, 'unlimited' caches the
+                        whole window (default: 0)
   --top-k <N>           report only the k best-supported patterns
   --closed | --maximal  condensed output
   --csv                 emit CSV (edges,support) instead of text
@@ -150,6 +164,21 @@ pub fn parse(args: &[String]) -> Result<Options> {
             }
             "--max-len" => options.max_len = Some(parse_number(&value("--max-len")?, "--max-len")?),
             "--threads" => options.threads = parse_number(&value("--threads")?, "--threads")?,
+            "--backend" => {
+                options.backend = match value("--backend")?.as_str() {
+                    "disk" => StorageBackend::DiskTemp,
+                    "memory" | "mem" => StorageBackend::Memory,
+                    other => return Err(FsmError::config(format!("unknown backend '{other}'"))),
+                };
+            }
+            "--cache-budget" => {
+                let raw = value("--cache-budget")?;
+                options.cache_budget = if raw == "unlimited" || raw == "max" {
+                    usize::MAX
+                } else {
+                    parse_number(&raw, "--cache-budget")?
+                };
+            }
             "--top-k" => options.top_k = Some(parse_number(&value("--top-k")?, "--top-k")?),
             "--group-size" => {
                 options.group_size = Some(parse_number(&value("--group-size")?, "--group-size")?)
@@ -220,9 +249,11 @@ mod tests {
         let options = parse(&to_args(
             "mine --input log.nt --algorithm vertical --minsup 0.1 --window 3 \
              --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6 \
-             --threads 4",
+             --threads 4 --backend memory --cache-budget 65536",
         ))
         .unwrap();
+        assert!(matches!(options.backend, StorageBackend::Memory));
+        assert_eq!(options.cache_budget, 65536);
         assert_eq!(options.format, InputFormat::NTriples, "inferred from .nt");
         assert_eq!(options.algorithm, Algorithm::Vertical);
         assert_eq!(options.minsup, MinSup::Relative(0.1));
@@ -268,6 +299,19 @@ mod tests {
             "missing value"
         );
         assert!(parse(&to_args("mine --input x --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn backend_and_cache_budget_defaults_and_errors() {
+        let options = parse(&to_args("mine --input x")).unwrap();
+        assert!(matches!(options.backend, StorageBackend::DiskTemp));
+        assert_eq!(options.cache_budget, 0, "cache is opt-in");
+        let unlimited = parse(&to_args("mine --input x --cache-budget unlimited")).unwrap();
+        assert_eq!(unlimited.cache_budget, usize::MAX);
+        let disk = parse(&to_args("mine --input x --backend disk")).unwrap();
+        assert!(matches!(disk.backend, StorageBackend::DiskTemp));
+        assert!(parse(&to_args("mine --input x --backend floppy")).is_err());
+        assert!(parse(&to_args("mine --input x --cache-budget lots")).is_err());
     }
 
     #[test]

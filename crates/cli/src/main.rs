@@ -23,6 +23,13 @@
 //! the window.  Reads are incremental too — mining runs off a zero-copy
 //! window view on the memory backend, and the stderr summary reports how
 //! many words the read path had to materialise (zero in the steady state).
+//!
+//! `--backend` picks where the window lives (`disk`, the paper's default
+//! space posture, or `memory`), and `--cache-budget BYTES` lets the disk
+//! backend pin up to that many bytes of decoded row chunks between mine
+//! calls, so steady-state disk mines re-read only the pages a window slide
+//! invalidated; the stderr summary reports the pages fetched and cache hits
+//! of the final mine alongside the read-amplification line.
 
 mod args;
 
@@ -67,6 +74,8 @@ fn run(options: &Options) -> Result<()> {
         .window_batches(options.window)
         .min_support(options.minsup)
         .threads(options.threads)
+        .backend(options.backend.clone())
+        .cache_budget_bytes(options.cache_budget)
         .catalog(catalog.clone());
     if let Some(max) = options.max_len {
         builder = builder.max_pattern_len(max);
@@ -99,6 +108,18 @@ fn run(options: &Options) -> Result<()> {
             " (disk-backend row assembly)"
         }
     );
+    if !matches!(options.backend, fsm_storage::StorageBackend::Memory) {
+        let budget = match options.cache_budget {
+            0 => "disabled".to_string(),
+            usize::MAX => "unlimited".to_string(),
+            bytes => format!("{bytes} bytes"),
+        };
+        eprintln!(
+            "disk cache: {} pages read, {} chunk-cache hits (budget {budget})",
+            result.stats().pages_read,
+            result.stats().cache_hits,
+        );
+    }
 
     let mut patterns: Vec<FrequentPattern> = match options.output {
         OutputKind::All => result.patterns().to_vec(),

@@ -57,6 +57,13 @@ pub struct MinerConfig {
     /// any other value pins the worker count.  Results are identical for
     /// every setting — per-worker outputs merge back in canonical order.
     pub threads: usize,
+    /// Byte budget of the decoded-chunk cache the disk backends read
+    /// through.  `0` (the default) disables it: every mine re-reads the
+    /// window from disk, the strictest space posture.  A budget covering the
+    /// touched working set makes steady-state disk mines fetch only the
+    /// pages a window slide invalidated; results are byte-identical for
+    /// every setting.  Ignored by the memory backend.
+    pub cache_budget_bytes: usize,
 }
 
 impl Default for MinerConfig {
@@ -70,6 +77,7 @@ impl Default for MinerConfig {
             backend: StorageBackend::default(),
             catalog: None,
             threads: 1,
+            cache_budget_bytes: 0,
         }
     }
 }
@@ -155,6 +163,28 @@ impl StreamMinerBuilder {
     /// ```
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Budgets the decoded-chunk cache of the disk backends (`0` disables
+    /// it; ignored by the memory backend).  Mining output is byte-identical
+    /// for every budget — only the per-mine disk page count changes.
+    ///
+    /// ```
+    /// use fsm_core::StreamMinerBuilder;
+    /// use fsm_storage::StorageBackend;
+    /// use fsm_types::EdgeCatalog;
+    ///
+    /// let miner = StreamMinerBuilder::new()
+    ///     .backend(StorageBackend::DiskTemp)
+    ///     .cache_budget_bytes(1 << 20) // pin up to 1 MiB of decoded chunks
+    ///     .catalog(EdgeCatalog::complete(4))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(miner.config().cache_budget_bytes, 1 << 20);
+    /// ```
+    pub fn cache_budget_bytes(mut self, budget_bytes: usize) -> Self {
+        self.config.cache_budget_bytes = budget_bytes;
         self
     }
 

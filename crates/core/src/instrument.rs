@@ -44,6 +44,14 @@ pub struct MiningStats {
     /// whose miners borrow the incrementally-maintained row cache zero-copy;
     /// on the disk backends it is the eager row-assembly fallback.
     pub read_words_assembled: u64,
+    /// Disk pages the read path fetched *for this mine call* (zero on the
+    /// memory backend).  With a [`crate::MinerConfig::cache_budget_bytes`]
+    /// budget covering the touched working set, a steady-state disk mine
+    /// fetches only the pages the preceding window slide invalidated.
+    pub pages_read: u64,
+    /// Chunk reads this mine call served from the budgeted decoded-chunk
+    /// cache instead of the paged file (always zero with a zero budget).
+    pub cache_hits: u64,
     /// Number of window transactions the run mined over.
     pub window_transactions: usize,
     /// The absolute minimum support the thresholds resolved to.
@@ -70,6 +78,8 @@ impl MiningStats {
         self.capture_on_disk_bytes = self.capture_on_disk_bytes.max(other.capture_on_disk_bytes);
         self.capture_words_written = self.capture_words_written.max(other.capture_words_written);
         self.read_words_assembled = self.read_words_assembled.max(other.read_words_assembled);
+        self.pages_read = self.pages_read.max(other.pages_read);
+        self.cache_hits = self.cache_hits.max(other.cache_hits);
         self.window_transactions = self.window_transactions.max(other.window_transactions);
         self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
     }

@@ -32,11 +32,10 @@ impl StreamMiner {
     /// [`crate::config::StreamMinerBuilder`] for the ergonomic path).
     pub fn new(mut config: MinerConfig) -> Result<Self> {
         let catalog = config.catalog.take().unwrap_or_default();
-        let matrix = DsMatrix::new(DsMatrixConfig::new(
-            config.window,
-            config.backend.clone(),
-            catalog.num_edges(),
-        ))?;
+        let matrix = DsMatrix::new(
+            DsMatrixConfig::new(config.window, config.backend.clone(), catalog.num_edges())
+                .with_cache_budget(config.cache_budget_bytes),
+        )?;
         let tracker = MemoryTracker::new();
         let mut miner = Self {
             config,
@@ -107,20 +106,30 @@ impl StreamMiner {
             .min_support
             .resolve(self.matrix.num_transactions());
 
-        let read_before = self.matrix.read_stats().words_assembled;
+        let read_before = self.matrix.read_stats();
+        // The guard releases the disk backends' eager view materialisation
+        // whichever way mining exits — success, error or panic — so the
+        // between-mines resident footprint never silently retains a window
+        // copy on a failed mine.
+        let matrix = TrimCacheGuard(&mut self.matrix);
         let mut raw = miners::run_algorithm(
             self.config.algorithm,
-            &mut self.matrix,
+            matrix.0,
             &self.catalog,
             resolved,
             self.config.limits,
             self.config.threads,
         )?;
-        // Read amplification of this call: words the read path materialised.
-        // Zero in the steady state on the memory backend (zero-copy view);
-        // the disk backends pay one eager assembly, released right after.
-        raw.stats.read_words_assembled = self.matrix.read_stats().words_assembled - read_before;
-        self.matrix.trim_cache();
+        drop(matrix);
+        // Read amplification of this call: words the read path materialised
+        // and disk pages it fetched.  Words are zero in the steady state on
+        // the memory backend (zero-copy view); pages drop to the slide's
+        // chunks on the disk backends when a chunk-cache budget covers the
+        // working set.
+        let read_after = self.matrix.read_stats();
+        raw.stats.read_words_assembled = read_after.words_assembled - read_before.words_assembled;
+        raw.stats.pages_read = read_after.pages_read - read_before.pages_read;
+        raw.stats.cache_hits = read_after.cache_hits - read_before.cache_hits;
 
         if self.config.algorithm.needs_postprocessing() {
             let checker = ConnectivityChecker::new(&self.catalog, self.config.connectivity);
@@ -140,6 +149,17 @@ impl StreamMiner {
     /// for space accounting and ablations).
     pub fn matrix_mut(&mut self) -> &mut DsMatrix {
         &mut self.matrix
+    }
+}
+
+/// Calls [`DsMatrix::trim_cache`] when dropped, so a mine that exits early
+/// (miner error or panic) still releases the disk backends' eager view
+/// materialisation instead of leaking a resident window copy.
+struct TrimCacheGuard<'a>(&'a mut DsMatrix);
+
+impl Drop for TrimCacheGuard<'_> {
+    fn drop(&mut self) {
+        self.0.trim_cache();
     }
 }
 

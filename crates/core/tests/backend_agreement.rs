@@ -1,0 +1,189 @@
+//! Cross-backend agreement: the budgeted paged chunk cache must be invisible
+//! in every output byte.
+//!
+//! The same batch stream is mined on the `Memory` backend, the eager
+//! `DiskTemp` backend (budget 0 — today's fully-eager per-mine assembly) and
+//! the budgeted disk path at both extremes (a deliberately tiny budget that
+//! evicts constantly, and an unlimited budget that caches the whole window).
+//! Patterns (order included) and work counters must be byte-identical across
+//! all four; only the disk-page accounting may differ.
+//!
+//! A second test pins the acceptance criterion of the cache: with a budget
+//! covering the touched working set, `pages_read` per steady-state disk mine
+//! is bounded by the rows the slide touched, while budget 0 keeps paying the
+//! full per-mine window assembly.
+
+use fsm_core::{Algorithm, StreamMiner, StreamMinerBuilder};
+use fsm_storage::StorageBackend;
+use fsm_types::{Batch, MinSup, Transaction};
+use proptest::prelude::*;
+
+const VERTICES: u32 = 5;
+const EDGES: u32 = 10;
+
+/// The backend/budget corners under test: memory, eager disk, a tiny disk
+/// budget (constant eviction pressure) and an unlimited disk budget.
+fn corners() -> Vec<(&'static str, StorageBackend, usize)> {
+    vec![
+        ("memory", StorageBackend::Memory, 0),
+        ("disk budget=0", StorageBackend::DiskTemp, 0),
+        ("disk budget=tiny", StorageBackend::DiskTemp, 600),
+        ("disk budget=max", StorageBackend::DiskTemp, usize::MAX),
+    ]
+}
+
+fn build(
+    algorithm: Algorithm,
+    window: usize,
+    minsup: u64,
+    backend: StorageBackend,
+    budget: usize,
+) -> StreamMiner {
+    StreamMinerBuilder::new()
+        .algorithm(algorithm)
+        .window_batches(window)
+        .min_support(MinSup::absolute(minsup))
+        .backend(backend)
+        .cache_budget_bytes(budget)
+        .complete_graph_vertices(VERTICES)
+        .build()
+        .unwrap()
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<Vec<u32>>>> {
+    // 1..6 batches of 1..6 transactions over the edge vocabulary.
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..EDGES, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            1..6,
+        ),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mining after every ingested batch yields byte-identical patterns and
+    /// work counters on all four backend/budget corners, for all five
+    /// algorithms.
+    #[test]
+    fn all_budget_corners_mine_identically(
+        raw in arb_stream(),
+        window in 1usize..4,
+        minsup in 1u64..4,
+    ) {
+        for algorithm in Algorithm::ALL {
+            let mut miners: Vec<(&str, StreamMiner)> = corners()
+                .into_iter()
+                .map(|(label, backend, budget)| {
+                    (label, build(algorithm, window, minsup, backend, budget))
+                })
+                .collect();
+            for (id, transactions) in raw.iter().enumerate() {
+                let batch = Batch::from_transactions(
+                    id as u64,
+                    transactions
+                        .iter()
+                        .map(|t| Transaction::from_raw(t.iter().copied()))
+                        .collect(),
+                );
+                let mut reference = None;
+                for (label, miner) in miners.iter_mut() {
+                    miner.ingest_batch(&batch).unwrap();
+                    let result = miner.mine().unwrap();
+                    match &reference {
+                        None => reference = Some(result),
+                        Some(expected) => {
+                            prop_assert_eq!(
+                                expected.patterns(), result.patterns(),
+                                "{} {}: patterns diverged on batch {}", algorithm, label, id
+                            );
+                            prop_assert_eq!(
+                                expected.stats().intersections,
+                                result.stats().intersections,
+                                "{} {}: intersection counts diverged", algorithm, label
+                            );
+                            prop_assert_eq!(
+                                expected.stats().tree_footprint.trees_built,
+                                result.stats().tree_footprint.trees_built,
+                                "{} {}: tree counts diverged", algorithm, label
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The tentpole's acceptance criterion, at the facade level: once the window
+/// is warm, a budgeted disk mine fetches at most the pages of the rows the
+/// slide touched, while budget 0 reproduces the eager read pattern (same
+/// words assembled, strictly more pages) and the two agree on every pattern.
+#[test]
+fn steady_state_disk_mines_read_only_the_slide() {
+    let window = 3usize;
+    let mut eager = build(
+        Algorithm::DirectVertical,
+        window,
+        2,
+        StorageBackend::DiskTemp,
+        0,
+    );
+    let mut budgeted = build(
+        Algorithm::DirectVertical,
+        window,
+        2,
+        StorageBackend::DiskTemp,
+        usize::MAX,
+    );
+    for id in 0..10u64 {
+        let batch = Batch::from_transactions(
+            id,
+            vec![
+                Transaction::from_raw([(id % 4) as u32, ((id + 1) % 4) as u32]),
+                Transaction::from_raw([0u32, 1, 2]),
+                Transaction::from_raw([((id + 2) % 5) as u32]),
+            ],
+        );
+        // Rows the slide touches: the distinct edges of the entering batch.
+        let slide_rows: std::collections::BTreeSet<u32> =
+            batch.iter().flat_map(|t| t.iter().map(|e| e.0)).collect();
+        eager.ingest_batch(&batch).unwrap();
+        budgeted.ingest_batch(&batch).unwrap();
+        let eager_result = eager.mine().unwrap();
+        let budgeted_result = budgeted.mine().unwrap();
+
+        assert!(
+            eager_result.same_patterns_as(&budgeted_result),
+            "mine #{id}: budgets must not change patterns"
+        );
+        assert_eq!(
+            eager_result.stats().read_words_assembled,
+            budgeted_result.stats().read_words_assembled,
+            "mine #{id}: budget 0 and budget=max assemble the same words"
+        );
+        assert_eq!(eager_result.stats().cache_hits, 0);
+        assert!(
+            eager_result.stats().pages_read > 0,
+            "mine #{id}: the eager path reads the window from disk"
+        );
+        if id > 0 {
+            // Steady state (cache warmed by the first mine): at most one
+            // page per row the slide touched.
+            assert!(
+                budgeted_result.stats().pages_read <= slide_rows.len() as u64,
+                "mine #{id}: {} pages > {} slide rows",
+                budgeted_result.stats().pages_read,
+                slide_rows.len()
+            );
+            assert!(
+                eager_result.stats().pages_read > budgeted_result.stats().pages_read,
+                "mine #{id}: budgeted mine must fetch fewer pages"
+            );
+            assert!(budgeted_result.stats().cache_hits > 0, "mine #{id}");
+        }
+    }
+}

@@ -32,6 +32,14 @@ pub struct ReadStats {
     /// Words moved by the amortised [`BitVec::drop_prefix`] compaction of the
     /// row cache's dead prefix.
     pub cache_compact_words: u64,
+    /// Disk pages the chunk-read path fetched (disk backends only; zero on
+    /// the memory backend, whose chunks are borrowed).  With a chunk-cache
+    /// budget covering the touched working set, the per-mine delta drops to
+    /// the chunks the preceding slide invalidated.
+    pub pages_read: u64,
+    /// Chunk reads served by the budgeted decoded-chunk cache
+    /// ([`fsm_storage::ChunkCache`]) instead of the paged file.
+    pub cache_hits: u64,
 }
 
 /// The incrementally-maintained flat-row cache behind [`DsMatrix::view`].
@@ -67,6 +75,11 @@ pub struct DsMatrixConfig {
     /// Expected number of domain edges (rows); the matrix grows beyond this
     /// if a later batch introduces new edges.
     pub expected_edges: usize,
+    /// Byte budget of the decoded-chunk cache over the disk backends
+    /// (`0`, the default, disables it — every mine re-reads the window from
+    /// disk, the paper's strictest space posture).  Ignored by the memory
+    /// backend.
+    pub cache_budget_bytes: usize,
 }
 
 impl DsMatrixConfig {
@@ -76,7 +89,14 @@ impl DsMatrixConfig {
             window,
             backend,
             expected_edges,
+            cache_budget_bytes: 0,
         }
+    }
+
+    /// Sets the decoded-chunk cache budget for the disk backends.
+    pub fn with_cache_budget(mut self, budget_bytes: usize) -> Self {
+        self.cache_budget_bytes = budget_bytes;
+        self
     }
 }
 
@@ -122,7 +142,8 @@ impl DsMatrix {
 
     /// Creates an empty matrix.
     pub fn new(config: DsMatrixConfig) -> Result<Self> {
-        let store = SegmentedWindowStore::open(config.backend)?;
+        let mut store = SegmentedWindowStore::open(config.backend)?;
+        store.set_cache_budget(config.cache_budget_bytes);
         let cache = RowCache {
             rows: Vec::new(),
             offset: 0,
@@ -344,9 +365,14 @@ impl DsMatrix {
     /// cache — nothing is copied, so the steady-state read cost of a mine
     /// call is whatever the preceding slides already paid (rows touched by
     /// the slide, counted in [`DsMatrix::read_stats`]).  On the disk backends
-    /// every row is first assembled eagerly into the cache buffers (the
-    /// demoted [`DsMatrix::snapshot`]-style fallback; the window data cannot
-    /// be borrowed off disk), after which the view API is identical.
+    /// every row is first assembled into the cache buffers (the demoted
+    /// [`DsMatrix::snapshot`]-style fallback; the window data cannot be
+    /// borrowed off disk), after which the view API is identical — but with a
+    /// [`DsMatrixConfig::cache_budget_bytes`] budget configured that assembly
+    /// is served from the budgeted decoded-chunk cache, so a steady-state
+    /// mine fetches only the pages the preceding slide invalidated
+    /// (`pages_read` in [`DsMatrix::read_stats`]) instead of re-reading the
+    /// whole window from disk.
     pub fn view(&mut self) -> Result<WindowView<'_>> {
         if self.cache.enabled {
             debug_assert_eq!(
@@ -384,19 +410,40 @@ impl DsMatrix {
     }
 
     /// Cumulative read-path cost counters (words eagerly assembled, cache
-    /// maintenance work).  Differencing `words_assembled` across a mine call
-    /// measures that call's read amplification.
+    /// maintenance work, disk pages fetched and chunk-cache hits).
+    /// Differencing `words_assembled` across a mine call measures that
+    /// call's assembly cost; differencing `pages_read` measures its disk
+    /// read amplification.
     pub fn read_stats(&self) -> ReadStats {
-        self.read_stats
+        let mut stats = self.read_stats;
+        let io = self.store.io_stats();
+        stats.pages_read = io.pages_read;
+        stats.cache_hits = io.cache_hits;
+        stats
+    }
+
+    /// The decoded-chunk cache budget the disk backends read through (zero
+    /// when disabled or on the memory backend).
+    pub fn cache_budget(&self) -> usize {
+        self.store.cache_budget()
+    }
+
+    /// Re-budgets the disk backends' decoded-chunk cache (evicting to fit;
+    /// no-op on the memory backend).  Exposed so long-lived matrices can be
+    /// re-tuned without rebuilding the window.
+    pub fn set_cache_budget(&mut self, budget_bytes: usize) {
+        self.store.set_cache_budget(budget_bytes);
+        self.report_memory();
     }
 
     /// Frees the eager [`DsMatrix::view`] fallback materialisation of the
     /// disk backends (no-op on the memory backend, whose cache is the
     /// incrementally-maintained read surface, not a copy).
     ///
-    /// The facade calls this after a disk-backed mine so the window's
-    /// resident footprint between mine calls stays what the paper promises:
-    /// bookkeeping only.
+    /// The facade calls this after a disk-backed mine — through an RAII
+    /// guard, so it also runs when mining errors or panics — keeping the
+    /// window's between-mines resident footprint what the paper promises:
+    /// bookkeeping, plus at most the configured chunk-cache budget.
     pub fn trim_cache(&mut self) {
         if !self.cache.enabled {
             self.cache.rows = Vec::new();
@@ -753,6 +800,71 @@ mod tests {
         assert!(!mem.is_disk_backed());
         assert_eq!(mem.on_disk_bytes(), 0);
         assert!(mem.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn budgeted_disk_views_read_only_the_slide() {
+        // The same stream through an uncached (budget 0) and a budgeted disk
+        // matrix: rows and assembly work stay byte-identical at every step,
+        // but once the window is warm the budgeted matrix fetches only the
+        // chunks the slide invalidated, while budget 0 reproduces the fully
+        // eager per-mine read pattern.
+        let config = |budget: usize| {
+            DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::DiskTemp, 6)
+                .with_cache_budget(budget)
+        };
+        let mut eager = DsMatrix::new(config(0)).unwrap();
+        let mut budgeted = DsMatrix::new(config(usize::MAX)).unwrap();
+        assert_eq!(eager.cache_budget(), 0);
+        assert_eq!(budgeted.cache_budget(), usize::MAX);
+
+        let patterns = paper_batches();
+        for round in 0..6u64 {
+            let batch = Batch::from_transactions(
+                round,
+                patterns[(round % 3) as usize].iter().cloned().collect(),
+            );
+            let captured_before = budgeted.capture_stats().rows_written;
+            eager.ingest_batch(&batch).unwrap();
+            budgeted.ingest_batch(&batch).unwrap();
+            let slide_rows = budgeted.capture_stats().rows_written - captured_before;
+
+            let (e0, b0) = (eager.read_stats(), budgeted.read_stats());
+            eager.view().unwrap();
+            budgeted.view().unwrap();
+            let (e1, b1) = (eager.read_stats(), budgeted.read_stats());
+
+            assert_eq!(
+                e1.words_assembled - e0.words_assembled,
+                b1.words_assembled - b0.words_assembled,
+                "assembly work must be byte-identical, round {round}"
+            );
+            assert_eq!(e1.cache_hits, 0, "budget 0 never hits");
+            let eager_pages = e1.pages_read - e0.pages_read;
+            let budgeted_pages = b1.pages_read - b0.pages_read;
+            if round == 0 {
+                assert_eq!(eager_pages, budgeted_pages, "cold caches read alike");
+            } else {
+                // Steady state: pages fetched per view are bounded by the
+                // rows the slide touched (each paper chunk fits one page).
+                assert!(
+                    budgeted_pages <= slide_rows,
+                    "round {round}: {budgeted_pages} pages > {slide_rows} slide rows"
+                );
+                assert!(
+                    eager_pages > budgeted_pages,
+                    "round {round}: the budgeted view must fetch fewer pages"
+                );
+            }
+            for item in 0..6 {
+                assert_eq!(
+                    row_string(&mut eager, item),
+                    row_string(&mut budgeted, item),
+                    "row {item} diverged on round {round}"
+                );
+            }
+        }
+        assert!(budgeted.read_stats().cache_hits > 0);
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! A budgeted cache of decoded row chunks over the disk-backed window store.
+//!
+//! The disk backends of [`crate::SegmentedWindowStore`] keep every segment's
+//! row chunks serialised in a paged file; before this cache, *every* read of
+//! a chunk paid a page fetch plus a deserialisation, so assembling the whole
+//! window once per mine call cost O(window) page reads no matter how little
+//! the window had changed.  [`ChunkCache`] keeps recently-decoded chunks
+//! pinned in memory up to an explicit byte budget:
+//!
+//! * **Keying.**  Entries are keyed by `(segment uid, row id)`.  Segments are
+//!   immutable once pushed, so a cached chunk can never go stale — the only
+//!   invalidation event is the segment being dropped by a window slide
+//!   ([`ChunkCache::invalidate_segment`]), the cache-level mirror of the
+//!   store's generation bump on `push_segment`/`pop_segment`.
+//! * **Budget + clock eviction.**  [`ChunkCache::insert`] charges each entry
+//!   its decoded heap size plus bookkeeping overhead against the budget and
+//!   runs a second-chance (clock) sweep while over it: entries touched by a
+//!   [`ChunkCache::get`] since the hand last passed survive one extra round,
+//!   untouched ones are evicted.  A budget of `0` disables the cache
+//!   entirely, reproducing the uncached read path byte for byte.
+//! * **Counters.**  Hits, misses, insertions, evictions and invalidations
+//!   are tallied in [`ChunkCacheStats`], so the read-amplification tables of
+//!   the benchmark harness report measured cache behaviour, not a model.
+//!
+//! The cache is deliberately read-through only: it fills on read misses, not
+//! on segment writes, so a steady-state mine over an unchanged window region
+//! re-reads exactly the pages a window slide invalidated — the incremental
+//! bound the DSMatrix read path advertises.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::bitvec::BitVec;
+
+/// Cumulative counters of a [`ChunkCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkCacheStats {
+    /// Chunk reads served from the cache (no page fetch, no decode).
+    pub hits: u64,
+    /// Chunk reads that had to go to the paged file.
+    pub misses: u64,
+    /// Decoded chunks admitted into the cache.
+    pub insertions: u64,
+    /// Entries evicted by the clock sweep to stay within budget.
+    pub evictions: u64,
+    /// Entries removed because their segment left the window.
+    pub invalidations: u64,
+}
+
+struct CacheEntry {
+    chunk: BitVec,
+    /// Budget charge of this entry (decoded heap bytes + overhead).
+    bytes: usize,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// passes, evicted when the hand finds it cleared.
+    referenced: bool,
+}
+
+/// A budgeted `(segment uid, row id) → decoded chunk` cache with clock
+/// eviction.  See the module docs for the design.
+pub struct ChunkCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    /// Segment uid → row id → entry.  Two levels so a window slide can drop
+    /// one segment's entries without scanning the whole cache.
+    entries: BTreeMap<u64, BTreeMap<usize, CacheEntry>>,
+    /// Clock ring of candidate keys.  May hold keys whose entry has already
+    /// been invalidated; those are skipped lazily by the sweep and compacted
+    /// away once they outnumber the live slots.
+    clock: VecDeque<(u64, usize)>,
+    /// Ring slots whose entry has been invalidated but not yet reclaimed.
+    stale_slots: usize,
+    stats: ChunkCacheStats,
+}
+
+impl ChunkCache {
+    /// Approximate per-entry bookkeeping charge on top of the decoded chunk's
+    /// heap bytes (map nodes + clock slot).
+    const ENTRY_OVERHEAD: usize =
+        std::mem::size_of::<CacheEntry>() + 4 * std::mem::size_of::<(u64, usize)>();
+
+    /// Creates a cache with the given byte budget (`0` disables caching).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            used_bytes: 0,
+            entries: BTreeMap::new(),
+            clock: VecDeque::new(),
+            stale_slots: 0,
+            stats: ChunkCacheStats::default(),
+        }
+    }
+
+    /// Returns `true` if the cache admits entries (non-zero budget).
+    pub fn is_enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(BTreeMap::len).sum()
+    }
+
+    /// Returns `true` if no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.values().all(BTreeMap::is_empty)
+    }
+
+    /// The cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> ChunkCacheStats {
+        self.stats
+    }
+
+    /// Re-budgets the cache, evicting as needed to fit the new budget.
+    pub fn set_budget(&mut self, budget_bytes: usize) {
+        self.budget_bytes = budget_bytes;
+        if budget_bytes == 0 {
+            self.clear();
+        } else {
+            self.evict_to_budget();
+        }
+    }
+
+    /// Looks up the chunk of `(seg, row)`, marking it recently used.
+    ///
+    /// Callers consult the cache only for rows the segment is known to hold
+    /// (absence is decided by the store's in-memory index), so every miss
+    /// recorded here corresponds to a real page fetch.
+    pub fn get(&mut self, seg: u64, row: usize) -> Option<&BitVec> {
+        if !self.is_enabled() {
+            return None;
+        }
+        match self.entries.get_mut(&seg).and_then(|m| m.get_mut(&row)) {
+            Some(entry) => {
+                entry.referenced = true;
+                self.stats.hits += 1;
+                Some(&entry.chunk)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a freshly-decoded chunk, evicting colder entries if the budget
+    /// overflows.  Chunks larger than the whole budget are not admitted.
+    pub fn insert(&mut self, seg: u64, row: usize, chunk: &BitVec) {
+        if !self.is_enabled() {
+            return;
+        }
+        // Charge the clone we store, not the caller's chunk: callers pass
+        // long-lived scratch buffers whose capacity stays at the widest row
+        // they ever decoded, which would inflate every later charge (and
+        // could wrongly refuse admission outright).
+        let owned = chunk.clone();
+        let bytes = owned.heap_bytes() + Self::ENTRY_OVERHEAD;
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let entry = CacheEntry {
+            chunk: owned,
+            bytes,
+            referenced: false,
+        };
+        let slot = self.entries.entry(seg).or_default();
+        if let Some(previous) = slot.insert(row, entry) {
+            // Re-insert of a key the clock already tracks: swap the charge.
+            self.used_bytes -= previous.bytes;
+        } else {
+            self.clock.push_back((seg, row));
+        }
+        self.used_bytes += bytes;
+        self.stats.insertions += 1;
+        self.evict_to_budget();
+    }
+
+    /// Drops every entry of segment `seg` (the segment left the window).
+    pub fn invalidate_segment(&mut self, seg: u64) {
+        if let Some(rows) = self.entries.remove(&seg) {
+            for entry in rows.values() {
+                self.used_bytes -= entry.bytes;
+                self.stats.invalidations += 1;
+            }
+            self.stale_slots += rows.len();
+        }
+        // Stale clock slots are skipped lazily by the sweep; compact the
+        // ring once they outnumber the live slots so a long-running stream
+        // whose budget never overflows (eviction never sweeps) cannot grow
+        // the ring without bound.  Amortised O(1) per invalidated entry.
+        if self.stale_slots > self.clock.len() / 2 {
+            let entries = &self.entries;
+            self.clock
+                .retain(|(seg, row)| entries.get(seg).is_some_and(|m| m.contains_key(row)));
+            self.stale_slots = 0;
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.clock.clear();
+        self.stale_slots = 0;
+        self.used_bytes = 0;
+    }
+
+    /// The clock sweep: rotate the hand, giving referenced entries a second
+    /// chance, until the budget holds again.
+    fn evict_to_budget(&mut self) {
+        while self.used_bytes > self.budget_bytes {
+            let Some((seg, row)) = self.clock.pop_front() else {
+                debug_assert!(false, "budget overflow with an empty clock ring");
+                return;
+            };
+            let Some(rows) = self.entries.get_mut(&seg) else {
+                self.stale_slots = self.stale_slots.saturating_sub(1);
+                continue; // stale slot: segment was invalidated
+            };
+            let Some(entry) = rows.get_mut(&row) else {
+                self.stale_slots = self.stale_slots.saturating_sub(1);
+                continue; // stale slot: entry was evicted or replaced
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                self.clock.push_back((seg, row));
+                continue;
+            }
+            self.used_bytes -= entry.bytes;
+            rows.remove(&row);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("used_bytes", &self.used_bytes)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(bits: usize) -> BitVec {
+        let mut c = BitVec::zeros(bits);
+        if bits > 0 {
+            c.set(0, true);
+        }
+        c
+    }
+
+    /// Budget that fits exactly `n` entries of `bits`-wide chunks.
+    fn budget_for(n: usize, bits: usize) -> usize {
+        n * (chunk(bits).heap_bytes() + ChunkCache::ENTRY_OVERHEAD)
+    }
+
+    #[test]
+    fn get_after_insert_hits_and_counts() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        assert!(cache.get(0, 1).is_none(), "cold cache misses");
+        cache.insert(0, 1, &chunk(100));
+        assert_eq!(cache.get(0, 1).unwrap().len(), 100);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let mut cache = ChunkCache::new(0);
+        assert!(!cache.is_enabled());
+        cache.insert(0, 1, &chunk(10));
+        assert!(cache.get(0, 1).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+        // Disabled lookups are not counted: there is no cache to miss.
+        assert_eq!(cache.stats(), ChunkCacheStats::default());
+    }
+
+    #[test]
+    fn eviction_keeps_the_budget() {
+        let budget = budget_for(3, 64);
+        let mut cache = ChunkCache::new(budget);
+        for row in 0..10 {
+            cache.insert(0, row, &chunk(64));
+            assert!(cache.used_bytes() <= budget, "budget must hold");
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 7);
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        let mut cache = ChunkCache::new(budget_for(2, 64));
+        cache.insert(0, 0, &chunk(64)); // A
+        assert!(cache.get(0, 0).is_some()); // touch A
+        cache.insert(0, 1, &chunk(64)); // B (untouched)
+        cache.insert(0, 2, &chunk(64)); // C → sweep: A survives, B evicted
+        assert!(cache.get(0, 0).is_some(), "referenced entry survives");
+        assert!(cache.get(0, 1).is_none(), "unreferenced entry is evicted");
+        assert!(cache.get(0, 2).is_some());
+    }
+
+    #[test]
+    fn invalidate_segment_reclaims_its_bytes() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        cache.insert(3, 0, &chunk(64));
+        cache.insert(3, 1, &chunk(64));
+        cache.insert(4, 0, &chunk(64));
+        let before = cache.used_bytes();
+        cache.invalidate_segment(3);
+        assert_eq!(cache.stats().invalidations, 2);
+        assert!(cache.used_bytes() < before);
+        assert!(cache.get(3, 0).is_none());
+        assert!(cache.get(4, 0).is_some(), "other segments are untouched");
+        // The stale clock slots are skipped without issue by later sweeps.
+        cache.set_budget(budget_for(1, 64));
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_chunks_are_not_admitted() {
+        let mut cache = ChunkCache::new(64);
+        cache.insert(0, 0, &chunk(100_000));
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn charge_follows_the_stored_clone_not_the_scratch_capacity() {
+        // Callers pass long-lived scratch buffers whose capacity stays at
+        // the widest chunk ever decoded; the budget must charge the stored
+        // clone, or one wide row would poison every later admission.
+        let mut scratch = chunk(100_000);
+        scratch.resize(64); // len 64 bits, capacity still ~100k bits
+        let mut cache = ChunkCache::new(budget_for(2, 64));
+        cache.insert(0, 0, &scratch);
+        assert_eq!(cache.len(), 1, "small chunk must be admitted");
+        assert!(
+            cache.used_bytes() <= budget_for(1, 64),
+            "charge reflects the 64-bit payload, not the scratch capacity"
+        );
+        assert_eq!(cache.get(0, 0).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn reinserting_a_key_swaps_the_charge() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        cache.insert(0, 0, &chunk(64));
+        let first = cache.used_bytes();
+        cache.insert(0, 0, &chunk(128));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() > first);
+        cache.insert(0, 0, &chunk(64));
+        assert_eq!(cache.used_bytes(), first, "charge follows the live chunk");
+    }
+
+    #[test]
+    fn clock_ring_stays_bounded_without_eviction_pressure() {
+        // A long-running stream whose budget never overflows: eviction never
+        // sweeps, so stale slots must be reclaimed by the invalidation-side
+        // compaction instead.
+        let mut cache = ChunkCache::new(usize::MAX);
+        for seg in 0..200u64 {
+            for row in 0..5 {
+                cache.insert(seg, row, &chunk(64));
+            }
+            if seg >= 4 {
+                cache.invalidate_segment(seg - 4); // 4 segments stay live
+            }
+        }
+        assert_eq!(cache.len(), 4 * 5);
+        assert!(
+            cache.clock.len() <= 2 * cache.len(),
+            "ring holds {} slots for {} live entries",
+            cache.clock.len(),
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn set_budget_zero_clears_everything() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        cache.insert(0, 0, &chunk(64));
+        cache.set_budget(0);
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+}

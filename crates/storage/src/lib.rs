@@ -17,7 +17,12 @@
 //!   segment and unlinks one instead of rewriting every row (writes are
 //!   counted in [`CaptureStats`]).  On the memory backend its segments are
 //!   readable zero-copy through [`ChunkedRow`] views and the chunk-aware
-//!   `BitVec` kernels;
+//!   `BitVec` kernels; on the disk backends chunk reads go through a
+//!   budgeted [`ChunkCache`] (page fetches and hits counted in
+//!   [`ReadIoStats`]), so repeated scans of an unchanged window region stay
+//!   in memory up to the configured budget;
+//! * [`ChunkCache`] — the budgeted `(segment, row) → decoded chunk` cache
+//!   with clock eviction behind that read path;
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod chunkcache;
 pub mod paged;
 pub mod rowstore;
 pub mod segment;
@@ -34,8 +40,9 @@ pub mod temp;
 pub mod tracker;
 
 pub use bitvec::BitVec;
+pub use chunkcache::{ChunkCache, ChunkCacheStats};
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
-pub use segment::{CaptureStats, ChunkCursor, ChunkedRow, SegmentedWindowStore};
+pub use segment::{CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats, SegmentedWindowStore};
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};

@@ -79,7 +79,9 @@ impl PagedFile {
 
     /// On-disk footprint in bytes (pages × page size).
     pub fn on_disk_bytes(&self) -> u64 {
-        (self.num_pages * self.page_size) as u64
+        // Widen before multiplying: the product can exceed `usize` on 32-bit
+        // targets long before either factor does.
+        self.num_pages as u64 * self.page_size as u64
     }
 
     /// Appends `data` as a new page and returns its index.
@@ -90,6 +92,13 @@ impl PagedFile {
     }
 
     /// Writes `data` at page `index`, extending the file if needed.
+    ///
+    /// Writing past the current end materialises the intervening pages as
+    /// explicit zero pages: they are handed to the operating system and
+    /// counted in [`PagedFile::bytes_written`] like any other page, so
+    /// [`PagedFile::on_disk_bytes`] and the write counter can never drift
+    /// apart (a sparse seek would create hole pages the counter never saw,
+    /// reading back as zeros indistinguishable from real data).
     pub fn write_page(&mut self, index: usize, data: &[u8]) -> Result<usize> {
         if data.len() > self.page_size {
             return Err(FsmError::config(format!(
@@ -98,7 +107,18 @@ impl PagedFile {
                 self.page_size
             )));
         }
-        let offset = (index * self.page_size) as u64;
+        if index > self.num_pages {
+            let zeros = vec![0u8; self.page_size];
+            self.file.seek(SeekFrom::Start(
+                self.num_pages as u64 * self.page_size as u64,
+            ))?;
+            while self.num_pages < index {
+                self.file.write_all(&zeros)?;
+                self.bytes_written += self.page_size as u64;
+                self.num_pages += 1;
+            }
+        }
+        let offset = index as u64 * self.page_size as u64;
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.write_all(data)?;
         if data.len() < self.page_size {
@@ -118,7 +138,7 @@ impl PagedFile {
                 self.num_pages
             )));
         }
-        let offset = (index * self.page_size) as u64;
+        let offset = index as u64 * self.page_size as u64;
         self.file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; self.page_size];
         self.file.read_exact(&mut buf)?;
@@ -179,6 +199,14 @@ mod tests {
         let mut pf = PagedFile::create(dir.file("pages.bin"), 16).unwrap();
         pf.write_page(3, b"x").unwrap();
         assert_eq!(pf.num_pages(), 4);
+        // The gap pages are materialised and accounted, not silent holes:
+        // every byte on_disk_bytes() reports went through bytes_written.
+        assert_eq!(pf.bytes_written(), 64);
+        assert_eq!(pf.on_disk_bytes(), 64);
+        for page in 0..3 {
+            assert_eq!(pf.read_page(page).unwrap(), vec![0u8; 16]);
+        }
+        assert_eq!(&pf.read_page(3).unwrap()[..1], b"x");
     }
 
     #[test]

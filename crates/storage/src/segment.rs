@@ -32,7 +32,14 @@
 //! * The disk backends fall back to [`SegmentedWindowStore::assemble_row`],
 //!   which concatenates the per-segment chunks into a flat row
 //!   ([`BitVec::extend_from_bitvec`]), reproducing the flat-row semantics bit
-//!   for bit.
+//!   for bit.  Their chunk reads go through a budgeted decoded-chunk cache
+//!   ([`crate::ChunkCache`], [`SegmentedWindowStore::set_cache_budget`]):
+//!   segments are immutable, so cached chunks stay valid until their segment
+//!   is popped, and with a budget covering the touched working set a
+//!   steady-state scan re-fetches only the pages a window slide invalidated.
+//!   Page fetches and cache hits are counted in [`ReadIoStats`]
+//!   ([`SegmentedWindowStore::io_stats`]); a zero budget (the default)
+//!   disables the cache and reproduces fully-eager reads byte for byte.
 //! * [`SegmentedWindowStore::generation`] is a monotonic counter bumped by
 //!   every segment append or drop, so cached derivations of the window (the
 //!   DSMatrix row cache) can tag themselves with the store state they
@@ -47,11 +54,18 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 
 use crate::bitvec::BitVec;
+use crate::chunkcache::{ChunkCache, ChunkCacheStats};
 use crate::rowstore::{RowStore, StorageBackend};
 use crate::temp::TempDir;
 use fsm_types::{FsmError, Result};
 
 const WORD_BITS: usize = 64;
+
+/// Pages a row of `len` serialised bytes occupies (what one uncached read of
+/// it fetches from the paged file).
+fn pages_for(len: usize, page_size: usize) -> u64 {
+    len.div_ceil(page_size) as u64
+}
 
 /// Cumulative capture-cost counters of a [`SegmentedWindowStore`].
 ///
@@ -72,6 +86,27 @@ pub struct CaptureStats {
     pub segments_dropped: u64,
 }
 
+/// Cumulative read-side I/O counters of a [`SegmentedWindowStore`]'s disk
+/// backends (always zero on the memory backend, whose chunks are borrowed).
+///
+/// `pages_read` counts the paged-file fetches chunk reads performed;
+/// differencing it across a mine call measures that call's disk read
+/// amplification the same way [`CaptureStats::words_written`] measures write
+/// amplification.  With a [`ChunkCache`] budget covering the touched working
+/// set, steady-state reads hit the cache and the per-mine page count drops to
+/// the chunks a window slide invalidated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadIoStats {
+    /// Disk pages fetched by chunk reads (cache misses and uncached reads).
+    pub pages_read: u64,
+    /// Chunk reads served from the decoded-chunk cache.
+    pub cache_hits: u64,
+    /// Chunk reads an *enabled* cache failed to serve (and therefore went to
+    /// the paged file).  Always zero when the cache is disabled (budget 0):
+    /// uncached reads show up only in `pages_read`.
+    pub cache_misses: u64,
+}
+
 enum SegmentRows {
     /// Memory backend: decoded chunks, borrowable zero-copy.
     Memory(BTreeMap<usize, BitVec>),
@@ -80,6 +115,8 @@ enum SegmentRows {
 }
 
 struct Segment {
+    /// Stable uid of this segment (the chunk-cache key; never reused).
+    id: u64,
     /// Number of window columns (transactions) this segment contributes.
     cols: usize,
     /// Row chunks of the segment; rows without a set bit are absent.
@@ -114,6 +151,11 @@ pub struct SegmentedWindowStore {
     buf: Vec<u8>,
     /// Reusable decoded chunk for [`SegmentedWindowStore::assemble_row`].
     chunk: BitVec,
+    /// Budgeted decoded-chunk cache over the disk segments (disabled — and
+    /// never consulted — with a zero budget or on the memory backend).
+    cache: ChunkCache,
+    /// Disk pages fetched by chunk reads so far.
+    pages_read: u64,
 }
 
 impl SegmentedWindowStore {
@@ -150,7 +192,40 @@ impl SegmentedWindowStore {
             generation: 0,
             buf: Vec::new(),
             chunk: BitVec::new(),
+            cache: ChunkCache::new(0),
+            pages_read: 0,
         })
+    }
+
+    /// Sets the decoded-chunk cache budget in bytes (`0` disables caching,
+    /// reproducing fully-eager disk reads).  Shrinking the budget evicts
+    /// immediately.  The memory backend ignores the budget: its chunks are
+    /// already resident and borrowed zero-copy.
+    pub fn set_cache_budget(&mut self, budget_bytes: usize) {
+        if self.is_memory_resident() {
+            return;
+        }
+        self.cache.set_budget(budget_bytes);
+    }
+
+    /// The configured decoded-chunk cache budget in bytes.
+    pub fn cache_budget(&self) -> usize {
+        self.cache.budget_bytes()
+    }
+
+    /// The chunk cache's cumulative hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> ChunkCacheStats {
+        self.cache.stats()
+    }
+
+    /// The cumulative read-side I/O counters (see [`ReadIoStats`]).
+    pub fn io_stats(&self) -> ReadIoStats {
+        let cache = self.cache.stats();
+        ReadIoStats {
+            pages_read: self.pages_read,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
     }
 
     /// Returns `true` if segment payloads live in main memory.
@@ -206,8 +281,10 @@ impl SegmentedWindowStore {
                 )
             }
         };
+        let id = self.next_id;
         self.next_id += 1;
         let mut segment = Segment {
+            id,
             cols,
             rows: store,
             path,
@@ -245,6 +322,9 @@ impl SegmentedWindowStore {
             .ok_or_else(|| FsmError::corrupt("pop_segment on an empty window"))?;
         let cols = segment.cols;
         let path = segment.path.clone();
+        // The segment's cached chunks can never be read again: its uid is
+        // not reused, and the window columns it covered are gone.
+        self.cache.invalidate_segment(segment.id);
         // Close the row store (drops its file handle) before unlinking.
         drop(segment);
         if let Some(path) = path {
@@ -265,13 +345,16 @@ impl SegmentedWindowStore {
     /// [`SegmentedWindowStore::chunked_row`].
     pub fn assemble_row(&mut self, id: usize, out: &mut BitVec) -> Result<()> {
         out.resize(0);
-        // Split borrows: the queue, the byte buffer and the decoded chunk
-        // are disjoint fields reused across calls, so a scan over many rows
-        // performs no steady-state allocation.
+        // Split borrows: the queue, the byte buffer, the decoded chunk and
+        // the cache are disjoint fields reused across calls, so a scan over
+        // many rows performs no steady-state allocation.
         let Self {
             segments,
             buf,
             chunk,
+            cache,
+            pages_read,
+            page_size,
             ..
         } = self;
         for segment in segments.iter_mut() {
@@ -282,12 +365,18 @@ impl SegmentedWindowStore {
                 },
                 SegmentRows::Disk(store) => {
                     if store.contains_row(id) {
+                        if let Some(cached) = cache.get(segment.id, id) {
+                            out.extend_from_bitvec(cached);
+                            continue;
+                        }
                         store.get_row_into(id, buf)?;
+                        *pages_read += pages_for(buf.len(), *page_size);
                         if !chunk.read_bytes(buf) {
                             return Err(FsmError::corrupt(format!(
                                 "row {id} chunk failed to deserialise"
                             )));
                         }
+                        cache.insert(segment.id, id, chunk);
                         out.extend_from_bitvec(chunk);
                     } else {
                         out.resize(out.len() + segment.cols);
@@ -356,7 +445,14 @@ impl SegmentedWindowStore {
     /// first).  Returns `Ok(false)` — leaving `out` empty — if the segment
     /// never saw the row.
     pub fn read_segment_chunk(&mut self, seg: usize, id: usize, out: &mut BitVec) -> Result<bool> {
-        let Self { segments, buf, .. } = self;
+        let Self {
+            segments,
+            buf,
+            cache,
+            pages_read,
+            page_size,
+            ..
+        } = self;
         let segment = segments
             .get_mut(seg)
             .ok_or_else(|| FsmError::corrupt(format!("segment {seg} out of range")))?;
@@ -373,12 +469,18 @@ impl SegmentedWindowStore {
                 if !store.contains_row(id) {
                     return Ok(false);
                 }
+                if let Some(cached) = cache.get(segment.id, id) {
+                    out.extend_from_bitvec(cached);
+                    return Ok(true);
+                }
                 store.get_row_into(id, buf)?;
+                *pages_read += pages_for(buf.len(), *page_size);
                 if !out.read_bytes(buf) {
                     return Err(FsmError::corrupt(format!(
                         "row {id} chunk failed to deserialise"
                     )));
                 }
+                cache.insert(segment.id, id, out);
                 Ok(true)
             }
         }
@@ -398,21 +500,24 @@ impl SegmentedWindowStore {
     }
 
     /// Bytes held in main memory: for the memory backend the payloads, for
-    /// the disk backends only the per-segment row indexes.
+    /// the disk backends the per-segment row indexes plus whatever the
+    /// decoded-chunk cache currently pins (bounded by its budget).
     pub fn resident_bytes(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|s| {
-                let rows = match &s.rows {
-                    SegmentRows::Memory(map) => map
-                        .values()
-                        .map(|chunk| chunk.heap_bytes() + std::mem::size_of::<usize>() * 2)
-                        .sum(),
-                    SegmentRows::Disk(store) => store.resident_bytes(),
-                };
-                rows + std::mem::size_of::<Segment>()
-            })
-            .sum()
+        self.cache.used_bytes()
+            + self
+                .segments
+                .iter()
+                .map(|s| {
+                    let rows = match &s.rows {
+                        SegmentRows::Memory(map) => map
+                            .values()
+                            .map(|chunk| chunk.heap_bytes() + std::mem::size_of::<usize>() * 2)
+                            .sum(),
+                        SegmentRows::Disk(store) => store.resident_bytes(),
+                    };
+                    rows + std::mem::size_of::<Segment>()
+                })
+                .sum::<usize>()
     }
 
     /// Bytes held on disk across all live segments (zero for the memory
@@ -810,6 +915,131 @@ mod tests {
             assert_eq!(format!("{row:?}"), "BitVec[10]");
             assert_eq!(store.pop_segment().unwrap(), 0);
         }
+    }
+
+    #[test]
+    fn budgeted_reads_agree_with_eager_reads() {
+        // Shadow model: the same push/pop/read sequence through a disabled
+        // cache (budget 0), a tight budget (constant eviction pressure) and
+        // an unlimited budget must produce identical rows at every step.
+        let budgets = [0usize, 700, usize::MAX];
+        let mut stores: Vec<SegmentedWindowStore> = budgets
+            .iter()
+            .map(|&budget| {
+                let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+                store.set_cache_budget(budget);
+                store
+            })
+            .collect();
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move |bound: usize| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as usize % bound
+        };
+        for step in 0..24 {
+            let cols = 1 + next(90);
+            let chunks: Vec<(usize, BitVec)> = (0..next(6))
+                .map(|_| {
+                    let id = next(12);
+                    let chunk = BitVec::from_bools((0..cols).map(|_| next(2) == 1));
+                    (id, chunk)
+                })
+                .collect();
+            // Deduplicate ids: push_segment stores one chunk per row.
+            let mut by_id: BTreeMap<usize, BitVec> = BTreeMap::new();
+            for (id, chunk) in chunks {
+                by_id.insert(id, chunk);
+            }
+            for store in &mut stores {
+                store
+                    .push_segment(cols, by_id.iter().map(|(id, c)| (*id, c)))
+                    .unwrap();
+                if store.num_segments() > 4 {
+                    store.pop_segment().unwrap();
+                }
+            }
+            let mut reference = BitVec::new();
+            let mut row = BitVec::new();
+            for id in 0..12 {
+                stores[0].assemble_row(id, &mut reference).unwrap();
+                for store in &mut stores[1..] {
+                    store.assemble_row(id, &mut row).unwrap();
+                    assert_eq!(row, reference, "row {id} diverged at step {step}");
+                }
+            }
+        }
+        // The eager store hit nothing; the cached stores hit and respected
+        // their budgets.
+        assert_eq!(stores[0].io_stats().cache_hits, 0);
+        assert!(stores[1].io_stats().cache_hits > 0);
+        assert!(stores[1].cache_stats().evictions > 0, "tight budget evicts");
+        assert!(stores[2].io_stats().cache_hits > stores[1].io_stats().cache_hits);
+        assert!(stores[2].io_stats().pages_read < stores[0].io_stats().pages_read);
+    }
+
+    #[test]
+    fn steady_state_reads_are_bounded_by_the_slide() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        store.set_cache_budget(usize::MAX);
+        let rows = 8usize;
+        let wide = bv(&"10".repeat(40));
+        let scan = |store: &mut SegmentedWindowStore| {
+            let mut row = BitVec::new();
+            for id in 0..rows {
+                store.assemble_row(id, &mut row).unwrap();
+            }
+        };
+        for id in 0..4u64 {
+            let _ = id;
+            store
+                .push_segment(80, (0..rows).map(|r| (r, &wide)))
+                .unwrap();
+        }
+        scan(&mut store); // cold scan: every chunk is fetched once
+        let cold = store.io_stats().pages_read;
+        assert!(cold > 0);
+        scan(&mut store); // warm scan: all hits, zero new pages
+        assert_eq!(store.io_stats().pages_read, cold);
+
+        // One slide (push + pop), then a scan: only the entering segment's
+        // chunks are fetched — the incremental read bound.
+        store
+            .push_segment(80, (0..rows).map(|r| (r, &wide)))
+            .unwrap();
+        store.pop_segment().unwrap();
+        scan(&mut store);
+        let after_slide = store.io_stats().pages_read;
+        assert_eq!(
+            after_slide - cold,
+            rows as u64,
+            "a steady-state scan re-reads only the slide's chunks"
+        );
+
+        // Budget 0 on a fresh store: every scan pays the full window again.
+        let mut eager = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        for _ in 0..4 {
+            eager
+                .push_segment(80, (0..rows).map(|r| (r, &wide)))
+                .unwrap();
+        }
+        scan(&mut eager);
+        let once = eager.io_stats().pages_read;
+        scan(&mut eager);
+        assert_eq!(eager.io_stats().pages_read, 2 * once);
+        assert_eq!(eager.io_stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn memory_backend_ignores_the_cache_budget() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        store.set_cache_budget(usize::MAX);
+        assert_eq!(store.cache_budget(), 0);
+        store.push_segment(2, [(0, &bv("10"))]).unwrap();
+        let mut row = BitVec::new();
+        store.assemble_row(0, &mut row).unwrap();
+        assert_eq!(store.io_stats(), ReadIoStats::default());
     }
 
     #[test]
