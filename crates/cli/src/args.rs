@@ -104,8 +104,10 @@ OPTIONS:
   --backend <disk|memory>   where the DSMatrix keeps the window
                         (default: disk, the paper's space posture)
   --cache-budget <BYTES>    decoded-chunk cache budget for the disk
-                        backend; 0 disables it, 'unlimited' caches the
-                        whole window (default: 0)
+                        backend: rows whose chunks fit are mined straight
+                        from pinned cache chunks (no per-mine assembly);
+                        0 disables it, 'unlimited' pins the whole window
+                        (default: 0; rejected with --backend memory)
   --top-k <N>           report only the k best-supported patterns
   --closed | --maximal  condensed output
   --csv                 emit CSV (edges,support) instead of text
@@ -205,6 +207,15 @@ pub fn parse(args: &[String]) -> Result<Options> {
             "--window and --batch-size must be positive",
         ));
     }
+    if options.cache_budget > 0 && matches!(options.backend, StorageBackend::Memory) {
+        // Silently ignoring the budget (the memory backend has no chunk
+        // cache) hides a misconfiguration: the user asked for a bounded
+        // cache but got a fully-resident window.
+        return Err(FsmError::config(
+            "--cache-budget only applies to --backend disk; the memory backend \
+             keeps the whole window resident and has no chunk cache to budget",
+        ));
+    }
     Ok(options)
 }
 
@@ -249,10 +260,10 @@ mod tests {
         let options = parse(&to_args(
             "mine --input log.nt --algorithm vertical --minsup 0.1 --window 3 \
              --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6 \
-             --threads 4 --backend memory --cache-budget 65536",
+             --threads 4 --backend disk --cache-budget 65536",
         ))
         .unwrap();
-        assert!(matches!(options.backend, StorageBackend::Memory));
+        assert!(matches!(options.backend, StorageBackend::DiskTemp));
         assert_eq!(options.cache_budget, 65536);
         assert_eq!(options.format, InputFormat::NTriples, "inferred from .nt");
         assert_eq!(options.algorithm, Algorithm::Vertical);
@@ -312,6 +323,23 @@ mod tests {
         assert!(matches!(disk.backend, StorageBackend::DiskTemp));
         assert!(parse(&to_args("mine --input x --backend floppy")).is_err());
         assert!(parse(&to_args("mine --input x --cache-budget lots")).is_err());
+    }
+
+    #[test]
+    fn cache_budget_with_memory_backend_is_rejected_not_ignored() {
+        // Flag order must not matter, and the error must name the conflict.
+        for args in [
+            "mine --input x --backend memory --cache-budget 65536",
+            "mine --input x --cache-budget 65536 --backend memory",
+            "mine --input x --backend mem --cache-budget unlimited",
+        ] {
+            let err = parse(&to_args(args)).unwrap_err();
+            assert!(err.to_string().contains("--cache-budget"), "{args}: {err}");
+        }
+        // An explicit zero budget is the no-cache default and stays legal.
+        let zero = parse(&to_args("mine --input x --backend memory --cache-budget 0")).unwrap();
+        assert_eq!(zero.cache_budget, 0);
+        assert!(matches!(zero.backend, StorageBackend::Memory));
     }
 
     #[test]

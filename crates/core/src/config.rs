@@ -58,11 +58,15 @@ pub struct MinerConfig {
     /// every setting — per-worker outputs merge back in canonical order.
     pub threads: usize,
     /// Byte budget of the decoded-chunk cache the disk backends read
-    /// through.  `0` (the default) disables it: every mine re-reads the
-    /// window from disk, the strictest space posture.  A budget covering the
-    /// touched working set makes steady-state disk mines fetch only the
-    /// pages a window slide invalidated; results are byte-identical for
-    /// every setting.  Ignored by the memory backend.
+    /// through.  `0` (the default) disables it: every mine re-reads and
+    /// re-assembles the window from disk, the strictest space posture.  With
+    /// a budget configured, mining reads rows *straight from pinned cached
+    /// chunks* — no per-mine flat-row assembly for any row whose chunks fit
+    /// the budget — so a budget covering the touched working set makes
+    /// steady-state disk mines fetch only the pages a window slide
+    /// invalidated and assemble **zero** words, matching the memory
+    /// backend.  Results are byte-identical for every setting.  Ignored by
+    /// the memory backend.
     pub cache_budget_bytes: usize,
 }
 
@@ -168,7 +172,10 @@ impl StreamMinerBuilder {
 
     /// Budgets the decoded-chunk cache of the disk backends (`0` disables
     /// it; ignored by the memory backend).  Mining output is byte-identical
-    /// for every budget — only the per-mine disk page count changes.
+    /// for every budget — only the per-mine read work changes: rows whose
+    /// chunks fit the budget are mined straight from pinned cached chunks
+    /// (zero assembly, pages only for what the last slide invalidated),
+    /// the rest fall back to eager per-mine assembly.
     ///
     /// ```
     /// use fsm_core::StreamMinerBuilder;

@@ -52,6 +52,12 @@ pub struct MiningStats {
     /// Chunk reads this mine call served from the budgeted decoded-chunk
     /// cache instead of the paged file (always zero with a zero budget).
     pub cache_hits: u64,
+    /// Disk-backend view rows this mine call served straight from pinned
+    /// cache chunks — rows that paid zero flat-row assembly.  With a budget
+    /// covering the touched working set this is every row, and
+    /// `read_words_assembled` drops to zero (matching the memory backend);
+    /// always zero at budget 0 and on the memory backend.
+    pub rows_pinned: u64,
     /// Number of window transactions the run mined over.
     pub window_transactions: usize,
     /// The absolute minimum support the thresholds resolved to.
@@ -80,6 +86,7 @@ impl MiningStats {
         self.read_words_assembled = self.read_words_assembled.max(other.read_words_assembled);
         self.pages_read = self.pages_read.max(other.pages_read);
         self.cache_hits = self.cache_hits.max(other.cache_hits);
+        self.rows_pinned = self.rows_pinned.max(other.rows_pinned);
         self.window_transactions = self.window_transactions.max(other.window_transactions);
         self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
     }

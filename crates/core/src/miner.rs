@@ -123,13 +123,15 @@ impl StreamMiner {
         drop(matrix);
         // Read amplification of this call: words the read path materialised
         // and disk pages it fetched.  Words are zero in the steady state on
-        // the memory backend (zero-copy view); pages drop to the slide's
-        // chunks on the disk backends when a chunk-cache budget covers the
-        // working set.
+        // the memory backend (zero-copy view) *and* on the disk backends
+        // when a chunk-cache budget covers the working set (rows served from
+        // pinned chunks, counted in `rows_pinned`); pages drop to the
+        // slide's chunks in the same regime.
         let read_after = self.matrix.read_stats();
         raw.stats.read_words_assembled = read_after.words_assembled - read_before.words_assembled;
         raw.stats.pages_read = read_after.pages_read - read_before.pages_read;
         raw.stats.cache_hits = read_after.cache_hits - read_before.cache_hits;
+        raw.stats.rows_pinned = read_after.rows_pinned - read_before.rows_pinned;
 
         if self.config.algorithm.needs_postprocessing() {
             let checker = ConnectivityChecker::new(&self.catalog, self.config.connectivity);

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use fsm_dsmatrix::DsMatrix;
 use fsm_fptree::MiningLimits;
-use fsm_storage::BitVec;
+use fsm_storage::RowRef;
 use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
 use super::{Bytes, RawMiningOutput};
@@ -27,12 +27,14 @@ use crate::scratch::ScratchArena;
 ///
 /// Like [`crate::miners::vertical::mine_vertical`], the hot loop is
 /// allocation-free: candidates are screened with the fused
-/// [`BitVec::and_count`] kernel and surviving intersections land in per-depth
+/// [`RowRef::and_count`] kernel and surviving intersections land in per-depth
 /// [`ScratchArena`] buffers, while the fan-out over frequent single edges
 /// runs on `threads` workers (`0` = all cores) and merges deterministically.
 /// Singleton rows are borrowed zero-copy from the
-/// [`fsm_dsmatrix::WindowView`] and their supports come from ingest-time
-/// counters, so on the memory backend setup materialises no window data.
+/// [`fsm_dsmatrix::WindowView`] as [`RowRef`]s (flat cached rows on the
+/// memory backend, pinned-chunk cursors on a budgeted disk backend) and
+/// their supports come from ingest-time counters, so in both steady states
+/// setup materialises no window data.
 pub fn mine_direct(
     matrix: &mut DsMatrix,
     catalog: &EdgeCatalog,
@@ -46,7 +48,7 @@ pub fn mine_direct(
     // Frequent single edges and their rows, borrowed zero-copy from the
     // window view (supports come from ingest-time counters).
     let view = matrix.view()?;
-    let mut rows: BTreeMap<EdgeId, &BitVec> = BTreeMap::new();
+    let mut rows: BTreeMap<EdgeId, RowRef<'_>> = BTreeMap::new();
     let mut frequent: Vec<(EdgeId, Support)> = Vec::new();
     for (edge, support) in view.singleton_supports() {
         if support >= minsup {
@@ -105,9 +107,9 @@ pub fn mine_direct(
 #[allow(clippy::too_many_arguments)]
 fn grow(
     catalog: &EdgeCatalog,
-    rows: &BTreeMap<EdgeId, &BitVec>,
+    rows: &BTreeMap<EdgeId, RowRef<'_>>,
     neighborhood: &Neighborhood,
-    vector: &BitVec,
+    vector: RowRef<'_>,
     minsup: Support,
     limits: MiningLimits,
     bytes: Bytes,
@@ -149,7 +151,7 @@ fn grow(
                 catalog,
                 rows,
                 &next,
-                &buffer,
+                RowRef::Flat(&buffer),
                 minsup,
                 limits,
                 Bytes {

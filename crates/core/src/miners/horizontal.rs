@@ -14,8 +14,9 @@
 //! only reads rows after `x`), so all three algorithms fan the pivots out
 //! over the [`crate::parallel`] engine: workers share one zero-copy
 //! [`fsm_dsmatrix::WindowView`] ([`DsMatrix::view`] — nothing is copied on
-//! the memory backend; the disk backends assemble rows once per mine call),
-//! each worker owns one [`ProjectionScratch`] for allocation-free
+//! the memory backend, and a budgeted disk backend lends rows straight out
+//! of pinned decoded chunks; only budget-0 disk mines assemble rows once per
+//! call), each worker owns one [`ProjectionScratch`] for allocation-free
 //! projection, and per-pivot outputs merge back in canonical edge order —
 //! pattern lists and statistics are byte-identical for every thread count.
 

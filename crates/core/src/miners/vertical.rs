@@ -2,7 +2,7 @@
 
 use fsm_dsmatrix::DsMatrix;
 use fsm_fptree::MiningLimits;
-use fsm_storage::BitVec;
+use fsm_storage::RowRef;
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
 use super::{Bytes, RawMiningOutput};
@@ -19,19 +19,20 @@ use crate::scratch::ScratchArena;
 /// §3.5 post-processing step prunes the disconnected ones afterwards.
 ///
 /// Two engine-level optimisations keep the hot loop allocation-free: every
-/// candidate is screened with the fused [`BitVec::and_count`] kernel (so
+/// candidate is screened with the fused [`RowRef::and_count`] kernel (so
 /// infrequent candidates never materialise an intersection vector at all),
 /// and surviving intersections are written into a per-depth [`ScratchArena`]
-/// buffer via [`BitVec::and_into`].  The top-level fan-out over frequent
+/// buffer via [`RowRef::and_into`].  The top-level fan-out over frequent
 /// single edges runs on `threads` workers (`0` = all cores); per-edge
 /// subtrees are merged back in canonical order, so the output is identical
 /// to the sequential traversal.
 ///
-/// Rows are read through the zero-copy [`fsm_dsmatrix::WindowView`]:
-/// singleton supports come from ingest-time counters and the frequent rows
-/// are *borrowed* from the matrix's incrementally-maintained cache (memory
-/// backend) rather than assembled per call, so on the memory backend this
-/// function materialises no window data at all.
+/// Rows are read through the zero-copy [`fsm_dsmatrix::WindowView`] as
+/// [`RowRef`]s: singleton supports come from ingest-time counters and the
+/// frequent rows are *borrowed* — from the matrix's incrementally-maintained
+/// cache on the memory backend, or streamed out of pinned decoded chunks on
+/// a budgeted disk backend — rather than assembled per call, so in both
+/// steady states this function materialises no window data at all.
 pub fn mine_vertical(
     matrix: &mut DsMatrix,
     minsup: Support,
@@ -45,7 +46,7 @@ pub fn mine_vertical(
     // rows of one view share the same column alignment, so the intersection
     // kernels below see exactly the flat-matrix bit strings.
     let view = matrix.view()?;
-    let frequent: Vec<(EdgeId, Support, &BitVec)> = view
+    let frequent: Vec<(EdgeId, Support, RowRef<'_>)> = view
         .singleton_supports()
         .into_iter()
         .filter(|(_, support)| *support >= minsup)
@@ -83,7 +84,7 @@ pub fn mine_vertical(
 /// Mines the enumeration subtree rooted at `frequent[idx]`: the singleton
 /// pattern itself plus every extension by edges after it in canonical order.
 fn mine_subtree(
-    frequent: &[(EdgeId, Support, &BitVec)],
+    frequent: &[(EdgeId, Support, RowRef<'_>)],
     idx: usize,
     minsup: Support,
     limits: MiningLimits,
@@ -100,7 +101,7 @@ fn mine_subtree(
             frequent,
             idx,
             &mut vec![*edge],
-            row,
+            *row,
             minsup,
             limits,
             Bytes {
@@ -116,12 +117,16 @@ fn mine_subtree(
 
 /// Depth-first extension of `prefix` (whose transaction set is `vector`) with
 /// every frequent edge after position `from` in canonical order.
+///
+/// `vector` is a [`RowRef`] so the root level can intersect borrowed rows in
+/// whatever representation the view served (flat or pinned-chunked); deeper
+/// levels always pass flat scratch buffers.
 #[allow(clippy::too_many_arguments)]
 fn extend(
-    frequent: &[(EdgeId, Support, &BitVec)],
+    frequent: &[(EdgeId, Support, RowRef<'_>)],
     from: usize,
     prefix: &mut Vec<EdgeId>,
-    vector: &BitVec,
+    vector: RowRef<'_>,
     minsup: Support,
     limits: MiningLimits,
     bytes: Bytes,
@@ -155,7 +160,7 @@ fn extend(
                 frequent,
                 next_idx,
                 prefix,
-                &buffer,
+                RowRef::Flat(&buffer),
                 minsup,
                 limits,
                 Bytes {

@@ -1,17 +1,23 @@
-//! Cross-backend agreement: the budgeted paged chunk cache must be invisible
-//! in every output byte.
+//! Cross-backend agreement: the pinned-chunk disk read path (and the
+//! budgeted chunk cache underneath it) must be invisible in every output
+//! byte.
 //!
 //! The same batch stream is mined on the `Memory` backend, the eager
-//! `DiskTemp` backend (budget 0 — today's fully-eager per-mine assembly) and
-//! the budgeted disk path at both extremes (a deliberately tiny budget that
-//! evicts constantly, and an unlimited budget that caches the whole window).
-//! Patterns (order included) and work counters must be byte-identical across
-//! all four; only the disk-page accounting may differ.
+//! `DiskTemp` backend (budget 0 — fully-eager per-mine assembly) and the
+//! budgeted disk path at both extremes (a deliberately tiny budget whose
+//! views mix pinned rows with eager fallbacks under constant eviction
+//! pressure, and an unlimited budget where every row is mined straight from
+//! pinned chunks).  Mining after every ingested batch exercises arbitrary
+//! slide schedules; the property also fans each corner over multiple worker
+//! thread counts.  Patterns (order included) and work counters must be
+//! byte-identical across every (corner × threads) combination; only the
+//! disk-read accounting may differ.
 //!
-//! A second test pins the acceptance criterion of the cache: with a budget
-//! covering the touched working set, `pages_read` per steady-state disk mine
-//! is bounded by the rows the slide touched, while budget 0 keeps paying the
-//! full per-mine window assembly.
+//! A second test pins the acceptance criterion of the pinned path: with a
+//! budget covering the touched working set, a steady-state disk mine
+//! assembles **zero** words (every row served from pinned chunks) and
+//! fetches at most the pages of the rows the slide touched, while budget 0
+//! keeps paying the full per-mine window assembly.
 
 use fsm_core::{Algorithm, StreamMiner, StreamMinerBuilder};
 use fsm_storage::StorageBackend;
@@ -22,7 +28,8 @@ const VERTICES: u32 = 5;
 const EDGES: u32 = 10;
 
 /// The backend/budget corners under test: memory, eager disk, a tiny disk
-/// budget (constant eviction pressure) and an unlimited disk budget.
+/// budget (pinned/fallback mixes under eviction pressure) and an unlimited
+/// disk budget (all rows pinned).
 fn corners() -> Vec<(&'static str, StorageBackend, usize)> {
     vec![
         ("memory", StorageBackend::Memory, 0),
@@ -38,6 +45,7 @@ fn build(
     minsup: u64,
     backend: StorageBackend,
     budget: usize,
+    threads: usize,
 ) -> StreamMiner {
     StreamMinerBuilder::new()
         .algorithm(algorithm)
@@ -45,6 +53,7 @@ fn build(
         .min_support(MinSup::absolute(minsup))
         .backend(backend)
         .cache_budget_bytes(budget)
+        .threads(threads)
         .complete_graph_vertices(VERTICES)
         .build()
         .unwrap()
@@ -65,9 +74,11 @@ fn arb_stream() -> impl Strategy<Value = Vec<Vec<Vec<u32>>>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Mining after every ingested batch yields byte-identical patterns and
-    /// work counters on all four backend/budget corners, for all five
-    /// algorithms.
+    /// Mining after every ingested batch (arbitrary slide schedules) yields
+    /// byte-identical patterns and work counters on all four backend/budget
+    /// corners crossed with every worker thread count, for all five
+    /// algorithms — pinned-borrow mining is indistinguishable from the eager
+    /// fallback in every output byte.
     #[test]
     fn all_budget_corners_mine_identically(
         raw in arb_stream(),
@@ -75,10 +86,15 @@ proptest! {
         minsup in 1u64..4,
     ) {
         for algorithm in Algorithm::ALL {
-            let mut miners: Vec<(&str, StreamMiner)> = corners()
+            let mut miners: Vec<(String, StreamMiner)> = corners()
                 .into_iter()
-                .map(|(label, backend, budget)| {
-                    (label, build(algorithm, window, minsup, backend, budget))
+                .flat_map(|(label, backend, budget)| {
+                    [1usize, 3].map(|threads| {
+                        (
+                            format!("{label} threads={threads}"),
+                            build(algorithm, window, minsup, backend.clone(), budget, threads),
+                        )
+                    })
                 })
                 .collect();
             for (id, transactions) in raw.iter().enumerate() {
@@ -118,10 +134,12 @@ proptest! {
     }
 }
 
-/// The tentpole's acceptance criterion, at the facade level: once the window
-/// is warm, a budgeted disk mine fetches at most the pages of the rows the
-/// slide touched, while budget 0 reproduces the eager read pattern (same
-/// words assembled, strictly more pages) and the two agree on every pattern.
+/// The tentpole's acceptance criterion, at the facade level: a budgeted disk
+/// mine serves every row from pinned cached chunks — **zero** words
+/// assembled, matching the memory backend — and once the window is warm it
+/// fetches at most the pages of the rows the slide touched, while budget 0
+/// reproduces the eager read pattern (full assembly, strictly more pages)
+/// and the two agree on every pattern.
 #[test]
 fn steady_state_disk_mines_read_only_the_slide() {
     let window = 3usize;
@@ -131,6 +149,7 @@ fn steady_state_disk_mines_read_only_the_slide() {
         2,
         StorageBackend::DiskTemp,
         0,
+        1,
     );
     let mut budgeted = build(
         Algorithm::DirectVertical,
@@ -138,6 +157,7 @@ fn steady_state_disk_mines_read_only_the_slide() {
         2,
         StorageBackend::DiskTemp,
         usize::MAX,
+        1,
     );
     for id in 0..10u64 {
         let batch = Batch::from_transactions(
@@ -161,10 +181,20 @@ fn steady_state_disk_mines_read_only_the_slide() {
             "mine #{id}: budgets must not change patterns"
         );
         assert_eq!(
-            eager_result.stats().read_words_assembled,
             budgeted_result.stats().read_words_assembled,
-            "mine #{id}: budget 0 and budget=max assemble the same words"
+            0,
+            "mine #{id}: pinned-chunk mining must assemble nothing"
         );
+        assert_eq!(
+            budgeted_result.stats().rows_pinned,
+            EDGES as u64,
+            "mine #{id}: every row must be served from pinned chunks"
+        );
+        assert!(
+            eager_result.stats().read_words_assembled > 0,
+            "mine #{id}: budget 0 still pays the per-mine window assembly"
+        );
+        assert_eq!(eager_result.stats().rows_pinned, 0);
         assert_eq!(eager_result.stats().cache_hits, 0);
         assert!(
             eager_result.stats().pages_read > 0,

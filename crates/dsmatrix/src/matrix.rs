@@ -7,7 +7,17 @@ use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, EdgeId, FsmError, Result, Support, Transaction};
 
 use crate::snapshot::{ProjectedRows, RowSnapshot};
-use crate::view::WindowView;
+use crate::view::{MixedRow, WindowView};
+
+const WORD_BITS: usize = 64;
+
+/// 64-bit words a flat materialisation of `bits` bits occupies — the one
+/// unit every `words_assembled` increment uses (`read-side` counters count
+/// payload words only, no serialisation headers; the write-side
+/// [`CaptureStats`] counts headers because they are physically written).
+fn words_of(bits: usize) -> u64 {
+    bits.div_ceil(WORD_BITS) as u64
+}
 
 /// Cumulative read-path cost counters of a [`DsMatrix`].
 ///
@@ -40,6 +50,11 @@ pub struct ReadStats {
     /// Chunk reads served by the budgeted decoded-chunk cache
     /// ([`fsm_storage::ChunkCache`]) instead of the paged file.
     pub cache_hits: u64,
+    /// Disk-backend view rows served straight from pinned cache chunks —
+    /// rows that paid **zero** assembly ([`DsMatrix::view`]'s pinned path).
+    /// Always zero on the memory backend (its rows are borrowed flat) and at
+    /// budget 0 (every row takes the eager fallback).
+    pub rows_pinned: u64,
 }
 
 /// The incrementally-maintained flat-row cache behind [`DsMatrix::view`].
@@ -134,6 +149,9 @@ pub struct DsMatrix {
     read_stats: ReadStats,
     /// Reused chunk buffer for the segment-direct [`DsMatrix::column`] read.
     col_chunk: BitVec,
+    /// Reused per-view flags: which rows of the current pinned-path view are
+    /// served from pinned chunks (`true`) vs the eager fallback (`false`).
+    pin_flags: Vec<bool>,
 }
 
 impl DsMatrix {
@@ -163,6 +181,7 @@ impl DsMatrix {
             cache,
             read_stats: ReadStats::default(),
             col_chunk: BitVec::new(),
+            pin_flags: Vec::new(),
         })
     }
 
@@ -291,7 +310,7 @@ impl DsMatrix {
                 debug_assert!(row.len() <= splice_at, "cached row ahead of the window");
                 row.resize(splice_at);
                 row.extend_from_bitvec(chunk);
-                self.read_stats.cache_splice_words += chunk.len().div_ceil(64) as u64;
+                self.read_stats.cache_splice_words += words_of(chunk.len());
             }
         }
         self.segment_ones.push_back(entering);
@@ -320,7 +339,7 @@ impl DsMatrix {
                 continue;
             }
             self.read_stats.cache_compact_words +=
-                (row.len().saturating_sub(self.cache.offset)).div_ceil(64) as u64;
+                words_of(row.len().saturating_sub(self.cache.offset));
             row.drop_prefix(self.cache.offset);
         }
         self.cache.offset = 0;
@@ -351,10 +370,12 @@ impl DsMatrix {
             } else {
                 self.store.assemble_row(item.index(), &mut row)?;
             }
-            self.read_stats.rows_assembled += 1;
         }
         row.resize(self.num_cols);
-        self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
+        // Unknown rows materialise a (zero-filled) flat row too, so both
+        // counters tick together — one row, its padded word count.
+        self.read_stats.rows_assembled += 1;
+        self.read_stats.words_assembled += words_of(row.len());
         Ok(row)
     }
 
@@ -364,15 +385,23 @@ impl DsMatrix {
     /// On the memory backend this borrows the incrementally-maintained row
     /// cache — nothing is copied, so the steady-state read cost of a mine
     /// call is whatever the preceding slides already paid (rows touched by
-    /// the slide, counted in [`DsMatrix::read_stats`]).  On the disk backends
-    /// every row is first assembled into the cache buffers (the demoted
-    /// [`DsMatrix::snapshot`]-style fallback; the window data cannot be
-    /// borrowed off disk), after which the view API is identical — but with a
-    /// [`DsMatrixConfig::cache_budget_bytes`] budget configured that assembly
-    /// is served from the budgeted decoded-chunk cache, so a steady-state
-    /// mine fetches only the pages the preceding slide invalidated
-    /// (`pages_read` in [`DsMatrix::read_stats`]) instead of re-reading the
-    /// whole window from disk.
+    /// the slide, counted in [`DsMatrix::read_stats`]).
+    ///
+    /// On the disk backends with a [`DsMatrixConfig::cache_budget_bytes`]
+    /// budget configured, rows are served **straight from pinned decoded
+    /// chunks**: each row's chunks are pinned in the budgeted
+    /// [`fsm_storage::ChunkCache`] for the duration of the borrow (a window
+    /// slide releases every pin — the generation check in the storage layer
+    /// refuses stale borrows) and the view streams them through
+    /// [`fsm_storage::ChunkedRow`] cursors, so rows whose chunks fit the
+    /// budget are never assembled into flat vectors at all
+    /// (`rows_pinned` in [`DsMatrix::read_stats`]).  A steady-state mine
+    /// then both fetches only the pages the preceding slide invalidated
+    /// (`pages_read`) *and* assembles zero words (`words_assembled`),
+    /// matching the memory backend.  Rows whose chunks miss the budget fall
+    /// back to counted eager assembly into the cache buffers — and with a
+    /// budget of `0` (the default) every row does, reproducing the original
+    /// fully-eager read path byte for byte.
     pub fn view(&mut self) -> Result<WindowView<'_>> {
         if self.cache.enabled {
             debug_assert_eq!(
@@ -383,6 +412,8 @@ impl DsMatrix {
             if self.cache.rows.len() < self.num_items {
                 self.cache.rows.resize_with(self.num_items, BitVec::new);
             }
+        } else if self.store.cache_budget() > 0 {
+            return self.pinned_view();
         } else {
             // Eager fallback into the cache's buffers.  Direct callers that
             // keep taking views reuse the allocations; the `StreamMiner`
@@ -396,7 +427,7 @@ impl DsMatrix {
                 self.store.assemble_row(idx, &mut row)?;
                 row.resize(self.num_cols);
                 self.read_stats.rows_assembled += 1;
-                self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
+                self.read_stats.words_assembled += words_of(row.len());
                 self.cache.rows[idx] = row;
             }
         }
@@ -405,6 +436,53 @@ impl DsMatrix {
             &self.cache.rows[..self.num_items],
             &self.supports[..self.num_items],
             self.cache.offset,
+            self.num_cols,
+        ))
+    }
+
+    /// The budgeted-disk view path: pin every row's chunks in the decoded
+    /// cache and borrow them in place; assemble flat fallbacks only for rows
+    /// the budget cannot hold.
+    fn pinned_view(&mut self) -> Result<WindowView<'_>> {
+        // Phase 1 (mutable): decide per row.  Pins from a previous view are
+        // stale — release them so this view's working set competes for the
+        // whole budget — then pin row by row, falling back to (counted)
+        // eager assembly whenever a row's chunks miss the budget.
+        self.store.release_pins();
+        let pinned_at = self.store.generation();
+        self.cache.offset = 0;
+        self.cache.rows.resize_with(self.num_items, BitVec::new);
+        self.pin_flags.clear();
+        self.pin_flags.resize(self.num_items, false);
+        for idx in 0..self.num_items {
+            if self.store.pin_row_chunks(idx)? {
+                self.pin_flags[idx] = true;
+                self.read_stats.rows_pinned += 1;
+            } else {
+                let mut row = std::mem::take(&mut self.cache.rows[idx]);
+                self.store.assemble_row(idx, &mut row)?;
+                row.resize(self.num_cols);
+                self.read_stats.rows_assembled += 1;
+                self.read_stats.words_assembled += words_of(row.len());
+                self.cache.rows[idx] = row;
+            }
+        }
+        // Phase 2 (shared): borrow the pinned chunks (generation-checked)
+        // and the flat fallbacks into one mixed view.
+        let mut rows = Vec::with_capacity(self.num_items);
+        for idx in 0..self.num_items {
+            if self.pin_flags[idx] {
+                rows.push(MixedRow::Chunked(
+                    self.store.pinned_chunked_row(idx, pinned_at)?,
+                ));
+            } else {
+                rows.push(MixedRow::Flat(&self.cache.rows[idx]));
+            }
+        }
+        debug_assert!(self.supports.len() >= self.num_items);
+        Ok(WindowView::new_mixed(
+            rows,
+            &self.supports[..self.num_items],
             self.num_cols,
         ))
     }
@@ -437,8 +515,11 @@ impl DsMatrix {
     }
 
     /// Frees the eager [`DsMatrix::view`] fallback materialisation of the
-    /// disk backends (no-op on the memory backend, whose cache is the
-    /// incrementally-maintained read surface, not a copy).
+    /// disk backends and releases any chunk pins the pinned view path took
+    /// (no-op on the memory backend, whose cache is the
+    /// incrementally-maintained read surface, not a copy).  Released chunks
+    /// stay cached — within the budget — so the next mine re-pins them
+    /// without touching the disk; they merely become evictable again.
     ///
     /// The facade calls this after a disk-backed mine — through an RAII
     /// guard, so it also runs when mining errors or panics — keeping the
@@ -447,6 +528,7 @@ impl DsMatrix {
     pub fn trim_cache(&mut self) {
         if !self.cache.enabled {
             self.cache.rows = Vec::new();
+            self.store.release_pins();
         }
     }
 
@@ -463,7 +545,7 @@ impl DsMatrix {
             self.store.assemble_row(idx, &mut row)?;
             row.resize(self.num_cols);
             self.read_stats.rows_assembled += 1;
-            self.read_stats.words_assembled += row.len().div_ceil(64) as u64;
+            self.read_stats.words_assembled += words_of(row.len());
             rows.push(row);
         }
         Ok(RowSnapshot::new(rows, self.num_cols))
@@ -526,7 +608,10 @@ impl DsMatrix {
                 {
                     edges.push(EdgeId::new(id as u32));
                 }
-                self.read_stats.words_assembled += self.col_chunk.len().div_ceil(64) as u64;
+                // Same unit as every other increment: 64-bit words of the
+                // materialised payload (a chunk here, not a full row, so
+                // `rows_assembled` is deliberately not ticked).
+                self.read_stats.words_assembled += words_of(self.col_chunk.len());
             }
         }
         Ok(Transaction::from_edges(edges))
@@ -803,12 +888,13 @@ mod tests {
     }
 
     #[test]
-    fn budgeted_disk_views_read_only_the_slide() {
+    fn budgeted_disk_views_read_only_the_slide_and_assemble_nothing() {
         // The same stream through an uncached (budget 0) and a budgeted disk
-        // matrix: rows and assembly work stay byte-identical at every step,
-        // but once the window is warm the budgeted matrix fetches only the
-        // chunks the slide invalidated, while budget 0 reproduces the fully
-        // eager per-mine read pattern.
+        // matrix: rows stay byte-identical at every step, but the budgeted
+        // matrix serves its views from pinned chunks — zero words assembled —
+        // and once the window is warm it fetches only the chunks the slide
+        // invalidated, while budget 0 reproduces the fully eager per-mine
+        // read pattern.
         let config = |budget: usize| {
             DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::DiskTemp, 6)
                 .with_cache_budget(budget)
@@ -829,16 +915,48 @@ mod tests {
             budgeted.ingest_batch(&batch).unwrap();
             let slide_rows = budgeted.capture_stats().rows_written - captured_before;
 
+            let cols = if round == 0 { 3 } else { 6 };
+            let expected: Vec<String> = (0..6).map(|item| row_string(&mut eager, item)).collect();
             let (e0, b0) = (eager.read_stats(), budgeted.read_stats());
-            eager.view().unwrap();
-            budgeted.view().unwrap();
+            {
+                let eager_view = eager.view().unwrap();
+                assert_eq!(eager_view.num_transactions(), cols);
+            }
+            {
+                // The budgeted view serves every row from pinned chunks and
+                // agrees with the eager ground truth bit for bit.
+                let view = budgeted.view().unwrap();
+                for (item, want) in expected.iter().enumerate() {
+                    let mut assembled = BitVec::new();
+                    view.row(EdgeId::new(item as u32))
+                        .unwrap()
+                        .assemble_into(&mut assembled);
+                    assembled.resize(view.num_transactions());
+                    let mut from_view = String::new();
+                    for i in 0..assembled.len() {
+                        from_view.push(if assembled.get(i) { '1' } else { '0' });
+                    }
+                    assert_eq!(&from_view, want, "row {item} diverged on round {round}");
+                }
+            }
+            budgeted.trim_cache();
             let (e1, b1) = (eager.read_stats(), budgeted.read_stats());
 
             assert_eq!(
-                e1.words_assembled - e0.words_assembled,
                 b1.words_assembled - b0.words_assembled,
-                "assembly work must be byte-identical, round {round}"
+                0,
+                "round {round}: pinned views must assemble nothing"
             );
+            assert_eq!(
+                b1.rows_pinned - b0.rows_pinned,
+                6,
+                "round {round}: every row must be served from pinned chunks"
+            );
+            assert!(
+                e1.words_assembled > e0.words_assembled,
+                "round {round}: budget 0 still pays the eager assembly"
+            );
+            assert_eq!(e1.rows_pinned, 0, "budget 0 never pins");
             assert_eq!(e1.cache_hits, 0, "budget 0 never hits");
             let eager_pages = e1.pages_read - e0.pages_read;
             let budgeted_pages = b1.pages_read - b0.pages_read;
@@ -856,15 +974,129 @@ mod tests {
                     "round {round}: the budgeted view must fetch fewer pages"
                 );
             }
-            for item in 0..6 {
-                assert_eq!(
-                    row_string(&mut eager, item),
-                    row_string(&mut budgeted, item),
-                    "row {item} diverged on round {round}"
-                );
-            }
         }
         assert!(budgeted.read_stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn partial_pin_budgets_fall_back_per_row_and_stay_correct() {
+        // A budget that holds some rows' chunks but not all: pinned and
+        // fallback rows coexist in one view, and both agree with the eager
+        // ground truth.
+        let mut m = DsMatrix::new(
+            DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::DiskTemp, 6)
+                .with_cache_budget(600),
+        )
+        .unwrap();
+        let mut reference = matrix(StorageBackend::DiskTemp);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+            reference.ingest_batch(&batch).unwrap();
+        }
+        let expected: Vec<String> = (0..6)
+            .map(|item| row_string(&mut reference, item))
+            .collect();
+        let stats = {
+            let view = m.view().unwrap();
+            for (item, want) in expected.iter().enumerate() {
+                let got: String = (0..view.num_transactions())
+                    .map(|col| {
+                        if view.get(EdgeId::new(item as u32), col) {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    })
+                    .collect();
+                assert_eq!(&got, want, "row {item}");
+            }
+            m.read_stats()
+        };
+        m.trim_cache();
+        assert!(
+            stats.rows_pinned > 0,
+            "a 600-byte budget should pin at least one row"
+        );
+        assert!(
+            stats.rows_assembled > 0,
+            "a 600-byte budget should also overflow into the fallback"
+        );
+    }
+
+    /// Satellite regression: `words_assembled` is counted in 64-bit words of
+    /// materialised payload on every path — exact values for a known window,
+    /// so a future bits-vs-words mixup cannot slip through.
+    #[test]
+    fn read_word_accounting_is_exact_for_a_known_window() {
+        // Window: 2 batches of 70 + 64 columns = 134 columns, 3 known rows
+        // (expected_edges 3).  A full 134-bit row is ceil(134/64) = 3 words.
+        let columns = [70usize, 64];
+        let window_words = 3u64;
+        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+            let mut m = DsMatrix::new(DsMatrixConfig::new(
+                WindowConfig::new(2).unwrap(),
+                backend.clone(),
+                3,
+            ))
+            .unwrap();
+            for (id, cols) in columns.iter().enumerate() {
+                let transactions: Vec<Transaction> = (0..*cols)
+                    .map(|c| Transaction::from_raw([(c % 3) as u32]))
+                    .collect();
+                m.ingest_batch(&Batch::from_transactions(id as u64, transactions))
+                    .unwrap();
+            }
+            assert_eq!(m.num_transactions(), 134);
+
+            // row(): one row, ceil(134/64) words — known and unknown edges
+            // alike (both materialise a 134-bit flat row).
+            let base = m.read_stats();
+            m.row(EdgeId::new(0)).unwrap();
+            m.row(EdgeId::new(40)).unwrap();
+            let after_rows = m.read_stats();
+            assert_eq!(after_rows.rows_assembled - base.rows_assembled, 2);
+            assert_eq!(
+                after_rows.words_assembled - base.words_assembled,
+                2 * window_words
+            );
+
+            // snapshot(): every known row once.
+            m.snapshot().unwrap();
+            let after_snapshot = m.read_stats();
+            assert_eq!(after_snapshot.rows_assembled - after_rows.rows_assembled, 3);
+            assert_eq!(
+                after_snapshot.words_assembled - after_rows.words_assembled,
+                3 * window_words
+            );
+
+            // view(): zero words on the memory backend (borrowed), one full
+            // eager assembly at budget 0 on disk.
+            let before_view = m.read_stats();
+            m.view().unwrap();
+            let after_view = m.read_stats();
+            let expected_view_words = if m.is_disk_backed() {
+                3 * window_words
+            } else {
+                0
+            };
+            assert_eq!(
+                after_view.words_assembled - before_view.words_assembled,
+                expected_view_words,
+                "{backend:?}"
+            );
+
+            // column(): disk reads one chunk per row of the owning segment —
+            // the 70-column segment holds 3 rows of ceil(70/64) = 2 words.
+            let before_column = m.read_stats();
+            m.column(0).unwrap();
+            let after_column = m.read_stats();
+            let expected_column_words = if m.is_disk_backed() { 3 * 2 } else { 0 };
+            assert_eq!(
+                after_column.words_assembled - before_column.words_assembled,
+                expected_column_words,
+                "{backend:?}"
+            );
+        }
     }
 
     #[test]

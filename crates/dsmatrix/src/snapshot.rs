@@ -10,7 +10,7 @@
 //! per-worker recycled buffer set both read surfaces project through, so
 //! steady-state projection allocates nothing.
 
-use fsm_storage::BitVec;
+use fsm_storage::{BitVec, RowRef};
 use fsm_types::{EdgeId, Support};
 
 /// A weighted transaction list in canonical edge order — structurally the
@@ -89,22 +89,41 @@ impl RowSnapshot {
     }
 }
 
-/// The one projection implementation behind both read surfaces
-/// ([`RowSnapshot::project_into`] and [`crate::WindowView::project_into`]):
-/// build the `{pivot}`-projected database from `rows` into `scratch`,
-/// treating bit `c + offset` of every row as logical window column `c`
-/// (the eager snapshot is exactly the `offset = 0` case).
-///
-/// Sharing the body is what makes the two surfaces byte-identical by
-/// construction rather than by parallel maintenance.
+/// Flat-slice entry point of the shared projection body (the eager
+/// [`RowSnapshot::project_into`] case).
 pub(crate) fn project_rows_into<'a>(
     rows: &[BitVec],
     offset: usize,
     pivot: EdgeId,
     scratch: &'a mut ProjectionScratch,
 ) -> &'a ProjectedRows {
+    project_row_refs_into(
+        rows.len(),
+        |idx| rows.get(idx).map(RowRef::Flat),
+        offset,
+        pivot,
+        scratch,
+    )
+}
+
+/// The one projection implementation behind every read surface
+/// ([`RowSnapshot::project_into`] and [`crate::WindowView::project_into`],
+/// whatever representation the view serves its rows in): build the
+/// `{pivot}`-projected database into `scratch`, reading row `i` through
+/// `row_of(i)` and treating bit `c + offset` of every row as logical window
+/// column `c` (the eager snapshot is exactly the `offset = 0` flat case).
+///
+/// Sharing the body is what makes the surfaces byte-identical by
+/// construction rather than by parallel maintenance.
+pub(crate) fn project_row_refs_into<'a, 'r>(
+    num_items: usize,
+    row_of: impl Fn(usize) -> Option<RowRef<'r>>,
+    offset: usize,
+    pivot: EdgeId,
+    scratch: &'a mut ProjectionScratch,
+) -> &'a ProjectedRows {
     scratch.reset();
-    let Some(pivot_row) = rows.get(pivot.index()) else {
+    let Some(pivot_row) = row_of(pivot.index()) else {
         return &scratch.db;
     };
     // All set bits sit at or past the dead prefix, so the translation to
@@ -122,8 +141,10 @@ pub(crate) fn project_rows_into<'a>(
     }
     // suffixes[i] collects the items of window column columns[i]; the
     // row-major sweep appends items in ascending (canonical) order.
-    for (after, row) in rows[pivot.index() + 1..].iter().enumerate() {
-        let idx = pivot.index() + 1 + after;
+    for idx in pivot.index() + 1..num_items {
+        let Some(row) = row_of(idx) else {
+            continue;
+        };
         for (slot, &col) in scratch.columns.iter().enumerate() {
             if row.get(col + offset) {
                 scratch.suffixes[slot].push(EdgeId::new(idx as u32));

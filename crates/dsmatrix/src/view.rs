@@ -4,40 +4,67 @@
 //! read path of all five miners.  On the memory backend it *borrows* the
 //! matrix's incrementally-maintained row cache — constructing a view copies
 //! nothing, so the per-mine read cost is whatever the slide touched, not the
-//! window size.  On the disk backends the matrix assembles the rows eagerly
-//! into the same cache buffers first (the fallback the old snapshot path has
-//! been demoted to), after which the view API is identical.
+//! window size.  On the disk backends with a chunk-cache budget configured
+//! the view serves rows straight out of **pinned decoded chunks**
+//! ([`fsm_storage::SegmentedWindowStore::pin_row_chunks`]): each row becomes
+//! a [`fsm_storage::ChunkedRow`] cursor over cache-resident chunks, so no
+//! flat row is assembled at all; only rows whose chunks miss the budget fall
+//! back to eager assembly into the matrix's cache buffers (and with a zero
+//! budget every row does — the original fully-eager path, byte for byte).
+//! Whatever mix results, the view API is identical: miners read rows as
+//! [`RowRef`]s and never know which representation they got.
 //!
 //! # Alignment convention
 //!
 //! Cached rows may carry a **dead prefix** of `offset()` all-zero bits (lazy
 //! eviction: a window slide zeroes the evicted chunk and defers the physical
-//! [`BitVec::drop_prefix`] until enough dead columns accumulate) and may be
-//! **shorter** than `offset() + num_transactions()` (rows untouched since
-//! their last set bit are not padded; missing tail bits read as zero).  Both
-//! conventions are invisible to the mining kernels:
+//! [`fsm_storage::BitVec::drop_prefix`] until enough dead columns
+//! accumulate) and may be **shorter** than `offset() + num_transactions()`
+//! (rows untouched since their last set bit are not padded; missing tail
+//! bits read as zero).  Both conventions are invisible to the mining
+//! kernels:
 //!
-//! * every row shares the same `offset`, so `and_count`/`and_into` between
-//!   rows — the vertical hot loop — see identical intersections bit for bit;
+//! * every row shares the same `offset` (pinned chunked rows always have
+//!   offset 0), so the fused AND kernels between rows — the vertical hot
+//!   loop — see identical intersections bit for bit;
 //! * [`WindowView::project_into`] translates set-bit positions back to
 //!   logical window columns, producing output byte-identical to
 //!   [`crate::RowSnapshot::project_into`];
 //! * singleton supports come from counters the matrix maintains at
 //!   ingest/evict time, not from row scans.
 
-use fsm_storage::BitVec;
+use fsm_storage::{BitVec, ChunkedRow, RowRef};
 use fsm_types::{EdgeId, Support};
 
 use crate::snapshot::{ProjectedRows, ProjectionScratch};
+
+/// One row of a mixed-representation view (see [`WindowView`]).
+#[derive(Debug, Clone)]
+pub(crate) enum MixedRow<'a> {
+    /// Eagerly-assembled flat fallback (chunks missed the pin budget).
+    Flat(&'a BitVec),
+    /// Borrowed cursor over chunks pinned in the decoded-chunk cache.
+    Chunked(ChunkedRow<'a>),
+}
+
+#[derive(Debug, Clone)]
+enum ViewRows<'a> {
+    /// Every row is a flat [`BitVec`] in one shared slice (memory-backend
+    /// row cache, or the fully-eager disk fallback).
+    Flat(&'a [BitVec]),
+    /// Per-row representations (the pinned disk read path).
+    Mixed(Vec<MixedRow<'a>>),
+}
 
 /// An immutable, concurrently-shareable (`&self` everywhere, `Send + Sync`)
 /// read surface over the live window.
 ///
 /// Built by [`crate::DsMatrix::view`].  Zero-copy on the memory backend;
-/// assembled once per call on the disk backends.
-#[derive(Debug, Clone, Copy)]
+/// served from pinned cache chunks (with per-row eager fallback) on the
+/// budgeted disk backends; assembled once per call at budget 0.
+#[derive(Debug, Clone)]
 pub struct WindowView<'a> {
-    rows: &'a [BitVec],
+    rows: ViewRows<'a>,
     supports: &'a [Support],
     /// Dead (all-zero) bits at the front of every row.
     offset: usize,
@@ -54,16 +81,37 @@ impl<'a> WindowView<'a> {
         debug_assert_eq!(rows.len(), supports.len());
         debug_assert!(rows.iter().all(|r| r.len() <= offset + num_cols));
         Self {
-            rows,
+            rows: ViewRows::Flat(rows),
             supports,
             offset,
             num_cols,
         }
     }
 
+    pub(crate) fn new_mixed(
+        rows: Vec<MixedRow<'a>>,
+        supports: &'a [Support],
+        num_cols: usize,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), supports.len());
+        debug_assert!(rows.iter().all(|row| match row {
+            MixedRow::Flat(row) => row.len() <= num_cols,
+            MixedRow::Chunked(row) => row.len() == num_cols,
+        }));
+        Self {
+            rows: ViewRows::Mixed(rows),
+            supports,
+            offset: 0,
+            num_cols,
+        }
+    }
+
     /// Number of rows (domain edges) visible.
     pub fn num_items(&self) -> usize {
-        self.rows.len()
+        match &self.rows {
+            ViewRows::Flat(rows) => rows.len(),
+            ViewRows::Mixed(rows) => rows.len(),
+        }
     }
 
     /// Number of columns (window transactions) visible.
@@ -81,11 +129,22 @@ impl<'a> WindowView<'a> {
     /// window's first `c` columns, everything else is zero.
     ///
     /// All rows of one view share the same alignment, so intersecting two
-    /// rows ([`BitVec::and_count`] / [`BitVec::and_into`]) yields exactly the
-    /// flat-matrix intersection — this is what the vertical miners feed their
-    /// kernels.
-    pub fn row(&self, item: EdgeId) -> Option<&'a BitVec> {
-        self.rows.get(item.index())
+    /// rows through the [`RowRef`] kernels yields exactly the flat-matrix
+    /// intersection — this is what the vertical miners feed their hot loop,
+    /// whether the row is a borrowed flat vector or a cursor over pinned
+    /// chunks.
+    pub fn row(&self, item: EdgeId) -> Option<RowRef<'_>> {
+        self.row_at(item.index())
+    }
+
+    fn row_at(&self, idx: usize) -> Option<RowRef<'_>> {
+        match &self.rows {
+            ViewRows::Flat(rows) => rows.get(idx).map(RowRef::Flat),
+            ViewRows::Mixed(rows) => rows.get(idx).map(|row| match row {
+                MixedRow::Flat(row) => RowRef::Flat(row),
+                MixedRow::Chunked(row) => RowRef::Chunked(row),
+            }),
+        }
     }
 
     /// The bit at logical window column `col` of `item`'s row (`false` out of
@@ -94,9 +153,7 @@ impl<'a> WindowView<'a> {
         if col >= self.num_cols {
             return false;
         }
-        self.rows
-            .get(item.index())
-            .is_some_and(|row| row.get(col + self.offset))
+        self.row(item).is_some_and(|row| row.get(col + self.offset))
     }
 
     /// Support of a single edge, from the matrix's ingest/evict-maintained
@@ -116,10 +173,20 @@ impl<'a> WindowView<'a> {
     }
 
     /// Heap bytes of the rows this view reads (the resident mining working
-    /// set; on the memory backend it is shared with the capture structure
-    /// rather than copied per mine call).
+    /// set; on the memory backend — and for pinned chunked rows, whose
+    /// chunks live in the budgeted cache — it is shared with the capture
+    /// structures rather than copied per mine call).
     pub fn heap_bytes(&self) -> usize {
-        self.rows.iter().map(BitVec::heap_bytes).sum()
+        match &self.rows {
+            ViewRows::Flat(rows) => rows.iter().map(BitVec::heap_bytes).sum(),
+            ViewRows::Mixed(rows) => rows
+                .iter()
+                .map(|row| match row {
+                    MixedRow::Flat(row) => row.heap_bytes(),
+                    MixedRow::Chunked(row) => row.heap_bytes(),
+                })
+                .sum(),
+        }
     }
 
     /// Builds the `{pivot}`-projected database into `scratch` and returns a
@@ -134,7 +201,13 @@ impl<'a> WindowView<'a> {
         pivot: EdgeId,
         scratch: &'s mut ProjectionScratch,
     ) -> &'s ProjectedRows {
-        crate::snapshot::project_rows_into(self.rows, self.offset, pivot, scratch)
+        crate::snapshot::project_row_refs_into(
+            self.num_items(),
+            |idx| self.row_at(idx),
+            self.offset,
+            pivot,
+            scratch,
+        )
     }
 
     /// Convenience wrapper around [`WindowView::project_into`] that allocates

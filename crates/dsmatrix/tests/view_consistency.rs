@@ -32,6 +32,32 @@ fn matrix(window: usize, backend: StorageBackend, expected: usize) -> DsMatrix {
     .unwrap()
 }
 
+/// The backend/budget corners every consistency check runs on: zero-copy
+/// memory, fully-eager disk (budget 0), the pinned-chunk path under eviction
+/// pressure (tiny budget — most rows fall back) and with the whole working
+/// set pinned (unlimited budget — zero assembly).
+fn corner_matrices(window: usize, expected: usize) -> Vec<DsMatrix> {
+    let budgets = [600, usize::MAX];
+    let mut matrices = vec![
+        matrix(window, StorageBackend::Memory, expected),
+        matrix(window, StorageBackend::DiskTemp, expected),
+    ];
+    for budget in budgets {
+        matrices.push(
+            DsMatrix::new(
+                DsMatrixConfig::new(
+                    WindowConfig::new(window).unwrap(),
+                    StorageBackend::DiskTemp,
+                    expected,
+                )
+                .with_cache_budget(budget),
+            )
+            .unwrap(),
+        );
+    }
+    matrices
+}
+
 fn batch(id: u64, transactions: &[&[u32]]) -> Batch {
     Batch::from_transactions(
         id,
@@ -114,8 +140,7 @@ fn assert_view_matches_eager(m: &mut DsMatrix) {
 
 #[test]
 fn view_matches_eager_reads_on_a_fixed_stream() {
-    for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
-        let mut m = matrix(2, backend.clone(), 6);
+    for mut m in corner_matrices(2, 6) {
         let batches = [
             batch(0, &[&[2, 3, 5], &[0, 4, 5], &[0, 2, 5]]),
             batch(1, &[&[0, 2, 3, 5], &[0, 3, 4, 5], &[0, 1, 2]]),
@@ -208,8 +233,7 @@ proptest! {
         ),
         window in 1usize..4,
     ) {
-        for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
-            let mut m = matrix(window, backend, 0);
+        for mut m in corner_matrices(window, 0) {
             for (id, transactions) in raw.iter().enumerate() {
                 let b = Batch::from_transactions(
                     id as u64,

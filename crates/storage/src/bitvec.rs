@@ -213,6 +213,34 @@ impl BitVec {
         count
     }
 
+    /// Fused intersection of two 64-bit word streams: makes `self` the
+    /// `len`-bit vector whose words are `a & b` (missing trailing words read
+    /// as zero) and returns its popcount in the same pass.
+    ///
+    /// This is the kernel behind the chunked-row × chunked-row (and
+    /// chunked × flat) intersections of the pinned disk read path, where
+    /// *neither* operand exists as a flat vector — both sides stream their
+    /// words out of borrowed segment chunks.
+    pub fn assign_and_of_words<A, B>(&mut self, len: usize, a: A, b: B) -> u64
+    where
+        A: IntoIterator<Item = u64>,
+        B: IntoIterator<Item = u64>,
+    {
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        let mut a = a.into_iter();
+        let mut b = b.into_iter();
+        let mut count = 0u64;
+        for dst in &mut self.words {
+            let masked = a.next().unwrap_or(0) & b.next().unwrap_or(0);
+            count += u64::from(masked.count_ones());
+            *dst = masked;
+        }
+        self.len = len;
+        self.clear_tail();
+        count
+    }
+
     /// Drops the first `n` bits, shifting the remainder towards index 0.
     ///
     /// A general in-place prefix-drop primitive (word-by-word, reusing the
@@ -495,6 +523,26 @@ mod tests {
         let count = long.and_into(&long.clone(), &mut scratch);
         assert_eq!(count, 200);
         assert_eq!(scratch.len(), 200);
+    }
+
+    #[test]
+    fn assign_and_of_words_matches_and_into() {
+        let a = bv(&"110".repeat(50));
+        let b = bv(&"101".repeat(50));
+        let mut expected = BitVec::new();
+        let want = a.and_into(&b, &mut expected);
+        let mut out = BitVec::new();
+        let count = out.assign_and_of_words(
+            a.len(),
+            a.as_words().iter().copied(),
+            b.as_words().iter().copied(),
+        );
+        assert_eq!(out, expected);
+        assert_eq!(count, want);
+        // Short streams zero-fill; the result keeps the requested length.
+        let count = out.assign_and_of_words(130, a.as_words().iter().copied(), [u64::MAX]);
+        assert_eq!(out.len(), 130);
+        assert_eq!(count, a.as_words()[0].count_ones() as u64);
     }
 
     #[test]

@@ -53,6 +53,9 @@ struct CacheEntry {
     /// Second-chance bit: set on every hit, cleared when the clock hand
     /// passes, evicted when the hand finds it cleared.
     referenced: bool,
+    /// Pinned entries are borrowed by an in-progress mine and must not be
+    /// evicted; the clock sweep rotates past them (see [`ChunkCache::pin`]).
+    pinned: bool,
 }
 
 /// A budgeted `(segment uid, row id) → decoded chunk` cache with clock
@@ -69,6 +72,13 @@ pub struct ChunkCache {
     clock: VecDeque<(u64, usize)>,
     /// Ring slots whose entry has been invalidated but not yet reclaimed.
     stale_slots: usize,
+    /// Bytes charged by pinned entries.  Invariant: `pinned_bytes <=
+    /// budget_bytes` (pin admission refuses anything beyond it), so evicting
+    /// every unpinned entry always gets the cache back under budget.
+    ///
+    /// Stale-borrow detection lives one layer up: the window store releases
+    /// every pin on a generation bump and generation-checks each borrow.
+    pinned_bytes: usize,
     stats: ChunkCacheStats,
 }
 
@@ -86,6 +96,7 @@ impl ChunkCache {
             entries: BTreeMap::new(),
             clock: VecDeque::new(),
             stale_slots: 0,
+            pinned_bytes: 0,
             stats: ChunkCacheStats::default(),
         }
     }
@@ -121,12 +132,16 @@ impl ChunkCache {
     }
 
     /// Re-budgets the cache, evicting as needed to fit the new budget.
+    ///
+    /// Re-budgeting requires `&mut`, so no chunk borrow can be outstanding;
+    /// any pins are therefore released first — otherwise a shrink below the
+    /// pinned charge could never get back under budget.
     pub fn set_budget(&mut self, budget_bytes: usize) {
         self.budget_bytes = budget_bytes;
         if budget_bytes == 0 {
             self.clear();
         } else {
-            self.evict_to_budget();
+            self.release_pins();
         }
     }
 
@@ -155,8 +170,21 @@ impl ChunkCache {
     /// Admits a freshly-decoded chunk, evicting colder entries if the budget
     /// overflows.  Chunks larger than the whole budget are not admitted.
     pub fn insert(&mut self, seg: u64, row: usize, chunk: &BitVec) {
+        self.insert_entry(seg, row, chunk, false);
+    }
+
+    /// Admits a freshly-decoded chunk *pinned*: the entry is immune to the
+    /// clock sweep until [`ChunkCache::release_pins`] runs.  Returns `false`
+    /// — admitting nothing — if pinning it would push the total pinned charge
+    /// past the budget (the caller falls back to eager assembly for that
+    /// row); [`ChunkCache::insert`] may still admit it unpinned.
+    pub fn insert_pinned(&mut self, seg: u64, row: usize, chunk: &BitVec) -> bool {
+        self.insert_entry(seg, row, chunk, true)
+    }
+
+    fn insert_entry(&mut self, seg: u64, row: usize, chunk: &BitVec, pinned: bool) -> bool {
         if !self.is_enabled() {
-            return;
+            return false;
         }
         // Charge the clone we store, not the caller's chunk: callers pass
         // long-lived scratch buffers whose capacity stays at the widest row
@@ -165,23 +193,109 @@ impl ChunkCache {
         let owned = chunk.clone();
         let bytes = owned.heap_bytes() + Self::ENTRY_OVERHEAD;
         if bytes > self.budget_bytes {
-            return;
+            return false;
+        }
+        if pinned && self.pinned_bytes + bytes > self.budget_bytes {
+            // The pinned working set must stay within budget — that is what
+            // guarantees eviction always terminates — so refuse the pin.
+            return false;
         }
         let entry = CacheEntry {
             chunk: owned,
             bytes,
             referenced: false,
+            pinned,
         };
         let slot = self.entries.entry(seg).or_default();
         if let Some(previous) = slot.insert(row, entry) {
             // Re-insert of a key the clock already tracks: swap the charge.
             self.used_bytes -= previous.bytes;
+            if previous.pinned {
+                self.pinned_bytes -= previous.bytes;
+            }
         } else {
             self.clock.push_back((seg, row));
         }
         self.used_bytes += bytes;
+        if pinned {
+            self.pinned_bytes += bytes;
+        }
         self.stats.insertions += 1;
         self.evict_to_budget();
+        true
+    }
+
+    /// Pins the already-cached chunk of `(seg, row)` for the current pin
+    /// epoch, shielding it from eviction until [`ChunkCache::release_pins`].
+    /// Returns `false` (counting a miss) if the entry is absent — the caller
+    /// then fetches the chunk and offers it via [`ChunkCache::insert_pinned`].
+    pub fn pin(&mut self, seg: u64, row: usize) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        match self.entries.get_mut(&seg).and_then(|m| m.get_mut(&row)) {
+            Some(entry) => {
+                if !entry.pinned {
+                    if self.pinned_bytes + entry.bytes > self.budget_bytes {
+                        // Same admission rule as `insert_pinned`: the pinned
+                        // working set never outgrows the budget.
+                        self.stats.misses += 1;
+                        return false;
+                    }
+                    entry.pinned = true;
+                    self.pinned_bytes += entry.bytes;
+                }
+                entry.referenced = true;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Unpins one entry (a row whose pin set could not be completed hands its
+    /// partial pins back so other rows can use the budget).
+    pub fn unpin(&mut self, seg: u64, row: usize) {
+        if let Some(entry) = self.entries.get_mut(&seg).and_then(|m| m.get_mut(&row)) {
+            if entry.pinned {
+                entry.pinned = false;
+                self.pinned_bytes -= entry.bytes;
+            }
+        }
+    }
+
+    /// Releases every pin.  The entries stay cached (that is the point — the
+    /// next mine re-pins them without any page fetch); they merely become
+    /// evictable again.
+    pub fn release_pins(&mut self) {
+        if self.pinned_bytes > 0 {
+            for rows in self.entries.values_mut() {
+                for entry in rows.values_mut() {
+                    entry.pinned = false;
+                }
+            }
+            self.pinned_bytes = 0;
+        }
+        self.evict_to_budget();
+    }
+
+    /// Bytes currently charged by pinned entries.
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned_bytes
+    }
+
+    /// Borrows the chunk of `(seg, row)` without touching the clock state or
+    /// the hit/miss counters — the `&self` borrow surface the pinned read
+    /// path serves rows from (the entry was already counted when it was
+    /// pinned).
+    pub fn peek(&self, seg: u64, row: usize) -> Option<&BitVec> {
+        self.entries
+            .get(&seg)
+            .and_then(|m| m.get(&row))
+            .map(|entry| &entry.chunk)
     }
 
     /// Drops every entry of segment `seg` (the segment left the window).
@@ -189,6 +303,12 @@ impl ChunkCache {
         if let Some(rows) = self.entries.remove(&seg) {
             for entry in rows.values() {
                 self.used_bytes -= entry.bytes;
+                if entry.pinned {
+                    // A slide invalidates outstanding borrows (the store
+                    // releases pins on every generation bump; this covers
+                    // direct invalidation too): reclaim the pin charge.
+                    self.pinned_bytes -= entry.bytes;
+                }
                 self.stats.invalidations += 1;
             }
             self.stale_slots += rows.len();
@@ -211,12 +331,16 @@ impl ChunkCache {
         self.clock.clear();
         self.stale_slots = 0;
         self.used_bytes = 0;
+        self.pinned_bytes = 0;
     }
 
     /// The clock sweep: rotate the hand, giving referenced entries a second
-    /// chance, until the budget holds again.
+    /// chance, until the budget holds again.  Pinned entries only rotate —
+    /// they are borrowed and must survive — which is safe because pin
+    /// admission keeps `pinned_bytes <= budget_bytes`: whenever the budget
+    /// overflows there is an unpinned entry to evict.
     fn evict_to_budget(&mut self) {
-        while self.used_bytes > self.budget_bytes {
+        while self.used_bytes > self.budget_bytes && self.used_bytes > self.pinned_bytes {
             let Some((seg, row)) = self.clock.pop_front() else {
                 debug_assert!(false, "budget overflow with an empty clock ring");
                 return;
@@ -229,6 +353,10 @@ impl ChunkCache {
                 self.stale_slots = self.stale_slots.saturating_sub(1);
                 continue; // stale slot: entry was evicted or replaced
             };
+            if entry.pinned {
+                self.clock.push_back((seg, row));
+                continue;
+            }
             if entry.referenced {
                 entry.referenced = false;
                 self.clock.push_back((seg, row));
@@ -238,6 +366,57 @@ impl ChunkCache {
             rows.remove(&row);
             self.stats.evictions += 1;
         }
+    }
+
+    /// Checks the structural invariants the shadow-model tests rely on:
+    /// byte charges match the live entries, and every live entry owns exactly
+    /// one clock slot (so `clock.len() == len() + stale_slots`).  Returns a
+    /// description of the first violation, if any.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let mut used = 0usize;
+        let mut pinned = 0usize;
+        for rows in self.entries.values() {
+            for entry in rows.values() {
+                used += entry.bytes;
+                if entry.pinned {
+                    pinned += entry.bytes;
+                }
+            }
+        }
+        if used != self.used_bytes {
+            return Err(format!(
+                "used_bytes drifted: counter {} vs live {}",
+                self.used_bytes, used
+            ));
+        }
+        if pinned != self.pinned_bytes {
+            return Err(format!(
+                "pinned_bytes drifted: counter {} vs live {}",
+                self.pinned_bytes, pinned
+            ));
+        }
+        if self.pinned_bytes > self.budget_bytes {
+            return Err(format!(
+                "pinned bytes {} exceed the budget {}",
+                self.pinned_bytes, self.budget_bytes
+            ));
+        }
+        if self.used_bytes > self.budget_bytes.max(self.pinned_bytes) {
+            return Err(format!(
+                "used bytes {} exceed the budget {}",
+                self.used_bytes, self.budget_bytes
+            ));
+        }
+        if self.clock.len() != self.len() + self.stale_slots {
+            return Err(format!(
+                "clock ring drifted: {} slots for {} live entries + {} stale",
+                self.clock.len(),
+                self.len(),
+                self.stale_slots
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -399,5 +578,177 @@ mod tests {
         cache.set_budget(0);
         assert!(cache.is_empty());
         assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let mut cache = ChunkCache::new(budget_for(2, 64));
+        assert!(cache.insert_pinned(0, 0, &chunk(64)));
+        for row in 1..10 {
+            cache.insert(0, row, &chunk(64));
+        }
+        assert!(
+            cache.peek(0, 0).is_some(),
+            "the pinned entry must outlive every sweep"
+        );
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+        cache.release_pins();
+        cache.insert(0, 20, &chunk(64));
+        cache.insert(0, 21, &chunk(64));
+        assert!(
+            cache.peek(0, 0).is_none(),
+            "released entries are evictable again"
+        );
+    }
+
+    #[test]
+    fn pin_admission_is_capped_by_the_budget() {
+        let mut cache = ChunkCache::new(budget_for(2, 64));
+        assert!(cache.insert_pinned(0, 0, &chunk(64)));
+        assert!(cache.insert_pinned(0, 1, &chunk(64)));
+        assert!(
+            !cache.insert_pinned(0, 2, &chunk(64)),
+            "a third pin would push pinned bytes past the budget"
+        );
+        // The refused chunk can still be cached unpinned (it just becomes
+        // eviction fodder), and releasing the pins frees the pin budget.
+        cache.insert(0, 2, &chunk(64));
+        cache.release_pins();
+        assert_eq!(cache.pinned_bytes(), 0);
+        assert!(cache.insert_pinned(0, 3, &chunk(64)));
+    }
+
+    #[test]
+    fn pin_hits_existing_entries_and_counts() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        assert!(!cache.pin(0, 0), "pinning an absent entry misses");
+        cache.insert(0, 0, &chunk(64));
+        assert!(cache.pin(0, 0));
+        assert!(cache.pinned_bytes() > 0);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Peek serves the borrow without touching the counters.
+        assert!(cache.peek(0, 0).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        // Unpin of a pinned row's partial set hands the charge back.
+        cache.unpin(0, 0);
+        assert_eq!(cache.pinned_bytes(), 0);
+    }
+
+    #[test]
+    fn invalidating_a_segment_reclaims_its_pin_charge() {
+        let mut cache = ChunkCache::new(usize::MAX);
+        cache.insert_pinned(7, 0, &chunk(64));
+        cache.release_pins();
+        assert_eq!(cache.pinned_bytes(), 0);
+        // A slide that drops a segment holding pinned chunks reclaims the
+        // pin charge along with the entries.
+        cache.insert_pinned(8, 0, &chunk(64));
+        assert!(cache.pinned_bytes() > 0);
+        cache.invalidate_segment(8);
+        assert_eq!(cache.pinned_bytes(), 0);
+        cache.check_invariants().unwrap();
+    }
+
+    /// Satellite regression: repeated slide-invalidate + re-budget cycles
+    /// (including `set_budget(0)`) over randomized op sequences must never
+    /// drift `stale_slots`, `current_bytes` or the eviction bookkeeping.
+    /// The shadow model tracks the authoritative chunk per key; the
+    /// structural counters are checked by `check_invariants` after every op.
+    #[test]
+    fn shadow_model_invariants_hold_under_randomized_ops() {
+        let mut rng = 0x853c49e6748fea9bu64;
+        let mut next = move |bound: usize| {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as usize % bound.max(1)
+        };
+        let mut cache = ChunkCache::new(budget_for(4, 64));
+        // Authoritative chunk length per key (uids never reused, so a plain
+        // map keyed by (seg, row) is enough).
+        let mut model: BTreeMap<(u64, usize), usize> = BTreeMap::new();
+        let mut live_segs: Vec<u64> = Vec::new();
+        let mut next_seg = 0u64;
+        for step in 0..4000 {
+            match next(100) {
+                0..=39 => {
+                    // Insert (sometimes pinned) into a live or fresh segment.
+                    let seg = if live_segs.is_empty() || next(4) == 0 {
+                        live_segs.push(next_seg);
+                        next_seg += 1;
+                        *live_segs.last().unwrap()
+                    } else {
+                        live_segs[next(live_segs.len())]
+                    };
+                    let row = next(6);
+                    let bits = 32 + next(3) * 32;
+                    if next(5) == 0 {
+                        if !cache.insert_pinned(seg, row, &chunk(bits)) {
+                            cache.insert(seg, row, &chunk(bits));
+                        }
+                    } else {
+                        cache.insert(seg, row, &chunk(bits));
+                    }
+                    // Sync the model from the cache itself: an insert may be
+                    // refused (disabled cache, oversized chunk) and must not
+                    // leave a stale model value behind.
+                    match cache.peek(seg, row) {
+                        Some(stored) => model.insert((seg, row), stored.len()),
+                        None => model.remove(&(seg, row)),
+                    };
+                }
+                40..=59 => {
+                    let seg = next(next_seg.max(1) as usize) as u64;
+                    let row = next(6);
+                    if let Some(found) = cache.get(seg, row) {
+                        assert_eq!(
+                            Some(&found.len()),
+                            model.get(&(seg, row)),
+                            "step {step}: cache served a chunk the model never stored"
+                        );
+                    }
+                }
+                60..=74 => {
+                    // Slide: invalidate the oldest live segment.
+                    if !live_segs.is_empty() {
+                        let seg = live_segs.remove(0);
+                        cache.invalidate_segment(seg);
+                        model.retain(|&(s, _), _| s != seg);
+                    }
+                }
+                75..=84 => {
+                    let seg = next(next_seg.max(1) as usize) as u64;
+                    let row = next(6);
+                    if next(2) == 0 {
+                        cache.pin(seg, row);
+                    } else {
+                        cache.unpin(seg, row);
+                    }
+                }
+                85..=89 => {
+                    cache.release_pins();
+                }
+                _ => {
+                    // Re-budget, including the disable-and-clear corner.
+                    let budget = [0, budget_for(1, 64), budget_for(4, 64), usize::MAX][next(4)];
+                    cache.set_budget(budget);
+                    if budget == 0 {
+                        model.clear();
+                    }
+                }
+            }
+            // Evictions shrink the cache below the model, never past it, and
+            // every surviving entry must agree with the model.
+            cache
+                .check_invariants()
+                .unwrap_or_else(|violation| panic!("step {step}: {violation}"));
+            assert!(cache.len() <= model.len(), "step {step}: ghost entries");
+        }
+        // The sequence must actually have exercised the interesting paths.
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert!(stats.invalidations > 0);
+        assert!(stats.hits > 0);
     }
 }

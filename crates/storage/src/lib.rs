@@ -19,10 +19,12 @@
 //!   readable zero-copy through [`ChunkedRow`] views and the chunk-aware
 //!   `BitVec` kernels; on the disk backends chunk reads go through a
 //!   budgeted [`ChunkCache`] (page fetches and hits counted in
-//!   [`ReadIoStats`]), so repeated scans of an unchanged window region stay
-//!   in memory up to the configured budget;
+//!   [`ReadIoStats`]), and whole rows can be *pinned and borrowed* out of
+//!   that cache (`pin_row_chunks` / `pinned_chunked_row`) so a mine reads
+//!   them in place — as [`RowRef`]s — without assembling flat copies;
 //! * [`ChunkCache`] — the budgeted `(segment, row) → decoded chunk` cache
-//!   with clock eviction behind that read path;
+//!   with clock eviction and a pin surface (pinned entries are immune to
+//!   eviction for the duration of a borrow epoch) behind that read path;
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
@@ -43,6 +45,8 @@ pub use bitvec::BitVec;
 pub use chunkcache::{ChunkCache, ChunkCacheStats};
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
-pub use segment::{CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats, SegmentedWindowStore};
+pub use segment::{
+    CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats, RowRef, SegmentedWindowStore,
+};
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};

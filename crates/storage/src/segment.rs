@@ -29,17 +29,23 @@
 //!   for segments that never saw the row, and the chunk-aware kernels
 //!   [`BitVec::and_count_chunked`] / [`BitVec::and_into_chunked`] consume
 //!   that stream without materialising the row.
-//! * The disk backends fall back to [`SegmentedWindowStore::assemble_row`],
-//!   which concatenates the per-segment chunks into a flat row
-//!   ([`BitVec::extend_from_bitvec`]), reproducing the flat-row semantics bit
-//!   for bit.  Their chunk reads go through a budgeted decoded-chunk cache
-//!   ([`crate::ChunkCache`], [`SegmentedWindowStore::set_cache_budget`]):
-//!   segments are immutable, so cached chunks stay valid until their segment
-//!   is popped, and with a budget covering the touched working set a
-//!   steady-state scan re-fetches only the pages a window slide invalidated.
-//!   Page fetches and cache hits are counted in [`ReadIoStats`]
-//!   ([`SegmentedWindowStore::io_stats`]); a zero budget (the default)
-//!   disables the cache and reproduces fully-eager reads byte for byte.
+//! * On the disk backends chunk reads go through a budgeted decoded-chunk
+//!   cache ([`crate::ChunkCache`],
+//!   [`SegmentedWindowStore::set_cache_budget`]): segments are immutable, so
+//!   cached chunks stay valid until their segment is popped, and with a
+//!   budget covering the touched working set a steady-state scan re-fetches
+//!   only the pages a window slide invalidated.  Disk rows can be read two
+//!   ways: **pinned borrows** ([`SegmentedWindowStore::pin_row_chunks`] +
+//!   [`SegmentedWindowStore::pinned_chunked_row`]) pin a row's chunks in the
+//!   cache for the duration of a mine and lend them out as a [`ChunkedRow`]
+//!   — no flat copy at all; every `push_segment`/`pop_segment` releases the
+//!   pins, and a stale-generation borrow is refused — while
+//!   [`SegmentedWindowStore::assemble_row`] eagerly concatenates the chunks
+//!   into a flat row ([`BitVec::extend_from_bitvec`]), the fallback when a
+//!   row's chunks do not fit the pin budget.  Page fetches and cache hits
+//!   are counted in [`ReadIoStats`] ([`SegmentedWindowStore::io_stats`]); a
+//!   zero budget (the default) disables the cache and reproduces fully-eager
+//!   reads byte for byte.
 //! * [`SegmentedWindowStore::generation`] is a monotonic counter bumped by
 //!   every segment append or drop, so cached derivations of the window (the
 //!   DSMatrix row cache) can tag themselves with the store state they
@@ -156,6 +162,10 @@ pub struct SegmentedWindowStore {
     cache: ChunkCache,
     /// Disk pages fetched by chunk reads so far.
     pages_read: u64,
+    /// Segment uids pinned so far for the row currently being pinned
+    /// (reused across [`SegmentedWindowStore::pin_row_chunks`] calls so a
+    /// full-window pin pass performs no steady-state allocation).
+    pin_scratch: Vec<u64>,
 }
 
 impl SegmentedWindowStore {
@@ -194,6 +204,7 @@ impl SegmentedWindowStore {
             chunk: BitVec::new(),
             cache: ChunkCache::new(0),
             pages_read: 0,
+            pin_scratch: Vec::new(),
         })
     }
 
@@ -281,6 +292,9 @@ impl SegmentedWindowStore {
                 )
             }
         };
+        // The window is changing: outstanding chunk pins belong to the old
+        // generation and must not outlive it.
+        self.cache.release_pins();
         let id = self.next_id;
         self.next_id += 1;
         let mut segment = Segment {
@@ -322,8 +336,10 @@ impl SegmentedWindowStore {
             .ok_or_else(|| FsmError::corrupt("pop_segment on an empty window"))?;
         let cols = segment.cols;
         let path = segment.path.clone();
-        // The segment's cached chunks can never be read again: its uid is
-        // not reused, and the window columns it covered are gone.
+        // The window is changing: pins of the old generation are void, and
+        // the popped segment's cached chunks can never be read again (its
+        // uid is not reused, and the window columns it covered are gone).
+        self.cache.release_pins();
         self.cache.invalidate_segment(segment.id);
         // Close the row store (drops its file handle) before unlinking.
         drop(segment);
@@ -407,6 +423,126 @@ impl SegmentedWindowStore {
             parts.push((segment.cols, chunk));
         }
         Some(ChunkedRow { parts, len })
+    }
+
+    /// Pins row `id`'s chunks in the decoded-chunk cache for the duration of
+    /// a mine: every live segment that holds the row has its chunk fetched
+    /// (on a cache miss) and shielded from eviction until the pins are
+    /// released — by [`SegmentedWindowStore::release_pins`], or automatically
+    /// by the next `push_segment`/`pop_segment` (a window slide invalidates
+    /// borrows).
+    ///
+    /// Returns `Ok(true)` when every chunk of the row is pinned, after which
+    /// [`SegmentedWindowStore::pinned_chunked_row`] can borrow the row
+    /// zero-copy.  Returns `Ok(false)` — unpinning whatever this call pinned,
+    /// so other rows can use the budget — when the row's chunks do not fit
+    /// the remaining pin budget (or on the memory backend / with a disabled
+    /// cache, where the pinned path does not apply); the caller falls back to
+    /// eager assembly for that row.
+    pub fn pin_row_chunks(&mut self, id: usize) -> Result<bool> {
+        if self.is_memory_resident() || !self.cache.is_enabled() {
+            return Ok(false);
+        }
+        let Self {
+            segments,
+            buf,
+            chunk,
+            cache,
+            pages_read,
+            page_size,
+            pin_scratch,
+            ..
+        } = self;
+        pin_scratch.clear();
+        for segment in segments.iter_mut() {
+            let SegmentRows::Disk(store) = &mut segment.rows else {
+                unreachable!("disk placement holds disk segments");
+            };
+            if !store.contains_row(id) {
+                continue;
+            }
+            if cache.pin(segment.id, id) {
+                pin_scratch.push(segment.id);
+                continue;
+            }
+            if cache.peek(segment.id, id).is_some() {
+                // Cached but unpinnable: the pin budget is exhausted, so the
+                // row cannot be pinned whole — give up without touching the
+                // disk (the chunk stays warm for the eager fallback).
+                for &seg in pin_scratch.iter() {
+                    cache.unpin(seg, id);
+                }
+                return Ok(false);
+            }
+            store.get_row_into(id, buf)?;
+            *pages_read += pages_for(buf.len(), *page_size);
+            if !chunk.read_bytes(buf) {
+                return Err(FsmError::corrupt(format!(
+                    "row {id} chunk failed to deserialise"
+                )));
+            }
+            if cache.insert_pinned(segment.id, id, chunk) {
+                pin_scratch.push(segment.id);
+            } else {
+                // Keep the freshly-decoded chunk warm (unpinned) for the
+                // eager fallback, and hand this row's partial pins back.
+                cache.insert(segment.id, id, chunk);
+                for &seg in pin_scratch.iter() {
+                    cache.unpin(seg, id);
+                }
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Borrows row `id` as a zero-copy [`ChunkedRow`] over the chunks a
+    /// successful [`SegmentedWindowStore::pin_row_chunks`] pinned.
+    ///
+    /// `pinned_at` must be the store [`SegmentedWindowStore::generation`] the
+    /// pins were taken under; a mismatch means the window slid underneath the
+    /// borrow (slides release every pin) and is reported as corruption rather
+    /// than serving stale chunks.
+    ///
+    /// Each borrow allocates the row's part list — O(live segments) pointer
+    /// pairs, once per row per mine, same as the memory backend's
+    /// [`SegmentedWindowStore::chunked_row`].  The chunks themselves are
+    /// never copied; a reusable arena would need the parts to outlive the
+    /// `&self` borrow they capture, which safe Rust cannot express here.
+    pub fn pinned_chunked_row(&self, id: usize, pinned_at: u64) -> Result<ChunkedRow<'_>> {
+        if self.generation != pinned_at {
+            return Err(FsmError::corrupt(format!(
+                "pinned row {id} borrowed at generation {pinned_at}, window is at {}",
+                self.generation
+            )));
+        }
+        let mut parts = Vec::with_capacity(self.segments.len());
+        for segment in &self.segments {
+            let chunk = match &segment.rows {
+                SegmentRows::Memory(map) => map.get(&id),
+                SegmentRows::Disk(store) => {
+                    if store.contains_row(id) {
+                        Some(self.cache.peek(segment.id, id).ok_or_else(|| {
+                            FsmError::corrupt(format!(
+                                "pinned chunk of row {id} missing from the cache"
+                            ))
+                        })?)
+                    } else {
+                        None
+                    }
+                }
+            };
+            parts.push((segment.cols, chunk));
+        }
+        Ok(ChunkedRow::from_parts(parts))
+    }
+
+    /// Releases every chunk pin taken by
+    /// [`SegmentedWindowStore::pin_row_chunks`].  The chunks stay cached —
+    /// the next mine re-pins them without touching the disk — they merely
+    /// become evictable again.
+    pub fn release_pins(&mut self) {
+        self.cache.release_pins();
     }
 
     /// Number of columns contributed by segment `seg` (0 = oldest live).
@@ -590,6 +726,16 @@ impl<'a> ChunkedRow<'a> {
         self.len == 0
     }
 
+    /// Heap bytes of the chunks the row borrows (shared with their owner —
+    /// the segment map or the chunk cache — not copied per row).
+    pub fn heap_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .filter_map(|(_, chunk)| chunk.as_ref())
+            .map(|chunk| chunk.heap_bytes())
+            .sum()
+    }
+
     /// Number of set bits — per-chunk popcounts, no assembly.
     pub fn count_ones(&self) -> u64 {
         self.parts
@@ -622,6 +768,163 @@ impl<'a> ChunkedRow<'a> {
                 Some(chunk) => out.extend_from_bitvec(chunk),
                 None => out.resize(out.len() + cols),
             }
+        }
+    }
+
+    /// The bit at position `idx` of the logical row (`false` out of range,
+    /// matching [`BitVec::get`]).  Walks the part list, so it costs
+    /// O(segments) — fine for the column-sparse projection loop, not for a
+    /// full row scan (use [`ChunkedRow::words`] there).
+    pub fn get(&self, idx: usize) -> bool {
+        let mut start = 0;
+        for (cols, chunk) in &self.parts {
+            if idx < start + cols {
+                return match chunk {
+                    Some(chunk) => chunk.get(idx - start),
+                    None => false,
+                };
+            }
+            start += cols;
+        }
+        false
+    }
+
+    /// Iterates the indices of set bits in ascending order — the chunked twin
+    /// of [`BitVec::iter_ones`], offsetting each chunk's ones by its
+    /// segment's start column.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut start = 0;
+        self.parts.iter().flat_map(move |(cols, chunk)| {
+            let base = start;
+            start += cols;
+            chunk
+                .iter()
+                .flat_map(move |chunk| chunk.iter_ones().map(move |idx| base + idx))
+        })
+    }
+
+    /// Chunked × chunked twin of [`BitVec::and_count`]: popcount of the
+    /// intersection of two chunked rows, streaming both word cursors.
+    pub fn and_count_rows(&self, other: &ChunkedRow<'_>) -> u64 {
+        self.words()
+            .zip(other.words())
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
+    /// Chunked × chunked twin of [`BitVec::and_into`]: writes the
+    /// intersection into `out` (reusing its buffer, result length =
+    /// `self.len()`) and returns its popcount in the same pass.
+    pub fn and_into_rows(&self, other: &ChunkedRow<'_>, out: &mut BitVec) -> u64 {
+        out.assign_and_of_words(self.len, self.words(), other.words())
+    }
+
+    /// Chunked × flat twin of [`BitVec::and_into`] with the *chunked* operand
+    /// on the left: the result takes this row's length.
+    pub fn and_into_bitvec(&self, other: &BitVec, out: &mut BitVec) -> u64 {
+        out.assign_and_of_words(self.len, self.words(), other.as_words().iter().copied())
+    }
+}
+
+/// A borrowed window row in whichever representation the read path produced:
+/// a flat [`BitVec`] (memory-backend row cache, eager disk fallback) or a
+/// [`ChunkedRow`] over pinned cache chunks (the zero-assembly disk path).
+///
+/// The mining kernels consume rows through this enum so one miner
+/// implementation covers every backend; all four operand combinations of the
+/// fused AND kernels are provided, and both representations agree bit for bit
+/// on every accessor (missing tail bits read as zero in both).
+#[derive(Debug, Clone, Copy)]
+pub enum RowRef<'a> {
+    /// A flat bit-vector row.
+    Flat(&'a BitVec),
+    /// A row streamed out of borrowed per-segment chunks.
+    Chunked(&'a ChunkedRow<'a>),
+}
+
+impl<'a> RowRef<'a> {
+    /// Number of bits the row physically spans (flat rows may be stored
+    /// short; missing tail bits read as zero).
+    pub fn len(&self) -> usize {
+        match self {
+            RowRef::Flat(row) => row.len(),
+            RowRef::Chunked(row) => row.len(),
+        }
+    }
+
+    /// Returns `true` if the row spans no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bit at `idx` (`false` out of range).
+    pub fn get(&self, idx: usize) -> bool {
+        match self {
+            RowRef::Flat(row) => row.get(idx),
+            RowRef::Chunked(row) => row.get(idx),
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        match self {
+            RowRef::Flat(row) => row.count_ones(),
+            RowRef::Chunked(row) => row.count_ones(),
+        }
+    }
+
+    /// Heap bytes of the row's backing storage (for working-set accounting;
+    /// chunked rows count the pinned chunks they borrow, which are shared
+    /// with the cache rather than copied per mine).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            RowRef::Flat(row) => row.heap_bytes(),
+            RowRef::Chunked(row) => row.heap_bytes(),
+        }
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> Box<dyn Iterator<Item = usize> + 'a> {
+        match self {
+            RowRef::Flat(row) => Box::new(row.iter_ones()),
+            RowRef::Chunked(row) => Box::new(row.iter_ones()),
+        }
+    }
+
+    /// Fused popcount screen over any operand combination — the
+    /// representation-polymorphic twin of [`BitVec::and_count`].
+    pub fn and_count(&self, other: &RowRef<'_>) -> u64 {
+        match (self, other) {
+            (RowRef::Flat(a), RowRef::Flat(b)) => a.and_count(b),
+            (RowRef::Flat(a), RowRef::Chunked(b)) => a.and_count_chunked(b),
+            // AND is symmetric and missing words read as zero on both sides.
+            (RowRef::Chunked(a), RowRef::Flat(b)) => b.and_count_chunked(a),
+            (RowRef::Chunked(a), RowRef::Chunked(b)) => a.and_count_rows(b),
+        }
+    }
+
+    /// Fused intersection over any operand combination — the
+    /// representation-polymorphic twin of [`BitVec::and_into`].  The result
+    /// (always a flat vector, reusing `out`'s buffer) takes `self`'s length
+    /// and the popcount is returned in the same pass.
+    pub fn and_into(&self, other: &RowRef<'_>, out: &mut BitVec) -> u64 {
+        match (self, other) {
+            (RowRef::Flat(a), RowRef::Flat(b)) => a.and_into(b, out),
+            (RowRef::Flat(a), RowRef::Chunked(b)) => a.and_into_chunked(b, out),
+            (RowRef::Chunked(a), RowRef::Flat(b)) => a.and_into_bitvec(b, out),
+            (RowRef::Chunked(a), RowRef::Chunked(b)) => a.and_into_rows(b, out),
+        }
+    }
+
+    /// Materialises the row into `out` (cleared first) — tests and one-off
+    /// consumers; the mining hot path never calls this.
+    pub fn assemble_into(&self, out: &mut BitVec) {
+        match self {
+            RowRef::Flat(row) => {
+                out.resize(0);
+                out.extend_from_bitvec(row);
+            }
+            RowRef::Chunked(row) => row.assemble_into(out),
         }
     }
 }
@@ -1029,6 +1332,127 @@ mod tests {
         scan(&mut eager);
         assert_eq!(eager.io_stats().pages_read, 2 * once);
         assert_eq!(eager.io_stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn pinned_rows_serve_borrowed_chunks_without_assembly() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        store.set_cache_budget(usize::MAX);
+        // Misaligned widths to exercise the cursor stitching: 3 + 70 + 64.
+        store
+            .push_segment(3, [(0, &bv("101")), (1, &bv("011"))])
+            .unwrap();
+        store
+            .push_segment(70, [(0, &bv(&"10".repeat(35)))])
+            .unwrap();
+        store.push_segment(64, [(1, &bv(&"1".repeat(64)))]).unwrap();
+        let generation = store.generation();
+
+        for id in [0usize, 1, 9] {
+            assert!(store.pin_row_chunks(id).unwrap(), "row {id} must pin");
+        }
+        let pages_after_pin = store.io_stats().pages_read;
+        let mut flat = BitVec::new();
+        for id in [0usize, 1, 9] {
+            store.assemble_row(id, &mut flat).unwrap();
+            let pinned = store.pinned_chunked_row(id, generation).unwrap();
+            assert_eq!(pinned.len(), flat.len(), "row {id}");
+            let streamed: Vec<u64> = pinned.words().collect();
+            assert_eq!(streamed, flat.as_words(), "row {id}");
+            assert_eq!(
+                pinned.iter_ones().collect::<Vec<_>>(),
+                flat.iter_ones().collect::<Vec<_>>(),
+                "row {id}"
+            );
+            for idx in 0..flat.len() + 2 {
+                assert_eq!(pinned.get(idx), flat.get(idx), "row {id} bit {idx}");
+            }
+        }
+        assert_eq!(
+            store.io_stats().pages_read,
+            pages_after_pin,
+            "borrowing pinned rows must not touch the disk"
+        );
+
+        // A slide releases the pins and voids the generation: stale borrows
+        // are refused instead of served.
+        store.push_segment(2, [(0, &bv("11"))]).unwrap();
+        assert!(store.pinned_chunked_row(0, generation).is_err());
+    }
+
+    #[test]
+    fn pin_falls_back_when_the_budget_cannot_hold_the_row() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        // Room for roughly one 80-bit chunk entry (decoded payload plus the
+        // cache's bookkeeping overhead): a two-segment row cannot pin whole.
+        store.set_cache_budget(150);
+        let wide = bv(&"10".repeat(40));
+        store.push_segment(80, [(0, &wide)]).unwrap();
+        store.push_segment(80, [(0, &wide)]).unwrap();
+        assert!(
+            !store.pin_row_chunks(0).unwrap(),
+            "a row wider than the pin budget must fall back"
+        );
+        // The failed pin attempt must hand its partial pins back so they do
+        // not clog the budget, and the eager path still reads correctly.
+        let mut row = BitVec::new();
+        store.assemble_row(0, &mut row).unwrap();
+        assert_eq!(row.len(), 160);
+        // Memory backend and disabled cache never pin.
+        let mut memory = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        memory.push_segment(2, [(0, &bv("10"))]).unwrap();
+        assert!(!memory.pin_row_chunks(0).unwrap());
+        let mut uncached = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        uncached.push_segment(2, [(0, &bv("10"))]).unwrap();
+        assert!(!uncached.pin_row_chunks(0).unwrap());
+    }
+
+    #[test]
+    fn row_ref_kernels_agree_across_representations() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        store
+            .push_segment(3, [(0, &bv("101")), (1, &bv("011"))])
+            .unwrap();
+        store
+            .push_segment(70, [(0, &bv(&"10".repeat(35)))])
+            .unwrap();
+        store.push_segment(5, [(1, &bv("11011"))]).unwrap();
+
+        let mut flat0 = BitVec::new();
+        store.assemble_row(0, &mut flat0).unwrap();
+        let mut flat1 = BitVec::new();
+        store.assemble_row(1, &mut flat1).unwrap();
+        let chunked0 = store.chunked_row(0).unwrap();
+        let chunked1 = store.chunked_row(1).unwrap();
+
+        let reference = flat0.and_count(&flat1);
+        let mut expected = BitVec::new();
+        flat0.and_into(&flat1, &mut expected);
+
+        let combos = [
+            (RowRef::Flat(&flat0), RowRef::Flat(&flat1)),
+            (RowRef::Flat(&flat0), RowRef::Chunked(&chunked1)),
+            (RowRef::Chunked(&chunked0), RowRef::Flat(&flat1)),
+            (RowRef::Chunked(&chunked0), RowRef::Chunked(&chunked1)),
+        ];
+        for (idx, (a, b)) in combos.iter().enumerate() {
+            assert_eq!(a.and_count(b), reference, "combo {idx}");
+            let mut out = BitVec::new();
+            let count = a.and_into(b, &mut out);
+            assert_eq!(count, reference, "combo {idx}");
+            assert_eq!(out, expected, "combo {idx}");
+        }
+        // Accessors agree between the two representations of the same row.
+        let (flat, chunked) = (RowRef::Flat(&flat0), RowRef::Chunked(&chunked0));
+        assert_eq!(flat.len(), chunked.len());
+        assert_eq!(flat.count_ones(), chunked.count_ones());
+        assert_eq!(
+            flat.iter_ones().collect::<Vec<_>>(),
+            chunked.iter_ones().collect::<Vec<_>>()
+        );
+        let mut from_chunked = BitVec::new();
+        chunked.assemble_into(&mut from_chunked);
+        assert_eq!(from_chunked, flat0);
     }
 
     #[test]
