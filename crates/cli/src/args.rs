@@ -60,6 +60,16 @@ pub struct Options {
     /// Byte budget of the decoded-chunk cache the disk backend reads
     /// through (0 disables it).
     pub cache_budget: usize,
+    /// Durable-directory root: WAL + checkpoints land here and the run
+    /// becomes crash-recoverable (`None` keeps the window volatile).
+    pub durable_dir: Option<String>,
+    /// Resume from the durable directory instead of starting fresh.
+    pub recover: bool,
+    /// Checkpoint interval in window slides for the durable layer.
+    pub checkpoint_every: usize,
+    /// Abort the process (simulating a crash) after ingesting this many
+    /// batches — for recovery testing only.
+    pub crash_after: Option<usize>,
 }
 
 impl Default for Options {
@@ -79,6 +89,10 @@ impl Default for Options {
             threads: 1,
             backend: StorageBackend::default(),
             cache_budget: 0,
+            durable_dir: None,
+            recover: false,
+            checkpoint_every: fsm_core::DurabilityConfig::DEFAULT_CHECKPOINT_EVERY,
+            crash_after: None,
         }
     }
 }
@@ -108,6 +122,14 @@ OPTIONS:
                         from pinned cache chunks (no per-mine assembly);
                         0 disables it, 'unlimited' pins the whole window
                         (default: 0; rejected with --backend memory)
+  --durable-dir <DIR>   make the run crash-recoverable: WAL every batch and
+                        checkpoint the window into DIR (disk backend only)
+  --recover             resume from DIR instead of starting fresh: rebuild
+                        the pre-crash window (newest valid checkpoint + WAL
+                        replay) and skip the already-ingested input prefix
+  --checkpoint-every <N>    slides between checkpoints    (default: 8)
+  --crash-after <N>     abort() after ingesting N batches — simulates a
+                        crash for recovery testing (requires --durable-dir)
   --top-k <N>           report only the k best-supported patterns
   --closed | --maximal  condensed output
   --csv                 emit CSV (edges,support) instead of text
@@ -181,6 +203,15 @@ pub fn parse(args: &[String]) -> Result<Options> {
                     parse_number(&raw, "--cache-budget")?
                 };
             }
+            "--durable-dir" => options.durable_dir = Some(value("--durable-dir")?),
+            "--recover" => options.recover = true,
+            "--checkpoint-every" => {
+                options.checkpoint_every =
+                    parse_number(&value("--checkpoint-every")?, "--checkpoint-every")?
+            }
+            "--crash-after" => {
+                options.crash_after = Some(parse_number(&value("--crash-after")?, "--crash-after")?)
+            }
             "--top-k" => options.top_k = Some(parse_number(&value("--top-k")?, "--top-k")?),
             "--group-size" => {
                 options.group_size = Some(parse_number(&value("--group-size")?, "--group-size")?)
@@ -215,6 +246,24 @@ pub fn parse(args: &[String]) -> Result<Options> {
             "--cache-budget only applies to --backend disk; the memory backend \
              keeps the whole window resident and has no chunk cache to budget",
         ));
+    }
+    if options.durable_dir.is_some() && matches!(options.backend, StorageBackend::Memory) {
+        return Err(FsmError::config(
+            "--durable-dir only applies to --backend disk; the memory backend \
+             has no durable artifacts to recover from",
+        ));
+    }
+    if options.recover && options.durable_dir.is_none() {
+        return Err(FsmError::config("--recover requires --durable-dir"));
+    }
+    if options.crash_after.is_some() && options.durable_dir.is_none() {
+        return Err(FsmError::config(
+            "--crash-after requires --durable-dir (a simulated crash without \
+             durability would just lose the run)",
+        ));
+    }
+    if options.checkpoint_every == 0 {
+        return Err(FsmError::config("--checkpoint-every must be positive"));
     }
     Ok(options)
 }
@@ -346,5 +395,45 @@ mod tests {
     fn explicit_format_overrides_inference() {
         let options = parse(&to_args("mine --input data.nt --format fimi")).unwrap();
         assert_eq!(options.format, InputFormat::Fimi);
+    }
+
+    #[test]
+    fn durability_flags_are_parsed() {
+        let options = parse(&to_args(
+            "mine --input x --durable-dir /tmp/d --checkpoint-every 4 --crash-after 7",
+        ))
+        .unwrap();
+        assert_eq!(options.durable_dir.as_deref(), Some("/tmp/d"));
+        assert_eq!(options.checkpoint_every, 4);
+        assert_eq!(options.crash_after, Some(7));
+        assert!(!options.recover);
+
+        let resumed = parse(&to_args("mine --input x --durable-dir /tmp/d --recover")).unwrap();
+        assert!(resumed.recover);
+
+        let defaults = parse(&to_args("mine --input x")).unwrap();
+        assert_eq!(defaults.durable_dir, None);
+        assert_eq!(
+            defaults.checkpoint_every,
+            fsm_core::DurabilityConfig::DEFAULT_CHECKPOINT_EVERY
+        );
+    }
+
+    #[test]
+    fn durability_flag_conflicts_are_rejected() {
+        for args in [
+            // Durability needs something on disk to make durable.
+            "mine --input x --backend memory --durable-dir /tmp/d",
+            "mine --input x --durable-dir /tmp/d --backend mem",
+            // Recovery and crash simulation without a durable dir are no-ops
+            // the user surely did not mean.
+            "mine --input x --recover",
+            "mine --input x --crash-after 3",
+            // A zero checkpoint interval would checkpoint never... or always;
+            // neither reading is useful.
+            "mine --input x --durable-dir /tmp/d --checkpoint-every 0",
+        ] {
+            assert!(parse(&to_args(args)).is_err(), "{args}");
+        }
     }
 }

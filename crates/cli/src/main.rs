@@ -34,6 +34,15 @@
 //! pages fetched, cache hits and pinned-row count of the final mine
 //! alongside the read-amplification line.  Combining `--cache-budget` with
 //! `--backend memory` is rejected up front rather than silently ignored.
+//!
+//! `--durable-dir DIR` makes the run crash-recoverable: every ingested batch
+//! is WAL-logged and `fsync`ed before it mutates the window, and the window
+//! metadata is checkpointed into `DIR` every `--checkpoint-every` slides.
+//! After a crash (simulate one with `--crash-after N`, which calls `abort()`
+//! after N ingested batches), re-running with `--recover` rebuilds the exact
+//! pre-crash window from the newest valid checkpoint plus WAL replay, skips
+//! the input prefix that window already covers, and continues the stream —
+//! the final output is identical to a run that never crashed.
 
 mod args;
 
@@ -84,22 +93,58 @@ fn run(options: &Options) -> Result<()> {
     if let Some(max) = options.max_len {
         builder = builder.max_pattern_len(max);
     }
+    if let Some(dir) = &options.durable_dir {
+        builder = builder
+            .durable(dir.as_str())
+            .checkpoint_every(options.checkpoint_every);
+    }
+    if options.recover {
+        builder = builder.recover();
+    }
     let mut miner = builder.build()?;
 
-    let mut batcher = BatchBuilder::new(options.batch_size);
-    let mut batches = batcher.extend(transactions);
+    // A recovered miner already holds batches 0..=last; resume the stream
+    // after them.  Batches are fixed-size, so skipping the covered input
+    // prefix reproduces the exact batch boundaries of the original run.
+    let next_batch_id = miner.last_batch_id().map_or(0, |id| id + 1);
+    if let Some(report) = miner.recovery_report() {
+        eprintln!(
+            "recovered window through batch {:?}: checkpoint seq {:?}, {} WAL batches replayed",
+            miner.last_batch_id(),
+            report.checkpoint_seq,
+            report.replayed_batches,
+        );
+        if let Some(torn) = &report.wal_torn {
+            eprintln!("recovery: truncated torn WAL tail ({torn})");
+        }
+        for skipped in &report.skipped_artifacts {
+            eprintln!("recovery: skipped corrupt artifact: {skipped}");
+        }
+    }
+    let skip = (next_batch_id as usize).saturating_mul(options.batch_size);
+    let mut batcher = BatchBuilder::resume_from(options.batch_size, next_batch_id);
+    let mut batches = batcher.extend(transactions.into_iter().skip(skip));
     if let Some(last) = batcher.flush() {
         batches.push(last);
     }
+    let total_batches = next_batch_id as usize + batches.len();
+    let mut ingested = 0usize;
     for batch in &batches {
         miner.ingest_batch(batch)?;
+        ingested += 1;
+        if options.crash_after == Some(ingested) {
+            // Simulated crash: no destructors, no flushes — exactly the
+            // failure mode the WAL + checkpoint layer must survive.
+            eprintln!("crash-after: aborting after {ingested} ingested batches");
+            std::process::abort();
+        }
     }
 
     let result = miner.mine()?;
     eprintln!(
         "mined window of {} transactions ({} batches in stream) with {} in {:?}",
         result.stats().window_transactions,
-        batches.len(),
+        total_batches,
         options.algorithm,
         result.stats().elapsed
     );
@@ -124,6 +169,16 @@ fn run(options: &Options) -> Result<()> {
             result.stats().pages_read,
             result.stats().cache_hits,
             result.stats().rows_pinned,
+        );
+    }
+    if options.durable_dir.is_some() {
+        eprintln!(
+            "durability: {} WAL bytes written, {} fsyncs, {} checkpoint bytes, \
+             {} batches replayed by recovery",
+            result.stats().wal_bytes_written,
+            result.stats().fsyncs,
+            result.stats().checkpoint_bytes,
+            result.stats().recovery_replayed_batches,
         );
     }
 

@@ -1,5 +1,7 @@
 //! Configuration and builder for the [`crate::miner::StreamMiner`] facade.
 
+use std::path::PathBuf;
+
 use fsm_fptree::MiningLimits;
 use fsm_storage::StorageBackend;
 use fsm_stream::WindowConfig;
@@ -68,6 +70,14 @@ pub struct MinerConfig {
     /// backend.  Results are byte-identical for every setting.  Ignored by
     /// the memory backend.
     pub cache_budget_bytes: usize,
+    /// Durable-directory root for the WAL + checkpoint layer (disk backends
+    /// only).  `None` (the default) keeps the matrix volatile; `Some(dir)`
+    /// makes every ingested batch crash-recoverable via
+    /// [`StreamMiner::recover`].
+    pub durable_dir: Option<PathBuf>,
+    /// Checkpoint interval in window slides for the durable layer (ignored
+    /// without [`MinerConfig::durable_dir`]).
+    pub checkpoint_every: usize,
 }
 
 impl Default for MinerConfig {
@@ -82,6 +92,8 @@ impl Default for MinerConfig {
             catalog: None,
             threads: 1,
             cache_budget_bytes: 0,
+            durable_dir: None,
+            checkpoint_every: fsm_dsmatrix::DurabilityConfig::DEFAULT_CHECKPOINT_EVERY,
         }
     }
 }
@@ -105,6 +117,7 @@ impl Default for MinerConfig {
 pub struct StreamMinerBuilder {
     config: MinerConfig,
     window_batches: Option<usize>,
+    recover: bool,
 }
 
 impl StreamMinerBuilder {
@@ -195,6 +208,46 @@ impl StreamMinerBuilder {
         self
     }
 
+    /// Makes the window durable: every ingested batch is WAL-logged and
+    /// `fsync`ed before it is applied, checkpoints land in `dir`, and a
+    /// crashed process can rebuild the exact window with
+    /// [`StreamMiner::recover`].  Requires a disk backend.
+    ///
+    /// ```
+    /// use fsm_core::StreamMinerBuilder;
+    /// use fsm_storage::StorageBackend;
+    /// use fsm_types::EdgeCatalog;
+    ///
+    /// let dir = fsm_storage::TempDir::new("miner-durable").unwrap();
+    /// let miner = StreamMinerBuilder::new()
+    ///     .backend(StorageBackend::DiskTemp)
+    ///     .durable(dir.path())
+    ///     .checkpoint_every(4)
+    ///     .catalog(EdgeCatalog::complete(4))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(miner.is_durable());
+    /// ```
+    pub fn durable(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the durable layer's checkpoint interval in window slides
+    /// (ignored without [`StreamMinerBuilder::durable`]).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.config.checkpoint_every = every;
+        self
+    }
+
+    /// Makes [`StreamMinerBuilder::build`] recover the window from the
+    /// durable directory ([`StreamMiner::recover`]) instead of starting
+    /// fresh.  Requires [`StreamMinerBuilder::durable`].
+    pub fn recover(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
     /// Provides the edge vocabulary up front.
     pub fn catalog(mut self, catalog: EdgeCatalog) -> Self {
         self.config.catalog = Some(catalog);
@@ -214,7 +267,11 @@ impl StreamMinerBuilder {
         if let Some(batches) = self.window_batches {
             self.config.window = WindowConfig::new(batches)?;
         }
-        StreamMiner::new(self.config)
+        if self.recover {
+            StreamMiner::recover(self.config)
+        } else {
+            StreamMiner::new(self.config)
+        }
     }
 }
 

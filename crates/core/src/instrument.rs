@@ -62,6 +62,18 @@ pub struct MiningStats {
     pub window_transactions: usize,
     /// The absolute minimum support the thresholds resolved to.
     pub resolved_minsup: u64,
+    /// Cumulative bytes appended to the write-ahead log since the miner was
+    /// created (durable configurations only; always zero otherwise).
+    pub wal_bytes_written: u64,
+    /// Cumulative `fsync` calls issued by the durability layer (WAL commits,
+    /// segment syncs, checkpoint writes; durable configurations only).
+    pub fsyncs: u64,
+    /// Cumulative bytes of checkpoint files written (durable configurations
+    /// only).
+    pub checkpoint_bytes: u64,
+    /// Batches crash recovery replayed from the WAL tail to rebuild this
+    /// miner's window (zero unless the miner was built by recovery).
+    pub recovery_replayed_batches: u64,
 }
 
 impl MiningStats {
@@ -89,6 +101,14 @@ impl MiningStats {
         self.rows_pinned = self.rows_pinned.max(other.rows_pinned);
         self.window_transactions = self.window_transactions.max(other.window_transactions);
         self.resolved_minsup = self.resolved_minsup.max(other.resolved_minsup);
+        // Durability counters are cumulative window-level quantities sampled
+        // once per mine, not per-worker work: the maximum is the truth.
+        self.wal_bytes_written = self.wal_bytes_written.max(other.wal_bytes_written);
+        self.fsyncs = self.fsyncs.max(other.fsyncs);
+        self.checkpoint_bytes = self.checkpoint_bytes.max(other.checkpoint_bytes);
+        self.recovery_replayed_batches = self
+            .recovery_replayed_batches
+            .max(other.recovery_replayed_batches);
     }
 
     /// Peak working-set estimate of the mining step itself (trees or bit

@@ -93,6 +93,7 @@ pub use algorithm::{Algorithm, ConnectivityMode};
 pub use baseline::{mine_dstable, mine_dstree, BaselineStructure};
 pub use config::{MinerConfig, StreamMinerBuilder};
 pub use connectivity::ConnectivityChecker;
+pub use fsm_dsmatrix::{DurabilityConfig, RecoveryReport};
 pub use instrument::MiningStats;
 pub use miner::StreamMiner;
 pub use neighborhood::{neighborhood_of_set, Neighborhood};

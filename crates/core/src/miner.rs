@@ -3,10 +3,10 @@
 
 use std::time::Instant;
 
-use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+use fsm_dsmatrix::{DsMatrix, DsMatrixConfig, DurabilityConfig, RecoveryReport};
 use fsm_storage::MemoryTracker;
 use fsm_stream::SlideOutcome;
-use fsm_types::{Batch, EdgeCatalog, GraphSnapshot, Result, Transaction};
+use fsm_types::{Batch, BatchId, EdgeCatalog, GraphSnapshot, Result, Transaction};
 
 use crate::config::MinerConfig;
 use crate::connectivity::ConnectivityChecker;
@@ -30,19 +30,50 @@ pub struct StreamMiner {
 impl StreamMiner {
     /// Creates a miner from a full configuration (use
     /// [`crate::config::StreamMinerBuilder`] for the ergonomic path).
-    pub fn new(mut config: MinerConfig) -> Result<Self> {
+    ///
+    /// With [`MinerConfig::durable_dir`] set this is a **fresh start**: any
+    /// WAL, checkpoints or segment files a previous run left in the
+    /// directory are discarded.  Use [`StreamMiner::recover`] to resume.
+    pub fn new(config: MinerConfig) -> Result<Self> {
+        Self::build(config, false)
+    }
+
+    /// Rebuilds a miner from the durable directory of a previous (possibly
+    /// crashed) run: newest verifiable checkpoint plus WAL-tail replay.
+    ///
+    /// Requires [`MinerConfig::durable_dir`].  The configuration — window
+    /// size, backend, catalog — must match the run being recovered: the
+    /// durable artifacts persist the *window contents*, not the
+    /// configuration.  What recovery found (checkpoint used, batches
+    /// replayed, artifacts it had to distrust) is available through
+    /// [`StreamMiner::recovery_report`].
+    pub fn recover(config: MinerConfig) -> Result<Self> {
+        Self::build(config, true)
+    }
+
+    fn build(mut config: MinerConfig, recovering: bool) -> Result<Self> {
         let catalog = config.catalog.take().unwrap_or_default();
-        let matrix = DsMatrix::new(
+        let mut matrix_config =
             DsMatrixConfig::new(config.window, config.backend.clone(), catalog.num_edges())
-                .with_cache_budget(config.cache_budget_bytes),
-        )?;
+                .with_cache_budget(config.cache_budget_bytes);
+        if let Some(dir) = &config.durable_dir {
+            matrix_config = matrix_config.with_durability(
+                DurabilityConfig::new(dir).with_checkpoint_every(config.checkpoint_every),
+            );
+        }
+        let matrix = if recovering {
+            DsMatrix::recover(matrix_config)?
+        } else {
+            DsMatrix::new(matrix_config)?
+        };
         let tracker = MemoryTracker::new();
+        let next_batch_id = matrix.last_batch_id().map_or(0, |id| id + 1);
         let mut miner = Self {
             config,
             catalog,
             matrix,
             tracker,
-            next_batch_id: 0,
+            next_batch_id,
         };
         miner.matrix.set_tracker(miner.tracker.clone());
         Ok(miner)
@@ -144,6 +175,13 @@ impl StreamMiner {
         raw.stats.capture_words_written = self.matrix.capture_stats().words_written;
         raw.stats.window_transactions = self.matrix.num_transactions();
         raw.stats.resolved_minsup = resolved;
+        // Durability counters are cumulative (like `capture_words_written`):
+        // what the WAL + checkpoint layer has cost since the miner was
+        // created.  All zero on non-durable configurations.
+        raw.stats.wal_bytes_written = read_after.wal_bytes_written;
+        raw.stats.fsyncs = read_after.fsyncs;
+        raw.stats.checkpoint_bytes = read_after.checkpoint_bytes;
+        raw.stats.recovery_replayed_batches = read_after.recovery_replayed_batches;
         Ok(MiningResult::new(raw.patterns, raw.stats))
     }
 
@@ -151,6 +189,23 @@ impl StreamMiner {
     /// for space accounting and ablations).
     pub fn matrix_mut(&mut self) -> &mut DsMatrix {
         &mut self.matrix
+    }
+
+    /// Returns `true` if the window is crash-recoverable (WAL + checkpoints).
+    pub fn is_durable(&self) -> bool {
+        self.matrix.is_durable()
+    }
+
+    /// What [`StreamMiner::recover`] found and did, if this miner was built
+    /// by it.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.matrix.recovery_report()
+    }
+
+    /// Identifier of the newest batch in the window — after a recovery, the
+    /// stream should resume from the next one.
+    pub fn last_batch_id(&self) -> Option<BatchId> {
+        self.matrix.last_batch_id()
     }
 }
 

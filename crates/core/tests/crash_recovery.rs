@@ -1,0 +1,360 @@
+//! Crash-point recovery: after a crash at **any byte** of any WAL commit,
+//! recovery must rebuild exactly the window of the last durable slide — the
+//! same patterns a never-crashed run mined there — and corruption anywhere
+//! in the durable artifacts must be *detected* and survived by falling back
+//! to an older artifact, never silently answered with wrong patterns.
+//!
+//! The harness mirrors `backend_agreement.rs`: a memory-backend miner is the
+//! oracle (mined after every batch), and the durable run under test is
+//! snapshotted (directory copy) after every commit.  For commit `i`, every
+//! byte prefix of its WAL frame is appended to the commit-`i-1` snapshot —
+//! the exact on-disk state of a crash `cut` bytes into the WAL append — plus
+//! a junk partial segment file standing in for a torn apply.  Recovery of a
+//! strict prefix must mine the commit-`i-1` oracle patterns; recovery of the
+//! full frame must mine the commit-`i` patterns (WAL committed ⇒ the batch
+//! is durable even though the apply never ran).
+
+use std::fs;
+use std::path::Path;
+
+use fsm_core::{Algorithm, MiningResult, StreamMinerBuilder};
+use fsm_dsmatrix::encode_batch;
+use fsm_storage::wal;
+use fsm_types::{Batch, MinSup, Transaction};
+
+const VERTICES: u32 = 5;
+const EDGES: u32 = 10;
+
+/// Deterministic pseudo-random batch stream (no external RNG crate): small
+/// batches of small transactions so the WAL frames stay a few dozen bytes
+/// and every byte-prefix cut is affordable.
+fn batch_stream(seed: u64, num_batches: usize) -> Vec<Batch> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move |bound: u64| {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound
+    };
+    (0..num_batches)
+        .map(|id| {
+            let num_tx = 1 + next(4) as usize;
+            let transactions = (0..num_tx)
+                .map(|_| {
+                    let num_edges = 1 + next(4) as usize;
+                    Transaction::from_raw((0..num_edges).map(|_| next(EDGES as u64) as u32))
+                })
+                .collect();
+            Batch::from_transactions(id as u64, transactions)
+        })
+        .collect()
+}
+
+fn builder(window: usize) -> StreamMinerBuilder {
+    StreamMinerBuilder::new()
+        .algorithm(Algorithm::DirectVertical)
+        .window_batches(window)
+        .min_support(MinSup::absolute(2))
+        .complete_graph_vertices(VERTICES)
+}
+
+fn durable_builder(window: usize, dir: &Path, every: usize) -> StreamMinerBuilder {
+    builder(window)
+        .backend(fsm_storage::StorageBackend::DiskTemp)
+        .durable(dir)
+        .checkpoint_every(every)
+}
+
+/// `expected[j]` = patterns of a never-crashed run after `j` batches.
+fn oracle(window: usize, batches: &[Batch]) -> Vec<MiningResult> {
+    let mut miner = builder(window)
+        .backend(fsm_storage::StorageBackend::Memory)
+        .build()
+        .unwrap();
+    let mut results = vec![miner.mine().unwrap()];
+    for batch in batches {
+        miner.ingest_batch(batch).unwrap();
+        results.push(miner.mine().unwrap());
+    }
+    results
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn assert_same(result: &MiningResult, expected: &MiningResult, context: &str) {
+    assert!(
+        result.same_patterns_as(expected),
+        "{context}: recovered patterns diverge: {:?}",
+        expected.diff(result)
+    );
+}
+
+/// The tentpole property: for every commit and every byte-prefix of its WAL
+/// frame, recovery lands on the last durable slide's exact patterns.
+#[test]
+fn recovery_is_exact_at_every_wal_byte_cut() {
+    for (seed, window, every) in [(1u64, 3usize, 2usize), (2, 2, 1), (3, 4, 3)] {
+        let batches = batch_stream(seed, 8);
+        let expected = oracle(window, &batches);
+
+        // Snapshot the durable directory after every commit.
+        let root = fsm_storage::TempDir::new("crashpoint").unwrap();
+        let live = root.path().join("live");
+        let mut miner = durable_builder(window, &live, every).build().unwrap();
+        let mut snapshots = vec![root.path().join("snap-0")];
+        copy_dir(&live, &snapshots[0]);
+        for (i, batch) in batches.iter().enumerate() {
+            miner.ingest_batch(batch).unwrap();
+            let snap = root.path().join(format!("snap-{}", i + 1));
+            copy_dir(&live, &snap);
+            snapshots.push(snap);
+        }
+        drop(miner);
+
+        for (i, batch) in batches.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let frame = wal::frame(seq, &encode_batch(batch));
+            for cut in 0..=frame.len() {
+                // Crash state: snapshot after commit i, plus `cut` bytes of
+                // commit i+1's WAL record and a torn partial segment file.
+                let scene = root.path().join("scene");
+                if scene.exists() {
+                    fs::remove_dir_all(&scene).unwrap();
+                }
+                copy_dir(&snapshots[i], &scene);
+                let wal_path = scene.join("wal.log");
+                let mut wal_bytes = fs::read(&wal_path).unwrap();
+                wal_bytes.extend_from_slice(&frame[..cut]);
+                fs::write(&wal_path, wal_bytes).unwrap();
+                fs::write(scene.join("segments").join("seg-999983.pages"), b"torn").unwrap();
+
+                let mut recovered = durable_builder(window, &scene, every)
+                    .recover()
+                    .build()
+                    .unwrap();
+                // A full frame is a durable commit; anything less recovers
+                // the previous slide.
+                let durable_prefix = if cut == frame.len() { i + 1 } else { i };
+                let result = recovered.mine().unwrap();
+                assert_same(
+                    &result,
+                    &expected[durable_prefix],
+                    &format!("seed {seed} commit {seq} cut {cut}/{}", frame.len()),
+                );
+                let report = recovered.recovery_report().unwrap();
+                assert_eq!(
+                    report.wal_torn.is_some(),
+                    cut != 0 && cut != frame.len(),
+                    "seed {seed} commit {seq} cut {cut}: torn-tail detection"
+                );
+            }
+        }
+    }
+}
+
+/// A crashed run resumed with the real API (recover + keep streaming) ends
+/// on the same patterns as the run that never crashed.
+#[test]
+fn resumed_stream_matches_uninterrupted_run() {
+    let window = 3;
+    let batches = batch_stream(9, 10);
+    let expected = oracle(window, &batches);
+
+    let root = fsm_storage::TempDir::new("resume").unwrap();
+    let dir = root.path().join("durable");
+    let mut miner = durable_builder(window, &dir, 2).build().unwrap();
+    for batch in &batches[..6] {
+        miner.ingest_batch(batch).unwrap();
+    }
+    // "Crash": drop without any shutdown checkpoint.
+    drop(miner);
+
+    let mut resumed = durable_builder(window, &dir, 2).recover().build().unwrap();
+    assert_eq!(resumed.last_batch_id(), Some(5));
+    for batch in &batches[6..] {
+        resumed.ingest_batch(batch).unwrap();
+    }
+    assert_same(
+        &resumed.mine().unwrap(),
+        &expected[batches.len()],
+        "resumed stream",
+    );
+}
+
+/// Satellite (c) 1/3: a flipped bit in a WAL record is detected (checksum
+/// mismatch naming the record) and recovery truncates there — the state is
+/// the last slide before the damage, never a corrupted window.
+#[test]
+fn wal_bit_flip_truncates_at_the_damaged_record() {
+    let window = 3;
+    let batches = batch_stream(5, 6);
+    let expected = oracle(window, &batches);
+
+    let root = fsm_storage::TempDir::new("walflip").unwrap();
+    let dir = root.path().join("durable");
+    {
+        // Interval larger than the stream: the WAL holds all six records.
+        let mut miner = durable_builder(window, &dir, 100).build().unwrap();
+        for batch in &batches {
+            miner.ingest_batch(batch).unwrap();
+        }
+    }
+    // Flip one payload bit of record 4 (records 1..=3 stay intact).
+    let offset: usize = batches[..3]
+        .iter()
+        .enumerate()
+        .map(|(i, b)| wal::frame(i as u64 + 1, &encode_batch(b)).len())
+        .sum();
+    let wal_path = dir.join("wal.log");
+    let mut bytes = fs::read(&wal_path).unwrap();
+    bytes[offset + 20] ^= 0x10;
+    fs::write(&wal_path, bytes).unwrap();
+
+    let mut recovered = durable_builder(window, &dir, 100)
+        .recover()
+        .build()
+        .unwrap();
+    let report = recovered.recovery_report().unwrap().clone();
+    let torn = report.wal_torn.expect("damage must be reported");
+    assert!(
+        torn.contains("record #4") && torn.contains("checksum mismatch"),
+        "report must name the damaged record: {torn}"
+    );
+    assert_eq!(report.replayed_batches, 3);
+    assert_same(&recovered.mine().unwrap(), &expected[3], "WAL bit flip");
+}
+
+/// Satellite (c) 2/3: a flipped bit in the newest checkpoint makes recovery
+/// reject it **by name** and fall back to the older retained checkpoint —
+/// whose WAL suffix is retained precisely for this — reaching the full
+/// pre-crash state, not the older checkpoint's.
+#[test]
+fn checkpoint_bit_flip_falls_back_to_the_previous_checkpoint() {
+    let window = 3;
+    let batches = batch_stream(6, 8);
+    let expected = oracle(window, &batches);
+
+    let root = fsm_storage::TempDir::new("ckptflip").unwrap();
+    let dir = root.path().join("durable");
+    {
+        let mut miner = durable_builder(window, &dir, 2).build().unwrap();
+        for batch in &batches {
+            miner.ingest_batch(batch).unwrap();
+        }
+    }
+    // Two checkpoints retained (seq 6 and 8 with every=2).  Damage the newest.
+    let newest = dir.join("checkpoint-8.ckpt");
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&newest, bytes).unwrap();
+
+    let mut recovered = durable_builder(window, &dir, 2).recover().build().unwrap();
+    let report = recovered.recovery_report().unwrap().clone();
+    assert_eq!(report.checkpoint_seq, Some(6), "fell back to the older one");
+    assert_eq!(
+        report.skipped_artifacts.len(),
+        1,
+        "the damaged artifact is reported: {:?}",
+        report.skipped_artifacts
+    );
+    assert!(
+        report.skipped_artifacts[0].contains("checkpoint-8.ckpt"),
+        "the report names the artifact: {:?}",
+        report.skipped_artifacts
+    );
+    assert_eq!(report.replayed_batches, 2, "WAL tail past seq 6");
+    assert_same(&recovered.mine().unwrap(), &expected[8], "checkpoint flip");
+}
+
+/// Satellite (c) 3/3: a flipped bit in a *data page* referenced only by the
+/// newest checkpoint is caught by the page CRC at verification time; the
+/// checkpoint is distrusted, the older one restores, and WAL replay
+/// re-creates the damaged segment — full state, correct patterns.
+#[test]
+fn data_page_bit_flip_is_detected_and_survived() {
+    let window = 3;
+    let batches = batch_stream(7, 8);
+    let expected = oracle(window, &batches);
+
+    let root = fsm_storage::TempDir::new("pageflip").unwrap();
+    let dir = root.path().join("durable");
+    {
+        let mut miner = durable_builder(window, &dir, 2).build().unwrap();
+        for batch in &batches {
+            miner.ingest_batch(batch).unwrap();
+        }
+    }
+    // The newest segment file was created after the older checkpoint, so
+    // only the newest checkpoint references it.
+    let newest_seg = fs::read_dir(dir.join("segments"))
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            let name = path.file_name()?.to_str()?.to_string();
+            let uid: u64 = name
+                .strip_prefix("seg-")?
+                .strip_suffix(".pages")?
+                .parse()
+                .ok()?;
+            Some((uid, path))
+        })
+        .max()
+        .expect("segment files exist")
+        .1;
+    let mut bytes = fs::read(&newest_seg).unwrap();
+    assert!(!bytes.is_empty());
+    bytes[0] ^= 0x80;
+    fs::write(&newest_seg, bytes).unwrap();
+
+    let mut recovered = durable_builder(window, &dir, 2).recover().build().unwrap();
+    let report = recovered.recovery_report().unwrap().clone();
+    assert_eq!(report.checkpoint_seq, Some(6), "fell back past the damage");
+    assert!(
+        report
+            .skipped_artifacts
+            .iter()
+            .any(|s| s.contains("checkpoint-8.ckpt") && s.contains("page")),
+        "the rejection names the damaged page: {:?}",
+        report.skipped_artifacts
+    );
+    assert_same(&recovered.mine().unwrap(), &expected[8], "page flip");
+}
+
+/// Durability is strictly opt-in: the memory backend refuses it, and a
+/// volatile miner's durability counters stay zero.
+#[test]
+fn durability_is_rejected_on_memory_and_free_when_off() {
+    let root = fsm_storage::TempDir::new("zerocost").unwrap();
+    let err = builder(2)
+        .backend(fsm_storage::StorageBackend::Memory)
+        .durable(root.path())
+        .build();
+    assert!(err.is_err(), "memory backend must reject durability");
+
+    let mut volatile = builder(2)
+        .backend(fsm_storage::StorageBackend::DiskTemp)
+        .build()
+        .unwrap();
+    for batch in batch_stream(4, 4) {
+        volatile.ingest_batch(&batch).unwrap();
+    }
+    let stats = volatile.mine().unwrap().stats().clone();
+    assert!(!volatile.is_durable());
+    assert_eq!(stats.wal_bytes_written, 0);
+    assert_eq!(stats.fsyncs, 0);
+    assert_eq!(stats.checkpoint_bytes, 0);
+    assert_eq!(stats.recovery_replayed_batches, 0);
+}

@@ -48,14 +48,26 @@
 //! indexes, and [`DsMatrix::view`] falls back to assembling flat rows for
 //! the duration of a mine call.  An in-memory backend serves the zero-copy
 //! path, tests, and the storage ablation.
+//!
+//! # Durability
+//!
+//! With [`DsMatrixConfig::durability`] set (disk backends only), every
+//! ingested batch is appended to a write-ahead log and `fsync`ed *before*
+//! any state mutates, a [`fsm_storage::Checkpoint`] snapshots the window
+//! metadata every K slides, and [`DsMatrix::recover`] rebuilds the exact
+//! pre-crash window from the newest verifiable checkpoint plus the WAL
+//! tail — see [`durable`] for the protocol and [`RecoveryReport`] for what
+//! a recovery observed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 mod matrix;
 mod snapshot;
 mod view;
 
+pub use durable::{decode_batch, encode_batch, DurabilityConfig, RecoveryReport};
 pub use fsm_storage::CaptureStats;
 pub use matrix::{DsMatrix, DsMatrixConfig, ReadStats};
 pub use snapshot::{ProjectedRows, ProjectionScratch, RowSnapshot};

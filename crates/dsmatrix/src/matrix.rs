@@ -1,11 +1,15 @@
 //! DSMatrix implementation.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use fsm_storage::{BitVec, CaptureStats, MemoryTracker, SegmentedWindowStore, StorageBackend};
+use fsm_storage::{
+    scan_segment_files, BitVec, CaptureStats, Checkpoint, CheckpointRow, CheckpointSegment,
+    MemoryTracker, SegmentedWindowStore, StorageBackend, Wal,
+};
 use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
-use fsm_types::{Batch, EdgeId, FsmError, Result, Support, Transaction};
+use fsm_types::{Batch, BatchId, EdgeId, FsmError, Result, Support, Transaction};
 
+use crate::durable::{decode_batch, encode_batch, DurabilityConfig, DurableState, RecoveryReport};
 use crate::snapshot::{ProjectedRows, RowSnapshot};
 use crate::view::{MixedRow, WindowView};
 
@@ -55,6 +59,18 @@ pub struct ReadStats {
     /// Always zero on the memory backend (its rows are borrowed flat) and at
     /// budget 0 (every row takes the eager fallback).
     pub rows_pinned: u64,
+    /// Bytes appended to the write-ahead log (durable windows only; always
+    /// zero otherwise — the memory backend pays nothing for durability it
+    /// does not have).
+    pub wal_bytes_written: u64,
+    /// `fsync` system calls issued by WAL commits, segment syncs and
+    /// checkpoint writes (durable windows only).
+    pub fsyncs: u64,
+    /// Bytes of checkpoint files written (durable windows only).
+    pub checkpoint_bytes: u64,
+    /// Batches replayed from the WAL tail by [`DsMatrix::recover`] (zero for
+    /// a matrix that never recovered).
+    pub recovery_replayed_batches: u64,
 }
 
 /// The incrementally-maintained flat-row cache behind [`DsMatrix::view`].
@@ -95,6 +111,12 @@ pub struct DsMatrixConfig {
     /// disk, the paper's strictest space posture).  Ignored by the memory
     /// backend.
     pub cache_budget_bytes: usize,
+    /// Durability knobs (WAL + checkpoints + crash recovery).  `None`, the
+    /// default, keeps the original volatile behaviour; `Some` requires a disk
+    /// backend and roots every durable artifact under
+    /// [`DurabilityConfig::dir`] (segment files move to its `segments/`
+    /// subdirectory regardless of the backend's own path).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl DsMatrixConfig {
@@ -105,12 +127,20 @@ impl DsMatrixConfig {
             backend,
             expected_edges,
             cache_budget_bytes: 0,
+            durability: None,
         }
     }
 
     /// Sets the decoded-chunk cache budget for the disk backends.
     pub fn with_cache_budget(mut self, budget_bytes: usize) -> Self {
         self.cache_budget_bytes = budget_bytes;
+        self
+    }
+
+    /// Enables durability (WAL, checkpoints, crash recovery) rooted at the
+    /// given configuration's directory.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 }
@@ -152,6 +182,10 @@ pub struct DsMatrix {
     /// Reused per-view flags: which rows of the current pinned-path view are
     /// served from pinned chunks (`true`) vs the eager fallback (`false`).
     pin_flags: Vec<bool>,
+    /// Durability state (WAL handle, checkpoint bookkeeping, deferred file
+    /// GC).  `None` on volatile matrices — including every memory-backend
+    /// matrix — so the non-durable ingest path pays exactly one branch.
+    durable: Option<DurableState>,
 }
 
 impl DsMatrix {
@@ -159,8 +193,27 @@ impl DsMatrix {
     pub const TRACK_CATEGORY: &'static str = "dsmatrix-resident";
 
     /// Creates an empty matrix.
+    ///
+    /// With [`DsMatrixConfig::durability`] set this is a **fresh start**: any
+    /// checkpoints, WAL contents and segment files left in the durable
+    /// directory from a previous run are discarded.  Use
+    /// [`DsMatrix::recover`] to resume from them instead.
     pub fn new(config: DsMatrixConfig) -> Result<Self> {
-        let mut store = SegmentedWindowStore::open(config.backend)?;
+        let (backend, durable) = match config.durability {
+            None => (config.backend, None),
+            Some(dur) => {
+                Self::validate_durability(&config.backend, &dur)?;
+                std::fs::create_dir_all(&dur.dir)?;
+                // Fresh start: drop every old durable artifact explicitly.
+                // (`SegmentedWindowStore::open` below wipes stale segment
+                // files in its directory the same way.)
+                Checkpoint::prune_keeping(&dur.dir, 0)?;
+                let wal = Wal::create(dur.wal_path())?;
+                let backend = StorageBackend::DiskAt(dur.segments_dir());
+                (backend, Some(DurableState::fresh(dur, wal)))
+            }
+        };
+        let mut store = SegmentedWindowStore::open(backend)?;
         store.set_cache_budget(config.cache_budget_bytes);
         let cache = RowCache {
             rows: Vec::new(),
@@ -182,7 +235,22 @@ impl DsMatrix {
             read_stats: ReadStats::default(),
             col_chunk: BitVec::new(),
             pin_flags: Vec::new(),
+            durable,
         })
+    }
+
+    /// Rejects configurations durability cannot honour.
+    fn validate_durability(backend: &StorageBackend, dur: &DurabilityConfig) -> Result<()> {
+        if matches!(backend, StorageBackend::Memory) {
+            return Err(FsmError::config(
+                "durability requires a disk backend: the memory backend holds \
+                 the window resident and has nothing durable to recover from",
+            ));
+        }
+        if dur.checkpoint_every == 0 {
+            return Err(FsmError::config("checkpoint_every must be at least 1"));
+        }
+        Ok(())
     }
 
     /// Creates a matrix with the default configuration (disk-backed, `w = 5`).
@@ -191,6 +259,225 @@ impl DsMatrix {
             window,
             ..DsMatrixConfig::default()
         })
+    }
+
+    /// Rebuilds the exact pre-crash window from the durable directory.
+    ///
+    /// Recovery loads the newest checkpoint that (a) parses with a valid
+    /// CRC and (b) whose referenced segment pages all verify, then replays
+    /// the WAL tail past it through the ordinary ingest path.  A corrupt
+    /// newest checkpoint (or a corrupt segment page it references) makes
+    /// recovery fall back to the older retained checkpoint — whose WAL
+    /// suffix is retained precisely for this — and, failing that, to an
+    /// empty window replayed from the full WAL.  Corrupt candidates are
+    /// deleted and named in the [`RecoveryReport`]; recovery never
+    /// silently produces a window that differs from what was committed.
+    ///
+    /// Any I/O error that is *not* a proven corruption fails recovery
+    /// outright rather than falling back — a transient error must not
+    /// masquerade as data loss.
+    pub fn recover(config: DsMatrixConfig) -> Result<Self> {
+        let Some(dur) = config.durability.clone() else {
+            return Err(FsmError::config(
+                "recover() requires DsMatrixConfig::durability",
+            ));
+        };
+        Self::validate_durability(&config.backend, &dur)?;
+        std::fs::create_dir_all(&dur.dir)?;
+        std::fs::create_dir_all(dur.segments_dir())?;
+        let segments_dir = dur.segments_dir();
+
+        // The WAL self-repairs its torn tail on open; everything before the
+        // tear is intact (per-record CRCs).
+        let (wal, records, torn) = Wal::open(dur.wal_path())?;
+        let wal_torn = torn.map(|t| t.reason);
+
+        // Newest checkpoint whose metadata *and* referenced pages verify
+        // wins; proven-corrupt candidates are deleted so a later retention
+        // prune cannot prefer them over a good older checkpoint.
+        let mut skipped = Vec::new();
+        let mut chosen = None;
+        for (_, path) in Checkpoint::candidates(&dur.dir)? {
+            match Self::try_restore(&dur, &path, &config) {
+                Ok(pair) => {
+                    chosen = Some(pair);
+                    break;
+                }
+                Err(err)
+                    if matches!(
+                        err,
+                        FsmError::CorruptArtifact { .. } | FsmError::CorruptStructure(_)
+                    ) =>
+                {
+                    let name = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string());
+                    skipped.push(format!("{name} rejected: {err}"));
+                    std::fs::remove_file(&path)?;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        let checkpoint_seq = chosen.as_ref().map(|(c, _): &(Checkpoint, _)| c.last_seq);
+        let (ckpt, mut store) = match chosen {
+            Some(pair) => pair,
+            // No usable checkpoint: rebuild from an empty window.  `restore`
+            // with `next_uid = 0` wipes every leftover segment file — the
+            // replay below re-creates them.
+            None => (
+                Checkpoint::default(),
+                SegmentedWindowStore::restore(segments_dir.clone(), &[], 0)?,
+            ),
+        };
+        store.set_cache_budget(config.cache_budget_bytes);
+
+        // Rebuild the in-memory bookkeeping the checkpoint captured.
+        let num_items = (ckpt.num_items as usize).max(config.expected_edges);
+        let mut supports: Vec<Support> = ckpt.supports.clone();
+        supports.resize(num_items, 0);
+        let mut window = SlidingWindow::new(config.window);
+        let mut segment_ones = VecDeque::new();
+        let mut num_cols = 0usize;
+        for seg in &ckpt.segments {
+            if window
+                .push(seg.batch_id, seg.cols as usize)
+                .evicted
+                .is_some()
+            {
+                return Err(FsmError::corrupt(
+                    "checkpoint holds more segments than the window admits",
+                ));
+            }
+            num_cols += seg.cols as usize;
+            segment_ones.push_back(
+                seg.rows
+                    .iter()
+                    .map(|r| (r.row as usize, r.ones))
+                    .collect::<Vec<_>>(),
+            );
+        }
+
+        let mut durable = DurableState::fresh(dur, wal);
+        durable.applied_seq = ckpt.last_seq;
+        durable.last_ckpt_seq = checkpoint_seq;
+        durable.last_ckpt_uids = ckpt.segments.iter().map(|s| s.uid).collect();
+        durable.synced_uid_watermark = ckpt.next_uid;
+
+        let cache = RowCache {
+            rows: Vec::new(),
+            offset: 0,
+            enabled: store.is_memory_resident(),
+            generation: store.generation(),
+        };
+        let mut matrix = Self {
+            store,
+            window,
+            num_items,
+            num_cols,
+            tracker: None,
+            chunks: BTreeMap::new(),
+            spare_chunks: Vec::new(),
+            supports,
+            segment_ones,
+            cache,
+            read_stats: ReadStats::default(),
+            col_chunk: BitVec::new(),
+            pin_flags: Vec::new(),
+            durable: Some(durable),
+        };
+
+        // Replay the WAL tail through the ordinary (post-WAL) ingest path.
+        // The tail must continue the checkpoint contiguously; a gap means an
+        // artifact lied and recovering "around" it would fabricate a window
+        // that never existed.
+        let base_seq = ckpt.last_seq;
+        for record in records.into_iter().filter(|r| r.seq > base_seq) {
+            let applied = matrix
+                .durable
+                .as_ref()
+                .expect("recovering matrix is durable")
+                .applied_seq;
+            if record.seq != applied + 1 {
+                return Err(FsmError::corrupt_artifact(
+                    "wal.log",
+                    format!(
+                        "replay gap: expected seq {}, found seq {}",
+                        applied + 1,
+                        record.seq
+                    ),
+                ));
+            }
+            let batch = decode_batch(&record.payload)?;
+            matrix.ingest_applied(&batch)?;
+            let durable = matrix
+                .durable
+                .as_mut()
+                .expect("recovering matrix is durable");
+            durable.recovery_replayed += 1;
+        }
+
+        // Stray segment files (older crashes, bypassed evict GC): queue them
+        // for the next checkpoint's garbage collection rather than leaking.
+        let live: BTreeSet<u64> = matrix.store.live_uids().into_iter().collect();
+        let strays = scan_segment_files(&segments_dir)?;
+        let durable = matrix
+            .durable
+            .as_mut()
+            .expect("recovering matrix is durable");
+        for (uid, path) in strays {
+            let referenced = live.contains(&uid)
+                || durable.last_ckpt_uids.contains(&uid)
+                || durable.prev_ckpt_uids.contains(&uid)
+                || durable.garbage.iter().any(|(g, _)| *g == uid);
+            if !referenced {
+                durable.garbage.push((uid, path));
+            }
+        }
+        durable.report = Some(RecoveryReport {
+            checkpoint_seq,
+            replayed_batches: durable.recovery_replayed,
+            wal_torn,
+            skipped_artifacts: skipped,
+        });
+        matrix.report_memory();
+        Ok(matrix)
+    }
+
+    /// Loads one checkpoint candidate and restores + verifies the segment
+    /// store it references.  Corruption errors make [`DsMatrix::recover`]
+    /// fall back to the next candidate.
+    fn try_restore(
+        dur: &DurabilityConfig,
+        path: &std::path::Path,
+        config: &DsMatrixConfig,
+    ) -> Result<(Checkpoint, SegmentedWindowStore)> {
+        let ckpt = Checkpoint::load(path)?;
+        if ckpt.window_batches != config.window.window_batches as u64 {
+            return Err(FsmError::config(format!(
+                "checkpoint was written with window_batches = {}, config says {}",
+                ckpt.window_batches, config.window.window_batches
+            )));
+        }
+        if ckpt.segments.len() > config.window.window_batches {
+            return Err(FsmError::corrupt_artifact(
+                path.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string()),
+                format!(
+                    "references {} segments but the window holds at most {}",
+                    ckpt.segments.len(),
+                    config.window.window_batches
+                ),
+            ));
+        }
+        let mut store = SegmentedWindowStore::restore(
+            dur.segments_dir(),
+            &ckpt.segment_metas(),
+            ckpt.next_uid,
+        )?;
+        store.verify_segments()?;
+        Ok((ckpt, store))
     }
 
     /// Attaches a memory tracker; the matrix reports the bytes it holds
@@ -231,6 +518,23 @@ impl DsMatrix {
         !self.store.is_memory_resident()
     }
 
+    /// Returns `true` if this matrix writes a WAL and checkpoints.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What [`DsMatrix::recover`] found and did, if this matrix was built by
+    /// it (`None` for fresh matrices).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().and_then(|d| d.report.as_ref())
+    }
+
+    /// Identifier of the newest batch in the window (what a resumed stream
+    /// should continue after).
+    pub fn last_batch_id(&self) -> Option<BatchId> {
+        self.window.newest()
+    }
+
     /// Ingests one batch, sliding the window if it is already full.
     ///
     /// This is the incremental capture step: the entering batch becomes one
@@ -238,10 +542,39 @@ impl DsMatrix {
     /// batch), and — when the window slides — the evicted batch's segment is
     /// dropped whole.  Unevicted row prefixes are never rewritten; the
     /// [`DsMatrix::capture_stats`] counters prove it.
+    ///
+    /// On a durable matrix the batch is first appended to the WAL and
+    /// `fsync`ed — only then is any in-memory or segment state mutated
+    /// (write-ahead protocol).  Every `checkpoint_every` slides the apply
+    /// step also writes a checkpoint, prunes the WAL prefix the *older*
+    /// retained checkpoint covers, and unlinks evicted segment files that no
+    /// retained checkpoint references any more.
     pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        if let Some(durable) = &mut self.durable {
+            let seq = durable.applied_seq + 1;
+            durable.wal.append(seq, &encode_batch(batch))?;
+        }
+        self.ingest_applied(batch)
+    }
+
+    /// The post-WAL half of [`DsMatrix::ingest_batch`]: mutates the window
+    /// state.  Recovery replays WAL records through this same path (without
+    /// re-appending them).
+    fn ingest_applied(&mut self, batch: &Batch) -> Result<SlideOutcome> {
         let outcome = self.window.push(batch.id, batch.len());
         if let Some((_, cols)) = outcome.evicted {
-            let dropped = self.store.pop_segment()?;
+            let dropped = match &mut self.durable {
+                None => self.store.pop_segment()?,
+                Some(durable) => {
+                    // Durable evictions defer the unlink: a retained
+                    // checkpoint may still reference the file.
+                    let (cols, detached) = self.store.pop_segment_detached()?;
+                    if let Some((uid, path)) = detached {
+                        durable.garbage.push((uid, path));
+                    }
+                    cols
+                }
+            };
             debug_assert_eq!(dropped, cols, "window bookkeeping must match the store");
             self.num_cols -= dropped;
             // Incremental evict: subtract the leaving segment's popcounts
@@ -322,7 +655,123 @@ impl DsMatrix {
         self.num_cols += batch.len();
         debug_assert_eq!(self.num_cols, self.store.num_cols());
         self.report_memory();
+
+        let checkpoint_due = if let Some(durable) = &mut self.durable {
+            durable.applied_seq += 1;
+            durable.slides_since_ckpt += 1;
+            durable.slides_since_ckpt >= durable.config.checkpoint_every
+        } else {
+            false
+        };
+        if checkpoint_due {
+            self.write_checkpoint()?;
+        }
         Ok(outcome)
+    }
+
+    /// Writes a checkpoint of the current window, rotates the two retained
+    /// checkpoints, garbage-collects unreferenced evicted segment files, and
+    /// prunes the WAL prefix the older retained checkpoint covers.
+    ///
+    /// Called automatically every [`DurabilityConfig::checkpoint_every`]
+    /// slides; exposed for tests and shutdown paths.  Errors if the matrix is
+    /// not durable.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.durable.is_none() {
+            return Err(FsmError::config(
+                "checkpoint() requires a durable matrix (DsMatrixConfig::durability)",
+            ));
+        }
+        self.write_checkpoint()
+    }
+
+    fn write_checkpoint(&mut self) -> Result<()> {
+        let durable = self
+            .durable
+            .as_mut()
+            .expect("write_checkpoint on a non-durable matrix");
+
+        // 1. Make every live segment durable before referencing it from a
+        //    checkpoint.  Segments below the watermark were synced by an
+        //    earlier checkpoint and are immutable since.
+        durable.extra_fsyncs += self.store.sync_segments(durable.synced_uid_watermark)?;
+        durable.synced_uid_watermark = self.store.next_segment_id();
+
+        // 2. Snapshot the window metadata: segment list + row indexes +
+        //    support counters.  Row payloads stay in the (immutable) segment
+        //    files — a checkpoint never copies row data.
+        let metas = self
+            .store
+            .segment_metas()
+            .ok_or_else(|| FsmError::corrupt("durable matrix with a memory-resident store"))?;
+        let batch_ids = self.window.batch_ids();
+        if metas.len() != batch_ids.len() || metas.len() != self.segment_ones.len() {
+            return Err(FsmError::corrupt(
+                "segment/window/support bookkeeping out of sync at checkpoint",
+            ));
+        }
+        let segments = metas
+            .into_iter()
+            .zip(batch_ids)
+            .zip(self.segment_ones.iter())
+            .map(|((meta, batch_id), ones)| {
+                let ones: BTreeMap<usize, u64> = ones.iter().copied().collect();
+                CheckpointSegment {
+                    uid: meta.uid,
+                    batch_id,
+                    cols: meta.cols as u64,
+                    rows: meta
+                        .rows
+                        .iter()
+                        .map(|&(row, first_page, len)| CheckpointRow {
+                            row: row as u64,
+                            first_page: first_page as u64,
+                            len: len as u64,
+                            ones: ones.get(&row).copied().unwrap_or(0),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let checkpoint = Checkpoint {
+            last_seq: durable.applied_seq,
+            next_uid: self.store.next_segment_id(),
+            num_items: self.num_items as u64,
+            window_batches: self.window.config().window_batches as u64,
+            supports: self.supports[..self.num_items].to_vec(),
+            segments,
+        };
+
+        // 3. Persist it and drop checkpoints older than the two newest.
+        let (_, bytes, fsyncs) = checkpoint.write(&durable.config.dir)?;
+        durable.checkpoint_bytes += bytes;
+        durable.extra_fsyncs += fsyncs;
+        Checkpoint::prune_keeping(&durable.config.dir, 2)?;
+
+        // 4. Rotate the retained-checkpoint bookkeeping.
+        durable.prev_ckpt_seq = durable.last_ckpt_seq;
+        durable.last_ckpt_seq = Some(durable.applied_seq);
+        let live: BTreeSet<u64> = checkpoint.segments.iter().map(|s| s.uid).collect();
+        durable.prev_ckpt_uids = std::mem::replace(&mut durable.last_ckpt_uids, live);
+
+        // 5. Unlink evicted segment files no retained checkpoint references.
+        let garbage = std::mem::take(&mut durable.garbage);
+        for (uid, path) in garbage {
+            if durable.last_ckpt_uids.contains(&uid) || durable.prev_ckpt_uids.contains(&uid) {
+                durable.garbage.push((uid, path));
+            } else {
+                fsm_storage::remove_segment_file(&path)?;
+            }
+        }
+
+        // 6. Prune the WAL prefix the *older* retained checkpoint covers: if
+        //    the newest checkpoint is ever found corrupt, the older one plus
+        //    the retained WAL suffix still reaches the pre-crash window.
+        if let Some(prev_seq) = durable.prev_ckpt_seq {
+            durable.wal.prune_through(prev_seq)?;
+        }
+        durable.slides_since_ckpt = 0;
+        Ok(())
     }
 
     /// Physically drops the cache's dead prefix once it outgrows the live
@@ -497,6 +946,13 @@ impl DsMatrix {
         let io = self.store.io_stats();
         stats.pages_read = io.pages_read;
         stats.cache_hits = io.cache_hits;
+        if let Some(durable) = &self.durable {
+            let wal = durable.wal.stats();
+            stats.wal_bytes_written = wal.bytes_written;
+            stats.fsyncs = wal.fsyncs + durable.extra_fsyncs;
+            stats.checkpoint_bytes = durable.checkpoint_bytes;
+            stats.recovery_replayed_batches = durable.recovery_replayed;
+        }
         stats
     }
 
@@ -1117,5 +1573,143 @@ mod tests {
         assert_eq!(m.num_transactions(), 0);
         assert!(m.boundaries().is_empty());
         assert_eq!(m.num_batches(), 0);
+    }
+
+    fn durable_config(dir: &std::path::Path, every: usize) -> DsMatrixConfig {
+        DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::DiskTemp, 6)
+            .with_durability(DurabilityConfig::new(dir).with_checkpoint_every(every))
+    }
+
+    fn all_rows(m: &mut DsMatrix) -> Vec<String> {
+        (0..6).map(|i| row_string(m, i)).collect()
+    }
+
+    #[test]
+    fn durability_rejects_memory_backend_and_zero_interval() {
+        let dir = fsm_storage::TempDir::new("durable-cfg").unwrap();
+        let cfg = DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::Memory, 6)
+            .with_durability(DurabilityConfig::new(dir.path()));
+        assert!(matches!(
+            DsMatrix::new(cfg),
+            Err(FsmError::InvalidConfig(_))
+        ));
+
+        let cfg = durable_config(dir.path(), 0);
+        assert!(matches!(
+            DsMatrix::new(cfg),
+            Err(FsmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn non_durable_matrix_pays_no_durability_cost() {
+        let mut m = matrix(StorageBackend::DiskTemp);
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        let stats = m.read_stats();
+        assert!(!m.is_durable());
+        assert_eq!(stats.wal_bytes_written, 0);
+        assert_eq!(stats.fsyncs, 0);
+        assert_eq!(stats.checkpoint_bytes, 0);
+        assert_eq!(stats.recovery_replayed_batches, 0);
+    }
+
+    #[test]
+    fn durable_ingest_matches_volatile_and_counts_durability() {
+        let dir = fsm_storage::TempDir::new("durable-ingest").unwrap();
+        let mut durable = DsMatrix::new(durable_config(dir.path(), 2)).unwrap();
+        let mut volatile = matrix(StorageBackend::Memory);
+        for batch in paper_batches() {
+            durable.ingest_batch(&batch).unwrap();
+            volatile.ingest_batch(&batch).unwrap();
+        }
+        assert!(durable.is_durable());
+        assert_eq!(all_rows(&mut durable), all_rows(&mut volatile));
+        let stats = durable.read_stats();
+        // One WAL record + fsync per ingested batch, at least one checkpoint.
+        assert!(stats.wal_bytes_written > 0);
+        assert!(stats.fsyncs >= 3);
+        assert!(stats.checkpoint_bytes > 0);
+        assert_eq!(stats.recovery_replayed_batches, 0);
+    }
+
+    #[test]
+    fn recover_rebuilds_the_exact_window() {
+        let dir = fsm_storage::TempDir::new("durable-recover").unwrap();
+        // Checkpoint every 2 slides: the third batch lives only in the WAL.
+        let expected = {
+            let mut m = DsMatrix::new(durable_config(dir.path(), 2)).unwrap();
+            for batch in paper_batches() {
+                m.ingest_batch(&batch).unwrap();
+            }
+            all_rows(&mut m)
+            // Dropped without any shutdown checkpoint — like a crash, except
+            // the files are all intact.
+        };
+        let mut recovered = DsMatrix::recover(durable_config(dir.path(), 2)).unwrap();
+        assert_eq!(all_rows(&mut recovered), expected);
+        let report = recovered.recovery_report().unwrap().clone();
+        assert_eq!(report.checkpoint_seq, Some(2));
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(report.wal_torn, None);
+        assert!(report.skipped_artifacts.is_empty());
+        assert_eq!(recovered.last_batch_id(), Some(2));
+        assert_eq!(recovered.read_stats().recovery_replayed_batches, 1);
+
+        // Recovery is repeatable (it mutates nothing it then depends on).
+        let mut again = DsMatrix::recover(durable_config(dir.path(), 2)).unwrap();
+        assert_eq!(all_rows(&mut again), expected);
+    }
+
+    #[test]
+    fn recover_without_any_checkpoint_replays_the_full_wal() {
+        let dir = fsm_storage::TempDir::new("durable-nockpt").unwrap();
+        let expected = {
+            // Huge interval: no checkpoint is ever written.
+            let mut m = DsMatrix::new(durable_config(dir.path(), 100)).unwrap();
+            for batch in paper_batches() {
+                m.ingest_batch(&batch).unwrap();
+            }
+            all_rows(&mut m)
+        };
+        let mut recovered = DsMatrix::recover(durable_config(dir.path(), 100)).unwrap();
+        assert_eq!(all_rows(&mut recovered), expected);
+        let report = recovered.recovery_report().unwrap();
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(report.replayed_batches, 3);
+    }
+
+    #[test]
+    fn recover_rejects_window_size_mismatch() {
+        let dir = fsm_storage::TempDir::new("durable-mismatch").unwrap();
+        let mut m = DsMatrix::new(durable_config(dir.path(), 1)).unwrap();
+        for batch in paper_batches() {
+            m.ingest_batch(&batch).unwrap();
+        }
+        drop(m);
+        let cfg = DsMatrixConfig::new(WindowConfig::new(3).unwrap(), StorageBackend::DiskTemp, 6)
+            .with_durability(DurabilityConfig::new(dir.path()).with_checkpoint_every(1));
+        assert!(matches!(
+            DsMatrix::recover(cfg),
+            Err(FsmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn new_durable_matrix_is_a_fresh_start() {
+        let dir = fsm_storage::TempDir::new("durable-fresh").unwrap();
+        {
+            let mut m = DsMatrix::new(durable_config(dir.path(), 1)).unwrap();
+            for batch in paper_batches() {
+                m.ingest_batch(&batch).unwrap();
+            }
+        }
+        // Re-creating (not recovering) wipes the previous state.
+        let m = DsMatrix::new(durable_config(dir.path(), 1)).unwrap();
+        assert!(m.is_empty());
+        drop(m);
+        let recovered = DsMatrix::recover(durable_config(dir.path(), 1)).unwrap();
+        assert!(recovered.is_empty());
     }
 }

@@ -1,0 +1,447 @@
+//! Segment-aligned checkpoints: durable snapshots of the window metadata.
+//!
+//! Segments are immutable files, so a checkpoint never copies row data — it
+//! serialises only the *metadata* needed to reopen them: the live segment
+//! list (uid, batch id, columns, row index), the ingest-time support
+//! counters, and the WAL sequence number it covers.  Checkpoint files are
+//! written to a temp path, fsynced and renamed into place, so a crash during
+//! checkpointing leaves either the old set of checkpoints or the old set plus
+//! one complete new file — never a half-written one that parses.
+//!
+//! # File format
+//!
+//! ```text
+//! ┌──────────────────┬──────────────────────────────┬──────────────┐
+//! │ magic "FSMCKPT1" │ body (u64 LE fields, below)  │ crc32: u32 LE│
+//! └──────────────────┴──────────────────────────────┴──────────────┘
+//! ```
+//!
+//! The CRC covers the whole body; a single flipped bit anywhere makes
+//! [`Checkpoint::load`] reject the file, and recovery falls back to the next
+//! older checkpoint (whose WAL suffix is retained for exactly this reason).
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use fsm_types::{FsmError, Result};
+
+use crate::checksum::crc32;
+use crate::paged::{annotate, artifact_name};
+use crate::segment::SegmentMeta;
+
+const MAGIC: &[u8; 8] = b"FSMCKPT1";
+
+/// Durable metadata of one row of one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRow {
+    /// Row (edge) identifier.
+    pub row: u64,
+    /// First page of the row inside the segment file.
+    pub first_page: u64,
+    /// Byte length of the serialised row chunk.
+    pub len: u64,
+    /// Number of set bits the row contributes in this segment (lets recovery
+    /// rebuild the per-segment support ledger without reading any chunk).
+    pub ones: u64,
+}
+
+/// Durable metadata of one live segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSegment {
+    /// Stable uid (names the file `seg-<uid>.pages`).
+    pub uid: u64,
+    /// Stream-wide id of the batch this segment captured.
+    pub batch_id: u64,
+    /// Window columns the segment contributes.
+    pub cols: u64,
+    /// Per-row metadata in ascending row order.
+    pub rows: Vec<CheckpointRow>,
+}
+
+/// A complete, self-validating snapshot of the durable window metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// WAL sequence number of the last batch this snapshot covers.
+    pub last_seq: u64,
+    /// The segment uid counter at snapshot time (next uid to be assigned).
+    pub next_uid: u64,
+    /// Size of the row domain (number of catalogued edges).
+    pub num_items: u64,
+    /// Window capacity in batches, recorded to reject recovery under a
+    /// different configuration.
+    pub window_batches: u64,
+    /// Ingest-time support counter per row, `num_items` entries.
+    pub supports: Vec<u64>,
+    /// Live segments, oldest first.
+    pub segments: Vec<CheckpointSegment>,
+}
+
+impl Checkpoint {
+    /// File name a checkpoint covering WAL sequence `seq` is stored under.
+    pub fn file_name(seq: u64) -> String {
+        format!("checkpoint-{seq}.ckpt")
+    }
+
+    /// Writes the checkpoint into `dir` (temp file + fsync + rename),
+    /// returning the final path, the encoded size in bytes, and the number of
+    /// `fsync` calls issued.
+    pub fn write(&self, dir: &Path) -> Result<(PathBuf, u64, u64)> {
+        let bytes = self.encode();
+        let path = dir.join(Self::file_name(self.last_seq));
+        let tmp = dir.join(format!("{}.tmp", Self::file_name(self.last_seq)));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|err| annotate(err, "create checkpoint temp", &tmp))?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &path)?;
+        Ok((path, bytes.len() as u64, 1))
+    }
+
+    /// Lists the checkpoint files in `dir` as `(seq, path)`, newest first.
+    ///
+    /// Recovery walks this list until it finds a checkpoint that loads and
+    /// whose referenced segment files verify.
+    pub fn candidates(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        if !dir.exists() {
+            return Ok(out);
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(seq) = name
+                .strip_prefix("checkpoint-")
+                .and_then(|rest| rest.strip_suffix(".ckpt"))
+                .and_then(|seq| seq.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((seq, path));
+        }
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.0));
+        Ok(out)
+    }
+
+    /// Removes all but the `keep` newest checkpoint files (and any stale
+    /// `.tmp` leftovers), returning the removed paths.
+    pub fn prune_keeping(dir: &Path, keep: usize) -> Result<Vec<PathBuf>> {
+        let mut removed = Vec::new();
+        for (_, path) in Self::candidates(dir)?.into_iter().skip(keep) {
+            std::fs::remove_file(&path)?;
+            removed.push(path);
+        }
+        if dir.exists() {
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("checkpoint-") && n.ends_with(".ckpt.tmp"));
+                if is_tmp {
+                    std::fs::remove_file(&path)?;
+                    removed.push(path);
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Loads and validates a checkpoint file.
+    ///
+    /// Any damage — wrong magic, truncation, a flipped bit anywhere in the
+    /// body — fails with [`FsmError::CorruptArtifact`] naming the file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let name = artifact_name(path);
+        let bytes = std::fs::read(path).map_err(|err| annotate(err, "read checkpoint", path))?;
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(FsmError::corrupt_artifact(
+                &name,
+                format!("only {} bytes — too short to be a checkpoint", bytes.len()),
+            ));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(FsmError::corrupt_artifact(&name, "bad magic"));
+        }
+        let body = &bytes[MAGIC.len()..bytes.len() - 4];
+        let stored_crc =
+            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4-byte slice"));
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(FsmError::corrupt_artifact(
+                &name,
+                format!(
+                    "checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+                ),
+            ));
+        }
+        let mut reader = FieldReader::new(body, &name);
+        let last_seq = reader.u64("last_seq")?;
+        let next_uid = reader.u64("next_uid")?;
+        let num_items = reader.u64("num_items")?;
+        let window_batches = reader.u64("window_batches")?;
+        let num_supports = reader.u64("supports count")?;
+        let mut supports = Vec::with_capacity(num_supports.min(1 << 20) as usize);
+        for _ in 0..num_supports {
+            supports.push(reader.u64("support")?);
+        }
+        let num_segments = reader.u64("segments count")?;
+        let mut segments = Vec::with_capacity(num_segments.min(1 << 16) as usize);
+        for _ in 0..num_segments {
+            let uid = reader.u64("segment uid")?;
+            let batch_id = reader.u64("segment batch id")?;
+            let cols = reader.u64("segment cols")?;
+            let num_rows = reader.u64("segment rows count")?;
+            let mut rows = Vec::with_capacity(num_rows.min(1 << 20) as usize);
+            for _ in 0..num_rows {
+                rows.push(CheckpointRow {
+                    row: reader.u64("row id")?,
+                    first_page: reader.u64("row first page")?,
+                    len: reader.u64("row length")?,
+                    ones: reader.u64("row ones")?,
+                });
+            }
+            segments.push(CheckpointSegment {
+                uid,
+                batch_id,
+                cols,
+                rows,
+            });
+        }
+        reader.finish()?;
+        Ok(Self {
+            last_seq,
+            next_uid,
+            num_items,
+            window_batches,
+            supports,
+            segments,
+        })
+    }
+
+    /// Converts the segment entries into the form
+    /// [`crate::SegmentedWindowStore::restore`] consumes.
+    pub fn segment_metas(&self) -> Vec<SegmentMeta> {
+        self.segments
+            .iter()
+            .map(|seg| SegmentMeta {
+                uid: seg.uid,
+                cols: seg.cols as usize,
+                rows: seg
+                    .rows
+                    .iter()
+                    .map(|r| (r.row as usize, r.first_page as usize, r.len as usize))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let push = |v: u64, body: &mut Vec<u8>| body.extend_from_slice(&v.to_le_bytes());
+        push(self.last_seq, &mut body);
+        push(self.next_uid, &mut body);
+        push(self.num_items, &mut body);
+        push(self.window_batches, &mut body);
+        push(self.supports.len() as u64, &mut body);
+        for &s in &self.supports {
+            push(s, &mut body);
+        }
+        push(self.segments.len() as u64, &mut body);
+        for seg in &self.segments {
+            push(seg.uid, &mut body);
+            push(seg.batch_id, &mut body);
+            push(seg.cols, &mut body);
+            push(seg.rows.len() as u64, &mut body);
+            for row in &seg.rows {
+                push(row.row, &mut body);
+                push(row.first_page, &mut body);
+                push(row.len, &mut body);
+                push(row.ones, &mut body);
+            }
+        }
+        let mut bytes = Vec::with_capacity(MAGIC.len() + body.len() + 4);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes
+    }
+}
+
+/// Bounds-checked little-endian field reader over a checksummed body.
+struct FieldReader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    artifact: &'a str,
+}
+
+impl<'a> FieldReader<'a> {
+    fn new(bytes: &'a [u8], artifact: &'a str) -> Self {
+        Self {
+            bytes,
+            offset: 0,
+            artifact,
+        }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let end = self.offset + 8;
+        if end > self.bytes.len() {
+            return Err(FsmError::corrupt_artifact(
+                self.artifact,
+                format!("truncated body while reading {what}"),
+            ));
+        }
+        let value = u64::from_le_bytes(
+            self.bytes[self.offset..end]
+                .try_into()
+                .expect("8-byte slice"),
+        );
+        self.offset = end;
+        Ok(value)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.offset != self.bytes.len() {
+            return Err(FsmError::corrupt_artifact(
+                self.artifact,
+                format!(
+                    "{} trailing bytes after the last field",
+                    self.bytes.len() - self.offset
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+
+    fn sample(seq: u64) -> Checkpoint {
+        Checkpoint {
+            last_seq: seq,
+            next_uid: 4,
+            num_items: 3,
+            window_batches: 2,
+            supports: vec![5, 0, 2],
+            segments: vec![
+                CheckpointSegment {
+                    uid: 2,
+                    batch_id: 6,
+                    cols: 3,
+                    rows: vec![
+                        CheckpointRow {
+                            row: 0,
+                            first_page: 0,
+                            len: 16,
+                            ones: 2,
+                        },
+                        CheckpointRow {
+                            row: 2,
+                            first_page: 1,
+                            len: 16,
+                            ones: 1,
+                        },
+                    ],
+                },
+                CheckpointSegment {
+                    uid: 3,
+                    batch_id: 7,
+                    cols: 1,
+                    rows: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = TempDir::new("ckpt").unwrap();
+        let ckpt = sample(9);
+        let (path, bytes, fsyncs) = ckpt.write(dir.path()).unwrap();
+        assert!(path.ends_with("checkpoint-9.ckpt"));
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(fsyncs, 1);
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        let metas = ckpt.segment_metas();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].rows, vec![(0, 0, 16), (2, 1, 16)]);
+    }
+
+    #[test]
+    fn candidates_sorted_newest_first_and_pruned() {
+        let dir = TempDir::new("ckpt").unwrap();
+        for seq in [3u64, 11, 7] {
+            sample(seq).write(dir.path()).unwrap();
+        }
+        let candidates = Checkpoint::candidates(dir.path()).unwrap();
+        let seqs: Vec<u64> = candidates.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![11, 7, 3]);
+
+        let removed = Checkpoint::prune_keeping(dir.path(), 2).unwrap();
+        assert_eq!(removed.len(), 1);
+        let seqs: Vec<u64> = Checkpoint::candidates(dir.path())
+            .unwrap()
+            .iter()
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(seqs, vec![11, 7]);
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_body_is_detected() {
+        let dir = TempDir::new("ckpt").unwrap();
+        let (path, _, _) = sample(5).write(dir.path()).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit at a sample of positions across the whole file
+        // (including magic and trailing CRC).
+        for pos in (0..clean.len()).step_by(7) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, FsmError::CorruptArtifact { .. }),
+                "flip at {pos} must be CorruptArtifact, got: {err}"
+            );
+            assert!(
+                err.to_string().contains("checkpoint-5.ckpt"),
+                "error must name the file: {err}"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        Checkpoint::load(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = TempDir::new("ckpt").unwrap();
+        let (path, _, _) = sample(5).write(dir.path()).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::write(&path, b"").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn prune_removes_stale_tmp_files() {
+        let dir = TempDir::new("ckpt").unwrap();
+        sample(4).write(dir.path()).unwrap();
+        let stale = dir.path().join("checkpoint-9.ckpt.tmp");
+        std::fs::write(&stale, b"half-written").unwrap();
+        Checkpoint::prune_keeping(dir.path(), 2).unwrap();
+        assert!(!stale.exists());
+        assert_eq!(Checkpoint::candidates(dir.path()).unwrap().len(), 1);
+    }
+}

@@ -28,25 +28,37 @@
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
-//!   disk-backed structures need no external crates.
+//!   disk-backed structures need no external crates;
+//! * [`Wal`] — the write-ahead log (length-prefixed, checksummed,
+//!   fsync-on-commit records with torn-tail truncation on open) and
+//!   [`Checkpoint`] — segment-aligned metadata snapshots; together they make
+//!   the disk backend crash-recoverable (ROADMAP item 5).  Every durable
+//!   artifact is covered by the hand-rolled CRC-32 in [`checksum`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod checkpoint;
+pub mod checksum;
 pub mod chunkcache;
 pub mod paged;
 pub mod rowstore;
 pub mod segment;
 pub mod temp;
 pub mod tracker;
+pub mod wal;
 
 pub use bitvec::BitVec;
+pub use checkpoint::{Checkpoint, CheckpointRow, CheckpointSegment};
+pub use checksum::crc32;
 pub use chunkcache::{ChunkCache, ChunkCacheStats};
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
 pub use segment::{
-    CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats, RowRef, SegmentedWindowStore,
+    remove_segment_file, scan_segment_files, CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats,
+    RowRef, SegmentMeta, SegmentedWindowStore,
 };
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};
+pub use wal::{TornTail, Wal, WalRecord, WalStats};

@@ -6,28 +6,105 @@ use std::path::{Path, PathBuf};
 
 use fsm_types::{FsmError, Result};
 
+use crate::checksum::{crc32, Crc32};
+
 /// A file divided into fixed-size pages, addressed by page index.
 ///
 /// This is intentionally the simplest storage engine that exhibits the I/O
 /// pattern the paper's disk-resident structures rely on: sequential appends
 /// while a batch streams in, and sequential scans while mining.  Pages are
 /// written and read whole; short writes are zero-padded to the page size.
+///
+/// # Integrity and durability
+///
+/// Every page write also records a CRC-32 of the (padded) page in a sidecar
+/// file `<path>.crc` (4 bytes per page, same index order).  Reads verify the
+/// checksum and fail with [`FsmError::CorruptArtifact`] on mismatch, so a torn
+/// or bit-flipped page is detected instead of silently mis-mined.  The sidecar
+/// — rather than a per-page trailer — keeps the full page size available as
+/// payload, so none of the chunked-row arithmetic layered on top changes.
+///
+/// Writes are buffered by the operating system until [`PagedFile::sync_all`]
+/// is called; callers that need durability (the WAL/checkpoint machinery) must
+/// sync explicitly and can audit that they did via [`PagedFile::fsyncs`].
 #[derive(Debug)]
 pub struct PagedFile {
     file: File,
+    checksums: File,
     path: PathBuf,
     page_size: usize,
     num_pages: usize,
     bytes_written: u64,
     bytes_read: u64,
+    fsyncs: u64,
+    zero_page_crc: u32,
 }
 
 impl PagedFile {
     /// Default page size (4 KiB) used by the disk-backed structures.
     pub const DEFAULT_PAGE_SIZE: usize = 4096;
 
-    /// Creates (truncating) a paged file at `path`.
+    /// Creates a paged file at `path`, erroring if the path already exists.
+    ///
+    /// Refusing to clobber an existing file is a durability guard: silently
+    /// truncating would destroy pages a previous (possibly crashed) process
+    /// wrote.  Callers that genuinely want to reuse a path must either remove
+    /// the file first or opt in via [`PagedFile::create_overwrite`].
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
+        Self::create_inner(path.as_ref(), page_size, false)
+    }
+
+    /// Creates a paged file at `path`, explicitly truncating any existing
+    /// file (and its checksum sidecar).
+    pub fn create_overwrite(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
+        Self::create_inner(path.as_ref(), page_size, true)
+    }
+
+    fn create_inner(path: &Path, page_size: usize, overwrite: bool) -> Result<Self> {
+        if page_size == 0 {
+            return Err(FsmError::config("page size must be non-zero"));
+        }
+        let path = path.to_path_buf();
+        let mut options = OpenOptions::new();
+        options.read(true).write(true);
+        if overwrite {
+            options.create(true).truncate(true);
+        } else {
+            options.create_new(true);
+        }
+        let file = options
+            .open(&path)
+            .map_err(|err| annotate(err, "create paged file", &path))?;
+        let sidecar = Self::checksum_path(&path);
+        // The sidecar is always truncated: with `create_new` semantics the
+        // data file is fresh, so any sidecar lying around is stale.
+        let checksums = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&sidecar)
+            .map_err(|err| annotate(err, "create checksum sidecar", &sidecar))?;
+        Ok(Self {
+            file,
+            checksums,
+            path,
+            page_size,
+            num_pages: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+            fsyncs: 0,
+            zero_page_crc: crc32(&vec![0u8; page_size]),
+        })
+    }
+
+    /// Opens an existing paged file (and its checksum sidecar) for recovery.
+    ///
+    /// The page count is derived from the file length, which must be an exact
+    /// multiple of `page_size`; the sidecar must hold exactly one checksum per
+    /// page.  Page contents are *not* verified here — verification happens on
+    /// read, or eagerly via [`PagedFile::verify_all_pages`].
+    pub fn open_existing(path: impl AsRef<Path>, page_size: usize) -> Result<Self> {
         if page_size == 0 {
             return Err(FsmError::config("page size must be non-zero"));
         }
@@ -35,17 +112,50 @@ impl PagedFile {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+            .open(&path)
+            .map_err(|err| annotate(err, "open paged file", &path))?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(FsmError::corrupt_artifact(
+                artifact_name(&path),
+                format!("length {len} is not a multiple of the page size {page_size}"),
+            ));
+        }
+        let num_pages = (len / page_size as u64) as usize;
+        let sidecar = Self::checksum_path(&path);
+        let checksums = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&sidecar)
+            .map_err(|err| annotate(err, "open checksum sidecar", &sidecar))?;
+        let sidecar_len = checksums.metadata()?.len();
+        if sidecar_len != num_pages as u64 * 4 {
+            return Err(FsmError::corrupt_artifact(
+                artifact_name(&sidecar),
+                format!(
+                    "sidecar holds {sidecar_len} bytes but {num_pages} pages need {}",
+                    num_pages as u64 * 4
+                ),
+            ));
+        }
         Ok(Self {
             file,
+            checksums,
             path,
             page_size,
-            num_pages: 0,
+            num_pages,
             bytes_written: 0,
             bytes_read: 0,
+            fsyncs: 0,
+            zero_page_crc: crc32(&vec![0u8; page_size]),
         })
+    }
+
+    /// Path of the checksum sidecar accompanying a paged file at `path`.
+    pub fn checksum_path(path: &Path) -> PathBuf {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".crc");
+        PathBuf::from(name)
     }
 
     /// Page size in bytes.
@@ -60,7 +170,11 @@ impl PagedFile {
         self.num_pages
     }
 
-    /// Total bytes handed to the operating system so far.
+    /// Total payload bytes handed to the operating system so far.
+    ///
+    /// Counts data pages only; the 4-byte sidecar checksums are bookkeeping,
+    /// not payload, and are excluded so the counter keeps matching
+    /// [`PagedFile::on_disk_bytes`].
     #[inline]
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
@@ -70,6 +184,12 @@ impl PagedFile {
     #[inline]
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read
+    }
+
+    /// Number of `fsync` system calls issued via [`PagedFile::sync_all`].
+    #[inline]
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Path of the underlying file.
@@ -114,6 +234,7 @@ impl PagedFile {
             ))?;
             while self.num_pages < index {
                 self.file.write_all(&zeros)?;
+                self.write_checksum(self.num_pages, self.zero_page_crc)?;
                 self.bytes_written += self.page_size as u64;
                 self.num_pages += 1;
             }
@@ -121,16 +242,27 @@ impl PagedFile {
         let offset = index as u64 * self.page_size as u64;
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.write_all(data)?;
+        let mut crc = Crc32::new();
+        crc.update(data);
         if data.len() < self.page_size {
             let padding = vec![0u8; self.page_size - data.len()];
             self.file.write_all(&padding)?;
+            crc.update(&padding);
         }
+        self.write_checksum(index, crc.finish())?;
         self.bytes_written += self.page_size as u64;
         self.num_pages = self.num_pages.max(index + 1);
         Ok(index)
     }
 
-    /// Reads page `index` into a fresh buffer of page size.
+    fn write_checksum(&mut self, index: usize, crc: u32) -> Result<()> {
+        self.checksums.seek(SeekFrom::Start(index as u64 * 4))?;
+        self.checksums.write_all(&crc.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads page `index` into a fresh buffer of page size, verifying its
+    /// checksum against the sidecar.
     pub fn read_page(&mut self, index: usize) -> Result<Vec<u8>> {
         if index >= self.num_pages {
             return Err(FsmError::corrupt(format!(
@@ -143,21 +275,75 @@ impl PagedFile {
         let mut buf = vec![0u8; self.page_size];
         self.file.read_exact(&mut buf)?;
         self.bytes_read += self.page_size as u64;
+        self.checksums.seek(SeekFrom::Start(index as u64 * 4))?;
+        let mut stored = [0u8; 4];
+        self.checksums.read_exact(&mut stored)?;
+        let expected = u32::from_le_bytes(stored);
+        let actual = crc32(&buf);
+        if actual != expected {
+            return Err(FsmError::corrupt_artifact(
+                format!("page {index} of {}", artifact_name(&self.path)),
+                format!("checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"),
+            ));
+        }
         Ok(buf)
     }
 
-    /// Truncates the file back to zero pages (used on window rebuilds).
+    /// Reads every page once, verifying all checksums.
+    ///
+    /// Used by recovery to validate a checkpoint-referenced file before
+    /// trusting it; the error names the first bad page.
+    pub fn verify_all_pages(&mut self) -> Result<()> {
+        for index in 0..self.num_pages {
+            self.read_page(index)?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the file (and its checksum sidecar) back to zero pages
+    /// (used on window rebuilds).
     pub fn clear(&mut self) -> Result<()> {
         self.file.set_len(0)?;
+        self.checksums.set_len(0)?;
         self.num_pages = 0;
         Ok(())
     }
 
     /// Flushes buffered writes to the operating system.
+    ///
+    /// This hands the bytes to the kernel but does **not** force them to
+    /// stable storage — use [`PagedFile::sync_all`] for durability.
     pub fn sync(&mut self) -> Result<()> {
         self.file.flush()?;
         Ok(())
     }
+
+    /// Forces all written pages and checksums to stable storage (`fsync` on
+    /// the data file and the sidecar), counting each system call in
+    /// [`PagedFile::fsyncs`].
+    pub fn sync_all(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        self.fsyncs += 1;
+        self.checksums.sync_all()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+}
+
+/// Last path component, used to name artifacts in corruption errors.
+pub(crate) fn artifact_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Wraps an I/O error with the operation and path that failed, so disk-path
+/// failures surface as actionable messages instead of bare `os error` codes.
+pub(crate) fn annotate(err: std::io::Error, op: &str, path: &Path) -> FsmError {
+    FsmError::Io(std::io::Error::new(
+        err.kind(),
+        format!("{op} {}: {err}", path.display()),
+    ))
 }
 
 #[cfg(test)]
@@ -238,5 +424,89 @@ mod tests {
         assert_eq!(pf.num_pages(), 0);
         assert!(pf.read_page(0).is_err());
         pf.sync().unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_path() {
+        let dir = TempDir::new("paged").unwrap();
+        let path = dir.file("pages.bin");
+        let pf = PagedFile::create(&path, 8).unwrap();
+        drop(pf);
+        let err = PagedFile::create(&path, 8).unwrap_err();
+        assert!(err.to_string().contains("create paged file"));
+        // Explicit truncation is still available.
+        let pf = PagedFile::create_overwrite(&path, 8).unwrap();
+        assert_eq!(pf.num_pages(), 0);
+    }
+
+    #[test]
+    fn sync_all_counts_fsyncs() {
+        let dir = TempDir::new("paged").unwrap();
+        let mut pf = PagedFile::create(dir.file("pages.bin"), 8).unwrap();
+        pf.append_page(b"abc").unwrap();
+        assert_eq!(pf.fsyncs(), 0);
+        pf.sync_all().unwrap();
+        assert_eq!(pf.fsyncs(), 2, "data file + sidecar");
+    }
+
+    #[test]
+    fn open_existing_roundtrip() {
+        let dir = TempDir::new("paged").unwrap();
+        let path = dir.file("pages.bin");
+        {
+            let mut pf = PagedFile::create(&path, 16).unwrap();
+            pf.append_page(b"alpha").unwrap();
+            pf.append_page(b"beta").unwrap();
+            pf.sync_all().unwrap();
+        }
+        let mut pf = PagedFile::open_existing(&path, 16).unwrap();
+        assert_eq!(pf.num_pages(), 2);
+        assert_eq!(&pf.read_page(0).unwrap()[..5], b"alpha");
+        assert_eq!(&pf.read_page(1).unwrap()[..4], b"beta");
+        pf.verify_all_pages().unwrap();
+    }
+
+    #[test]
+    fn open_existing_rejects_ragged_length() {
+        let dir = TempDir::new("paged").unwrap();
+        let path = dir.file("pages.bin");
+        {
+            let mut pf = PagedFile::create(&path, 16).unwrap();
+            pf.append_page(b"alpha").unwrap();
+        }
+        // Tear the tail of the data file: no longer a page multiple.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(9).unwrap();
+        let err = PagedFile::open_existing(&path, 16).unwrap_err();
+        assert!(
+            err.to_string().contains("not a multiple"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_detected_on_read() {
+        let dir = TempDir::new("paged").unwrap();
+        let path = dir.file("pages.bin");
+        {
+            let mut pf = PagedFile::create(&path, 16).unwrap();
+            pf.append_page(b"alpha").unwrap();
+            pf.append_page(b"beta").unwrap();
+            pf.sync_all().unwrap();
+        }
+        // Flip one bit in page 1.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut pf = PagedFile::open_existing(&path, 16).unwrap();
+        assert!(pf.read_page(0).is_ok(), "page 0 is untouched");
+        let err = pf.read_page(1).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("page 1 of pages.bin") && msg.contains("checksum mismatch"),
+            "error must name the bad artifact: {msg}"
+        );
+        assert!(pf.verify_all_pages().is_err());
     }
 }

@@ -83,9 +83,87 @@ impl RowStore {
         Ok(Self { inner, page_size })
     }
 
+    /// Reopens an existing on-disk row store from its page file and a row
+    /// index recorded in a checkpoint.
+    ///
+    /// The index is the store's only non-derivable in-memory state, so
+    /// recovery hands it back as `(row id, first page, byte length)` entries —
+    /// exactly what [`RowStore::row_entries`] exported at checkpoint time.
+    /// Entries that point past the end of the file are rejected as corruption
+    /// (a torn file can be shorter than the checkpoint remembers).
+    pub fn open_existing<I>(path: PathBuf, page_size: usize, entries: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, usize)>,
+    {
+        let file = PagedFile::open_existing(&path, page_size)?;
+        let mut index = BTreeMap::new();
+        for (id, first_page, len) in entries {
+            // Empty rows still occupy one (empty) page on disk.
+            let pages_needed = len.div_ceil(page_size).max(1);
+            if first_page + pages_needed > file.num_pages() {
+                return Err(FsmError::corrupt_artifact(
+                    crate::paged::artifact_name(&path),
+                    format!(
+                        "row {id} needs pages {first_page}..{} but the file has only {}",
+                        first_page + pages_needed,
+                        file.num_pages()
+                    ),
+                ));
+            }
+            index.insert(id, (first_page, len));
+        }
+        Ok(Self {
+            inner: Inner::Disk {
+                _tempdir: None,
+                file,
+                index,
+            },
+            page_size,
+        })
+    }
+
     /// Returns `true` if the rows are kept in main memory.
     pub fn is_memory_resident(&self) -> bool {
         matches!(self.inner, Inner::Memory { .. })
+    }
+
+    /// Exports the disk index as `(row id, first page, byte length)` entries
+    /// in ascending row order — the metadata a checkpoint must persist to
+    /// reopen this store via [`RowStore::open_existing`].
+    ///
+    /// Returns `None` for the memory backend, which has no durable form.
+    pub fn row_entries(&self) -> Option<Vec<(usize, usize, usize)>> {
+        match &self.inner {
+            Inner::Memory { .. } => None,
+            Inner::Disk { index, .. } => Some(
+                index
+                    .iter()
+                    .map(|(&id, &(first_page, len))| (id, first_page, len))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Forces all pages of the disk backend to stable storage, returning the
+    /// number of `fsync` system calls issued (zero for the memory backend).
+    pub fn sync_all(&mut self) -> Result<u64> {
+        match &mut self.inner {
+            Inner::Memory { .. } => Ok(0),
+            Inner::Disk { file, .. } => {
+                let before = file.fsyncs();
+                file.sync_all()?;
+                Ok(file.fsyncs() - before)
+            }
+        }
+    }
+
+    /// Verifies the checksum of every on-disk page (no-op for the memory
+    /// backend).  The error names the first bad page and its file.
+    pub fn verify_pages(&mut self) -> Result<()> {
+        match &mut self.inner {
+            Inner::Memory { .. } => Ok(()),
+            Inner::Disk { file, .. } => file.verify_all_pages(),
+        }
     }
 
     /// Writes (or overwrites) row `id`.
@@ -320,6 +398,48 @@ mod tests {
         assert!(store.resident_bytes() >= 10_000);
         assert_eq!(store.on_disk_bytes(), 0);
         assert!(store.is_memory_resident());
+    }
+
+    #[test]
+    fn open_existing_restores_rows_from_exported_index() {
+        let dir = TempDir::new("rowstore-reopen").unwrap();
+        let path = dir.file("rows.pages");
+        let entries = {
+            let mut store =
+                RowStore::with_page_size(StorageBackend::DiskAt(path.clone()), 16).unwrap();
+            store.put_row(0, b"hello world, this spans pages").unwrap();
+            store.put_row(7, b"").unwrap();
+            store.sync_all().unwrap();
+            store.row_entries().unwrap()
+        };
+        let mut reopened = RowStore::open_existing(path, 16, entries).unwrap();
+        assert_eq!(
+            reopened.get_row(0).unwrap(),
+            b"hello world, this spans pages"
+        );
+        assert_eq!(reopened.get_row(7).unwrap(), b"");
+        reopened.verify_pages().unwrap();
+    }
+
+    #[test]
+    fn open_existing_rejects_out_of_range_entries() {
+        let dir = TempDir::new("rowstore-reopen").unwrap();
+        let path = dir.file("rows.pages");
+        {
+            let mut store =
+                RowStore::with_page_size(StorageBackend::DiskAt(path.clone()), 16).unwrap();
+            store.put_row(0, b"short").unwrap();
+            store.sync_all().unwrap();
+        }
+        // Claim a row that needs more pages than the file holds.
+        let err = RowStore::open_existing(path, 16, vec![(0, 0, 64)]).unwrap_err();
+        assert!(err.to_string().contains("row 0"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn memory_backend_has_no_durable_index() {
+        let store = RowStore::open(StorageBackend::Memory).unwrap();
+        assert!(store.row_entries().is_none());
     }
 
     #[test]

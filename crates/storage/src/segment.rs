@@ -57,7 +57,7 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use crate::bitvec::BitVec;
 use crate::chunkcache::{ChunkCache, ChunkCacheStats};
@@ -111,6 +111,59 @@ pub struct ReadIoStats {
     /// the paged file).  Always zero when the cache is disabled (budget 0):
     /// uncached reads show up only in `pages_read`.
     pub cache_misses: u64,
+}
+
+/// Durable metadata of one live segment, as recorded by a checkpoint and
+/// consumed by [`SegmentedWindowStore::restore`].
+///
+/// Segment files are immutable once written, so this — the uid, the column
+/// count and the row index — is all a checkpoint has to persist; the row
+/// payloads stay where they are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Stable uid of the segment (names its file `seg-<uid>.pages`).
+    pub uid: u64,
+    /// Number of window columns the segment contributes.
+    pub cols: usize,
+    /// Row index entries `(row id, first page, byte length)`.
+    pub rows: Vec<(usize, usize, usize)>,
+}
+
+/// Lists the segment files (`seg-<uid>.pages`) in `dir` as `(uid, path)`
+/// pairs.  Checksum sidecars are not listed; they travel with their file.
+pub fn scan_segment_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(uid) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".pages"))
+            .and_then(|uid| uid.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((uid, path));
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Removes a segment file and its checksum sidecar (a missing sidecar is
+/// tolerated: a crash can land between creating the two).
+pub fn remove_segment_file(path: &Path) -> Result<()> {
+    std::fs::remove_file(path)?;
+    let sidecar = crate::paged::PagedFile::checksum_path(path);
+    match std::fs::remove_file(&sidecar) {
+        Ok(()) => Ok(()),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(err) => Err(err.into()),
+    }
 }
 
 enum SegmentRows {
@@ -187,6 +240,15 @@ impl SegmentedWindowStore {
             }
             StorageBackend::DiskAt(path) => {
                 std::fs::create_dir_all(&path)?;
+                // Opening a fresh store at an explicit path is an explicit
+                // truncation of whatever a previous run left there: stale
+                // segment files would collide with the uids this store is
+                // about to assign.  Recovery goes through
+                // [`SegmentedWindowStore::restore`] instead, which *keeps*
+                // referenced files.
+                for (_, stale) in scan_segment_files(&path)? {
+                    remove_segment_file(&stale)?;
+                }
                 Placement::Disk {
                     dir: path,
                     _tempdir: None,
@@ -344,11 +406,148 @@ impl SegmentedWindowStore {
         // Close the row store (drops its file handle) before unlinking.
         drop(segment);
         if let Some(path) = path {
-            std::fs::remove_file(&path)?;
+            remove_segment_file(&path)?;
         }
         self.stats.segments_dropped += 1;
         self.generation += 1;
         Ok(cols)
+    }
+
+    /// Drops the oldest segment like [`SegmentedWindowStore::pop_segment`],
+    /// but *keeps its backing file on disk*, returning `(columns, uid, path)`.
+    ///
+    /// Durable windows evict through this path: an evicted segment's file may
+    /// still be referenced by a retained checkpoint, so its removal must be
+    /// deferred until the next checkpoint proves it unreferenced.  The caller
+    /// owns the returned path and is responsible for eventually unlinking it
+    /// (via [`remove_segment_file`]).
+    pub fn pop_segment_detached(&mut self) -> Result<(usize, Option<(u64, PathBuf)>)> {
+        let segment = self
+            .segments
+            .pop_front()
+            .ok_or_else(|| FsmError::corrupt("pop_segment on an empty window"))?;
+        let cols = segment.cols;
+        let uid = segment.id;
+        let path = segment.path.clone();
+        self.cache.release_pins();
+        self.cache.invalidate_segment(uid);
+        drop(segment);
+        self.stats.segments_dropped += 1;
+        self.generation += 1;
+        Ok((cols, path.map(|p| (uid, p))))
+    }
+
+    /// Restores a disk-backed store from checkpointed segment metadata.
+    ///
+    /// Every entry of `metas` must name a segment file `seg-<uid>.pages` in
+    /// `dir` (verified checksummed pages; contents validated lazily on read
+    /// or eagerly via [`SegmentedWindowStore::verify_segments`]).  Segment
+    /// files with a uid at or above `next_id` are crash leftovers — they were
+    /// created by batches the checkpoint does not cover, and WAL replay will
+    /// re-create them — so they are removed here.  Unreferenced files *below*
+    /// `next_id` may belong to an older retained checkpoint and are left for
+    /// the caller to garbage-collect once a new checkpoint commits.
+    pub fn restore(dir: PathBuf, metas: &[SegmentMeta], next_id: u64) -> Result<Self> {
+        std::fs::create_dir_all(&dir)?;
+        for (uid, stale) in scan_segment_files(&dir)? {
+            if uid >= next_id {
+                remove_segment_file(&stale)?;
+            }
+        }
+        let mut segments = VecDeque::with_capacity(metas.len());
+        for meta in metas {
+            if meta.uid >= next_id {
+                return Err(FsmError::corrupt(format!(
+                    "checkpointed segment uid {} is not below next uid {next_id}",
+                    meta.uid
+                )));
+            }
+            let path = dir.join(format!("seg-{}.pages", meta.uid));
+            let store = RowStore::open_existing(
+                path.clone(),
+                Self::SEGMENT_PAGE_SIZE,
+                meta.rows.iter().copied(),
+            )?;
+            segments.push_back(Segment {
+                id: meta.uid,
+                cols: meta.cols,
+                rows: SegmentRows::Disk(store),
+                path: Some(path),
+            });
+        }
+        Ok(Self {
+            placement: Placement::Disk {
+                dir,
+                _tempdir: None,
+            },
+            segments,
+            next_id,
+            page_size: Self::SEGMENT_PAGE_SIZE,
+            stats: CaptureStats::default(),
+            generation: 0,
+            buf: Vec::new(),
+            chunk: BitVec::new(),
+            cache: ChunkCache::new(0),
+            pages_read: 0,
+            pin_scratch: Vec::new(),
+        })
+    }
+
+    /// Exports the live segments as checkpoint metadata, oldest first.
+    ///
+    /// Returns `None` on the memory backend, which has no durable form.
+    pub fn segment_metas(&self) -> Option<Vec<SegmentMeta>> {
+        self.segments
+            .iter()
+            .map(|segment| match &segment.rows {
+                SegmentRows::Memory(_) => None,
+                SegmentRows::Disk(store) => Some(SegmentMeta {
+                    uid: segment.id,
+                    cols: segment.cols,
+                    rows: store.row_entries()?,
+                }),
+            })
+            .collect()
+    }
+
+    /// Verifies the page checksums of every live segment file.  The error
+    /// names the first corrupt page and its file.
+    pub fn verify_segments(&mut self) -> Result<()> {
+        for segment in &mut self.segments {
+            if let SegmentRows::Disk(store) = &mut segment.rows {
+                store.verify_pages()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces every live segment with uid `>= min_uid` to stable storage,
+    /// returning the number of `fsync` system calls issued.
+    ///
+    /// Checkpointing calls this with the watermark of the last checkpoint:
+    /// older segments were already synced then and are immutable, so only the
+    /// files created since need an `fsync`.
+    pub fn sync_segments(&mut self, min_uid: u64) -> Result<u64> {
+        let mut fsyncs = 0;
+        for segment in &mut self.segments {
+            if segment.id < min_uid {
+                continue;
+            }
+            if let SegmentRows::Disk(store) = &mut segment.rows {
+                fsyncs += store.sync_all()?;
+            }
+        }
+        Ok(fsyncs)
+    }
+
+    /// The uid the next pushed segment will receive (never reused).
+    pub fn next_segment_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Uids of the live segments, oldest first.
+    pub fn live_uids(&self) -> Vec<u64> {
+        self.segments.iter().map(|s| s.id).collect()
     }
 
     /// Materialises row `id` of the live window into `out` (cleared first):

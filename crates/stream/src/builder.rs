@@ -27,6 +27,20 @@ impl BatchBuilder {
         }
     }
 
+    /// Creates a builder that resumes an interrupted stream: the first
+    /// emitted batch carries `next_id`.
+    ///
+    /// Batches are fixed-size, so a resumed run that replays the same
+    /// transaction stream (skipping the first `next_id * batch_size`
+    /// transactions) reproduces the exact batch boundaries of the original —
+    /// which is what crash recovery needs to continue where the WAL left off.
+    pub fn resume_from(batch_size: usize, next_id: BatchId) -> Self {
+        Self {
+            next_id,
+            ..Self::new(batch_size)
+        }
+    }
+
     /// The configured batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size

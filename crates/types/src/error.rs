@@ -39,6 +39,21 @@ pub enum FsmError {
         /// Human-readable description.
         message: String,
     },
+    /// A durable on-disk artifact (WAL record, checkpoint, data page) failed
+    /// its checksum or structural validation.
+    ///
+    /// Unlike [`FsmError::CorruptStructure`] — which flags an in-memory
+    /// invariant violation — this variant names the *file-level artifact* that
+    /// is damaged, so recovery code and operators can tell exactly which part
+    /// of the durable state to distrust (and which checkpoint to fall back
+    /// to).
+    CorruptArtifact {
+        /// Which artifact is damaged, e.g. `"wal record #3"`,
+        /// `"checkpoint-16.ckpt"` or `"page 2 of seg-7.pages"`.
+        artifact: String,
+        /// What validation failed (checksum mismatch, truncated body, …).
+        detail: String,
+    },
     /// Underlying I/O failure (disk-backed structures, dataset readers).
     Io(io::Error),
 }
@@ -69,6 +84,14 @@ impl FsmError {
     pub fn corrupt(message: impl Into<String>) -> Self {
         Self::CorruptStructure(message.into())
     }
+
+    /// Shorthand for a corrupt durable-artifact error.
+    pub fn corrupt_artifact(artifact: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self::CorruptArtifact {
+            artifact: artifact.into(),
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for FsmError {
@@ -87,6 +110,9 @@ impl fmt::Display for FsmError {
                 line: None,
                 message,
             } => write!(f, "parse error: {message}"),
+            Self::CorruptArtifact { artifact, detail } => {
+                write!(f, "corrupt durable artifact {artifact}: {detail}")
+            }
             Self::Io(err) => write!(f, "I/O error: {err}"),
         }
     }
@@ -132,6 +158,10 @@ mod tests {
         assert_eq!(
             FsmError::EmptyWindow.to_string(),
             "the sliding window contains no batches"
+        );
+        assert_eq!(
+            FsmError::corrupt_artifact("wal record #3", "checksum mismatch").to_string(),
+            "corrupt durable artifact wal record #3: checksum mismatch"
         );
     }
 
