@@ -54,6 +54,9 @@ pub struct Options {
     pub group_size: Option<usize>,
     /// Worker threads for the vertical algorithms (0 = all cores).
     pub threads: usize,
+    /// Mine every window slide on a worker thread (epoch snapshots) while
+    /// ingest continues on the main thread.
+    pub concurrent: bool,
     /// DSMatrix storage backend (the paper's default keeps the window on
     /// disk).
     pub backend: StorageBackend,
@@ -87,6 +90,7 @@ impl Default for Options {
             csv: false,
             group_size: None,
             threads: 1,
+            concurrent: false,
             backend: StorageBackend::default(),
             cache_budget: 0,
             durable_dir: None,
@@ -115,6 +119,9 @@ OPTIONS:
   --max-len <N>         cap on pattern cardinality
   --threads <N>         worker threads for the vertical algorithms
                         (0 = all cores, default: 1)
+  --concurrent          freeze an epoch snapshot after every ingested batch
+                        and mine it on a worker thread while ingest continues
+                        (the printed output is identical to a sequential run)
   --backend <disk|memory>   where the DSMatrix keeps the window
                         (default: disk, the paper's space posture)
   --cache-budget <BYTES>    decoded-chunk cache budget for the disk
@@ -188,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Options> {
             }
             "--max-len" => options.max_len = Some(parse_number(&value("--max-len")?, "--max-len")?),
             "--threads" => options.threads = parse_number(&value("--threads")?, "--threads")?,
+            "--concurrent" => options.concurrent = true,
             "--backend" => {
                 options.backend = match value("--backend")?.as_str() {
                     "disk" => StorageBackend::DiskTemp,
@@ -302,6 +310,20 @@ mod tests {
         assert_eq!(options.window, 5);
         assert_eq!(options.output, OutputKind::All);
         assert!(!options.csv);
+        assert!(!options.concurrent, "concurrent mining is opt-in");
+    }
+
+    #[test]
+    fn concurrent_composes_with_every_backend_and_durability() {
+        for args in [
+            "mine --input x --concurrent",
+            "mine --input x --concurrent --backend memory",
+            "mine --input x --concurrent --backend disk --cache-budget unlimited",
+            "mine --input x --concurrent --durable-dir /tmp/d --recover",
+        ] {
+            let options = parse(&to_args(args)).unwrap();
+            assert!(options.concurrent, "{args}");
+        }
     }
 
     #[test]
@@ -309,10 +331,11 @@ mod tests {
         let options = parse(&to_args(
             "mine --input log.nt --algorithm vertical --minsup 0.1 --window 3 \
              --batch-size 50 --max-len 4 --top-k 10 --closed --csv --group-size 6 \
-             --threads 4 --backend disk --cache-budget 65536",
+             --threads 4 --concurrent --backend disk --cache-budget 65536",
         ))
         .unwrap();
         assert!(matches!(options.backend, StorageBackend::DiskTemp));
+        assert!(options.concurrent);
         assert_eq!(options.cache_budget, 65536);
         assert_eq!(options.format, InputFormat::NTriples, "inferred from .nt");
         assert_eq!(options.algorithm, Algorithm::Vertical);

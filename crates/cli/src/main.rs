@@ -24,6 +24,13 @@
 //! window view on the memory backend, and the stderr summary reports how
 //! many words the read path had to materialise (zero in the steady state).
 //!
+//! `--concurrent` overlaps mining with ingest: after every ingested batch
+//! the writer freezes an immutable epoch snapshot
+//! ([`fsm_core::StreamMiner::snapshot`]) and hands it to a worker thread,
+//! which mines each slide while later batches keep appending.  Snapshot
+//! mining is property-tested byte-identical to stop-the-world mining at the
+//! same epoch, so the printed output matches a sequential run exactly.
+//!
 //! `--backend` picks where the window lives (`disk`, the paper's default
 //! space posture, or `memory`), and `--cache-budget BYTES` lets the disk
 //! backend pin up to that many bytes of decoded row chunks: mining then
@@ -129,18 +136,62 @@ fn run(options: &Options) -> Result<()> {
     }
     let total_batches = next_batch_id as usize + batches.len();
     let mut ingested = 0usize;
-    for batch in &batches {
-        miner.ingest_batch(batch)?;
-        ingested += 1;
-        if options.crash_after == Some(ingested) {
-            // Simulated crash: no destructors, no flushes — exactly the
-            // failure mode the WAL + checkpoint layer must survive.
-            eprintln!("crash-after: aborting after {ingested} ingested batches");
-            std::process::abort();
+    let result = if options.concurrent {
+        // Concurrent mode: after every ingested batch the writer freezes an
+        // epoch snapshot and hands it to a mining worker over a channel, so
+        // every slide is mined *while* later batches keep ingesting.  The
+        // worker's newest epoch is the final window, so its result is the
+        // printed output — byte-identical to a sequential run's.
+        let mut newest = None;
+        let mut slides_mined = 0usize;
+        std::thread::scope(|scope| -> Result<()> {
+            let (jobs, worker_jobs) = std::sync::mpsc::channel::<fsm_core::MinerSnapshot>();
+            let worker = scope.spawn(move || {
+                let mut last = None;
+                let mut mined = 0usize;
+                for job in worker_jobs {
+                    last = Some(job.mine());
+                    mined += 1;
+                }
+                (mined, last)
+            });
+            for batch in &batches {
+                miner.ingest_batch(batch)?;
+                ingested += 1;
+                if options.crash_after == Some(ingested) {
+                    eprintln!("crash-after: aborting after {ingested} ingested batches");
+                    std::process::abort();
+                }
+                jobs.send(miner.snapshot()?)
+                    .map_err(|_| fsm_types::FsmError::config("mining worker hung up"))?;
+            }
+            drop(jobs);
+            let (mined, last) = worker.join().expect("mining worker panicked");
+            slides_mined = mined;
+            newest = last;
+            Ok(())
+        })?;
+        eprintln!(
+            "concurrent: {slides_mined} window slides mined on a worker thread during ingest"
+        );
+        match newest {
+            Some(result) => result?,
+            // An empty resumed stream slides nothing: mine the window as-is.
+            None => miner.mine()?,
         }
-    }
-
-    let result = miner.mine()?;
+    } else {
+        for batch in &batches {
+            miner.ingest_batch(batch)?;
+            ingested += 1;
+            if options.crash_after == Some(ingested) {
+                // Simulated crash: no destructors, no flushes — exactly the
+                // failure mode the WAL + checkpoint layer must survive.
+                eprintln!("crash-after: aborting after {ingested} ingested batches");
+                std::process::abort();
+            }
+        }
+        miner.mine()?
+    };
     eprintln!(
         "mined window of {} transactions ({} batches in stream) with {} in {:?}",
         result.stats().window_transactions,

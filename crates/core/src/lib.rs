@@ -95,7 +95,7 @@ pub use config::{MinerConfig, StreamMinerBuilder};
 pub use connectivity::ConnectivityChecker;
 pub use fsm_dsmatrix::{DurabilityConfig, RecoveryReport};
 pub use instrument::MiningStats;
-pub use miner::StreamMiner;
+pub use miner::{MinerSnapshot, StreamMiner};
 pub use neighborhood::{neighborhood_of_set, Neighborhood};
 pub use postprocess::{closed_patterns, maximal_patterns, top_k};
 pub use result::MiningResult;

@@ -1,13 +1,17 @@
 //! The [`StreamMiner`] facade: capture batches, slide the window, mine on
-//! demand.
+//! demand — or snapshot an epoch ([`StreamMiner::snapshot`]) and mine it on
+//! another thread while ingest continues.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use fsm_dsmatrix::{DsMatrix, DsMatrixConfig, DurabilityConfig, RecoveryReport};
+use fsm_dsmatrix::{DsMatrix, DsMatrixConfig, DurabilityConfig, EpochSnapshot, RecoveryReport};
+use fsm_fptree::MiningLimits;
 use fsm_storage::MemoryTracker;
 use fsm_stream::SlideOutcome;
-use fsm_types::{Batch, BatchId, EdgeCatalog, GraphSnapshot, Result, Transaction};
+use fsm_types::{Batch, BatchId, EdgeCatalog, GraphSnapshot, Result, Support, Transaction};
 
+use crate::algorithm::{Algorithm, ConnectivityMode};
 use crate::config::MinerConfig;
 use crate::connectivity::ConnectivityChecker;
 use crate::miners;
@@ -185,6 +189,36 @@ impl StreamMiner {
         Ok(MiningResult::new(raw.patterns, raw.stats))
     }
 
+    /// Freezes the current window epoch into a self-contained, `Send + Sync`
+    /// mining job: the epoch snapshot plus the miner's algorithm, resolved
+    /// minimum support, catalog, limits and thread count.
+    ///
+    /// The returned [`MinerSnapshot`] borrows nothing from this miner — hand
+    /// it to another thread and call [`MinerSnapshot::mine`] there while
+    /// this miner keeps ingesting.  Its output is byte-identical to what
+    /// [`StreamMiner::mine`] would have returned at the same epoch
+    /// (property-tested in `crates/core/tests/epoch_agreement.rs`), with the
+    /// capture-side statistics (resident bytes, WAL counters, read
+    /// amplification) zeroed: a frozen epoch has no live capture structure
+    /// to measure.
+    ///
+    /// Relative minimum supports are resolved against the epoch's
+    /// transaction count at snapshot time, exactly as a stop-the-world mine
+    /// at that epoch would have resolved them.
+    pub fn snapshot(&mut self) -> Result<MinerSnapshot> {
+        let snapshot = self.matrix.snapshot_epoch()?;
+        let resolved_minsup = self.config.min_support.resolve(snapshot.num_transactions());
+        Ok(MinerSnapshot {
+            snapshot,
+            catalog: self.catalog.clone(),
+            algorithm: self.config.algorithm,
+            resolved_minsup,
+            connectivity: self.config.connectivity,
+            limits: self.config.limits,
+            threads: self.config.threads,
+        })
+    }
+
     /// Direct access to the capture structure (used by the experiment harness
     /// for space accounting and ablations).
     pub fn matrix_mut(&mut self) -> &mut DsMatrix {
@@ -208,6 +242,80 @@ impl StreamMiner {
         self.matrix.last_batch_id()
     }
 }
+
+/// A frozen, self-contained mining job over one window epoch.
+///
+/// Built by [`StreamMiner::snapshot`]; `Send + Sync + 'static`, so it can be
+/// moved to (or shared with) any thread and mined there — repeatedly, even
+/// concurrently — while the source [`StreamMiner`] keeps ingesting.  This is
+/// the reader half of the writer/reader split: the writer thread slides the
+/// window, reader threads mine epochs.
+#[derive(Debug)]
+pub struct MinerSnapshot {
+    snapshot: Arc<EpochSnapshot>,
+    catalog: EdgeCatalog,
+    algorithm: Algorithm,
+    resolved_minsup: Support,
+    connectivity: ConnectivityMode,
+    limits: MiningLimits,
+    threads: usize,
+}
+
+impl MinerSnapshot {
+    /// Mines the frozen epoch with the configuration captured at snapshot
+    /// time, applying the connectivity post-processing step where the
+    /// algorithm requires it.
+    ///
+    /// `&self` — mining does not consume the snapshot, and several threads
+    /// may mine one snapshot simultaneously.  Pattern output is
+    /// byte-identical to a stop-the-world [`StreamMiner::mine`] at the same
+    /// epoch; the capture/durability statistics are zero (a snapshot has no
+    /// capture structure).
+    pub fn mine(&self) -> Result<MiningResult> {
+        let start = Instant::now();
+        let view = self.snapshot.view();
+        let mut raw = miners::run_algorithm_on_view(
+            self.algorithm,
+            &view,
+            &self.catalog,
+            self.resolved_minsup,
+            self.limits,
+            self.threads,
+        )?;
+        if self.algorithm.needs_postprocessing() {
+            let checker = ConnectivityChecker::new(&self.catalog, self.connectivity);
+            raw.stats.patterns_pruned = checker.prune_disconnected(&mut raw.patterns);
+        }
+        raw.stats.elapsed = start.elapsed();
+        raw.stats.window_transactions = self.snapshot.num_transactions();
+        raw.stats.resolved_minsup = self.resolved_minsup;
+        Ok(MiningResult::new(raw.patterns, raw.stats))
+    }
+
+    /// The underlying epoch snapshot (epoch id, batch alignment, geometry).
+    pub fn epoch(&self) -> &Arc<EpochSnapshot> {
+        &self.snapshot
+    }
+
+    /// Identifier of the newest batch in the frozen window — what an oracle
+    /// replaying the same stream aligns on.
+    pub fn last_batch_id(&self) -> Option<BatchId> {
+        self.snapshot.last_batch_id()
+    }
+
+    /// The absolute minimum support this job mines with (relative supports
+    /// were resolved at snapshot time).
+    pub fn resolved_minsup(&self) -> Support {
+        self.resolved_minsup
+    }
+}
+
+// The snapshot's whole point is crossing threads; regress loudly if a future
+// field breaks that.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<MinerSnapshot>();
+};
 
 /// Calls [`DsMatrix::trim_cache`] when dropped, so a mine that exits early
 /// (miner error or panic) still releases the disk backends' eager view
@@ -347,6 +455,48 @@ mod tests {
         // Mining again without new data is idempotent.
         let again = miner.mine().unwrap();
         assert!(result.same_patterns_as(&again));
+    }
+
+    #[test]
+    fn snapshot_mining_on_another_thread_matches_stop_the_world() {
+        for algorithm in Algorithm::ALL {
+            let mut miner = build(algorithm);
+            for batch in paper_batches() {
+                miner.ingest_batch(&batch).unwrap();
+            }
+            let job = miner.snapshot().unwrap();
+            // The snapshot crosses a thread boundary; the source miner mines
+            // stop-the-world at the same epoch in the meantime.
+            let handle = std::thread::spawn(move || job.mine().unwrap());
+            let stop_the_world = miner.mine().unwrap();
+            let from_snapshot = handle.join().unwrap();
+            assert!(
+                stop_the_world.same_patterns_as(&from_snapshot),
+                "{algorithm} disagrees: {:?}",
+                stop_the_world.diff(&from_snapshot)
+            );
+            assert_eq!(
+                from_snapshot.stats().resolved_minsup,
+                stop_the_world.stats().resolved_minsup
+            );
+        }
+    }
+
+    #[test]
+    fn a_held_snapshot_keeps_mining_its_own_epoch_while_ingest_continues() {
+        let mut miner = build(Algorithm::Vertical);
+        let batches = paper_batches();
+        miner.ingest_batch(&batches[0]).unwrap();
+        miner.ingest_batch(&batches[1]).unwrap();
+        let job = miner.snapshot().unwrap();
+        let at_epoch = miner.mine().unwrap();
+        // The writer slides on; the held snapshot must still mine its epoch.
+        miner.ingest_batch(&batches[2]).unwrap();
+        let after_slide = miner.mine().unwrap();
+        let frozen = job.mine().unwrap();
+        assert!(frozen.same_patterns_as(&at_epoch));
+        assert!(!after_slide.same_patterns_as(&frozen) || after_slide.same_patterns_as(&at_epoch));
+        assert_eq!(job.last_batch_id(), Some(1));
     }
 
     #[test]

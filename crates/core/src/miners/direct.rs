@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use fsm_dsmatrix::DsMatrix;
+use fsm_dsmatrix::WindowView;
 use fsm_fptree::MiningLimits;
 use fsm_storage::RowRef;
 use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, FrequentPattern, Result, Support};
@@ -30,13 +30,13 @@ use crate::scratch::ScratchArena;
 /// [`RowRef::and_count`] kernel and surviving intersections land in per-depth
 /// [`ScratchArena`] buffers, while the fan-out over frequent single edges
 /// runs on `threads` workers (`0` = all cores) and merges deterministically.
-/// Singleton rows are borrowed zero-copy from the
-/// [`fsm_dsmatrix::WindowView`] as [`RowRef`]s (flat cached rows on the
-/// memory backend, pinned-chunk cursors on a budgeted disk backend) and
-/// their supports come from ingest-time counters, so in both steady states
-/// setup materialises no window data.
+/// Singleton rows are borrowed zero-copy from the [`WindowView`] — the live
+/// one or a frozen [`fsm_dsmatrix::EpochSnapshot`]'s — as [`RowRef`]s (flat
+/// cached rows on the memory backend, pinned-chunk cursors on a budgeted
+/// disk backend) and their supports come from ingest-time counters, so in
+/// both steady states setup materialises no window data.
 pub fn mine_direct(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
@@ -47,7 +47,6 @@ pub fn mine_direct(
 
     // Frequent single edges and their rows, borrowed zero-copy from the
     // window view (supports come from ingest-time counters).
-    let view = matrix.view()?;
     let mut rows: BTreeMap<EdgeId, RowRef<'_>> = BTreeMap::new();
     let mut frequent: Vec<(EdgeId, Support)> = Vec::new();
     for (edge, support) in view.singleton_supports() {
@@ -204,7 +203,7 @@ fn is_canonical_extension(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fsm_dsmatrix::DsMatrixConfig;
+    use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
@@ -242,7 +241,8 @@ mod tests {
     fn reproduces_example_7_exactly() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output =
+            mine_direct(&m.view().unwrap(), &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         // Example 7 / Example 6: the direct algorithm returns the 15 connected
         // collections — the 17 of Example 2 minus the disjoint {a,f} and {c,d}.
         let expected: Vec<String> = vec![
@@ -284,9 +284,10 @@ mod tests {
         // vertical algorithm because {a,f}, {c,d}, … are never tried.
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let direct = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let view = m.view().unwrap();
+        let direct = mine_direct(&view, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         let vertical =
-            super::super::vertical::mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+            super::super::vertical::mine_vertical(&view, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert!(direct.stats.intersections > 0);
         assert!(direct.stats.intersections < vertical.stats.intersections);
     }
@@ -295,13 +296,13 @@ mod tests {
     fn parallel_run_is_identical_to_sequential() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
+        let view = m.view().unwrap();
         for minsup in 1..=4 {
             let sequential =
-                mine_direct(&mut m, &catalog, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+                mine_direct(&view, &catalog, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
             for threads in [2, 4, 0] {
                 let parallel =
-                    mine_direct(&mut m, &catalog, minsup, MiningLimits::UNBOUNDED, threads)
-                        .unwrap();
+                    mine_direct(&view, &catalog, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
                 assert_eq!(
                     parallel.patterns, sequential.patterns,
                     "threads {threads}, minsup {minsup}"
@@ -318,7 +319,8 @@ mod tests {
     fn canonical_extension_enumerates_each_pattern_once() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output = mine_direct(&mut m, &catalog, 1, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output =
+            mine_direct(&m.view().unwrap(), &catalog, 1, MiningLimits::UNBOUNDED, 1).unwrap();
         let mut sets: Vec<String> = output.patterns.iter().map(|p| p.edges.symbols()).collect();
         let before = sets.len();
         sets.sort();
@@ -330,14 +332,15 @@ mod tests {
     fn respects_limits_and_handles_edge_cases() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let pairs = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let view = m.view().unwrap();
+        let pairs = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(pairs.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
         // A zero cap forbids even singletons.
-        let nothing = mine_direct(&mut m, &catalog, 2, MiningLimits::with_max_len(0), 1).unwrap();
+        let nothing = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(0), 1).unwrap();
         assert!(nothing.patterns.is_empty());
-        let unsupported = mine_direct(&mut m, &catalog, 99, MiningLimits::UNBOUNDED, 1).unwrap();
+        let unsupported = mine_direct(&view, &catalog, 99, MiningLimits::UNBOUNDED, 1).unwrap();
         assert!(unsupported.patterns.is_empty());
     }
 
@@ -356,7 +359,8 @@ mod tests {
         .unwrap();
         m.ingest_batch(&Batch::from_transactions(0, vec![e(&[0, 2]), e(&[0, 2])]))
             .unwrap();
-        let output = mine_direct(&mut m, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output =
+            mine_direct(&m.view().unwrap(), &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
         let strings = pattern_strings(&output);
         assert!(strings.contains(&"{a}:2".to_string()));
         assert!(strings.contains(&"{c}:2".to_string()));

@@ -13,14 +13,15 @@
 //! The per-pivot work units are independent (pivot `x`'s projected database
 //! only reads rows after `x`), so all three algorithms fan the pivots out
 //! over the [`crate::parallel`] engine: workers share one zero-copy
-//! [`fsm_dsmatrix::WindowView`] ([`DsMatrix::view`] — nothing is copied on
-//! the memory backend, and a budgeted disk backend lends rows straight out
-//! of pinned decoded chunks; only budget-0 disk mines assemble rows once per
-//! call), each worker owns one [`ProjectionScratch`] for allocation-free
+//! [`WindowView`] (the live [`fsm_dsmatrix::DsMatrix::view`] or a frozen
+//! [`fsm_dsmatrix::EpochSnapshot::view`] — nothing is copied on the memory
+//! backend, and a budgeted disk backend lends rows straight out of pinned
+//! decoded chunks; only budget-0 disk mines assemble rows once per call),
+//! each worker owns one [`ProjectionScratch`] for allocation-free
 //! projection, and per-pivot outputs merge back in canonical edge order —
 //! pattern lists and statistics are byte-identical for every thread count.
 
-use fsm_dsmatrix::{DsMatrix, ProjectionScratch};
+use fsm_dsmatrix::{ProjectionScratch, WindowView};
 use fsm_fptree::growth::MineOutcome;
 use fsm_fptree::{MiningLimits, ProjectedDb};
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
@@ -30,23 +31,23 @@ use crate::parallel;
 
 /// §3.1 — mining with multiple recursive FP-trees.
 pub fn mine_multi_tree(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
     threads: usize,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(matrix, minsup, limits, threads, fsm_fptree::mine_recursive)
+    mine_horizontal(view, minsup, limits, threads, fsm_fptree::mine_recursive)
 }
 
 /// §3.2 — frequency counting on a single FP-tree per frequent edge.
 pub fn mine_single_tree(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
     threads: usize,
 ) -> Result<RawMiningOutput> {
     mine_horizontal(
-        matrix,
+        view,
         minsup,
         limits,
         threads,
@@ -56,12 +57,12 @@ pub fn mine_single_tree(
 
 /// §3.3 — top-down mining of a single FP-tree per frequent edge.
 pub fn mine_top_down(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
     threads: usize,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(matrix, minsup, limits, threads, fsm_fptree::mine_top_down)
+    mine_horizontal(view, minsup, limits, threads, fsm_fptree::mine_top_down)
 }
 
 /// Shared outline of the three horizontal algorithms, parameterised by the
@@ -72,7 +73,7 @@ pub fn mine_top_down(
 /// every pivot it processes, and results merge in canonical order so the
 /// output never depends on the worker count.
 fn mine_horizontal(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
     threads: usize,
@@ -90,13 +91,12 @@ fn mine_horizontal(
     };
     let singles_only = matches!(limits.max_pattern_len, Some(1));
 
-    // Step 1: take the shared window view; frequent single edges come from
-    // the matrix's ingest-time support counters.  The rows the view exposes
-    // are the mining working set of the horizontal family (the trees come
-    // and go on top of them), so their bytes are recorded the same way the
-    // vertical miners record their resident frequent rows — on the memory
-    // backend they are shared with the capture structure, not copied.
-    let view = matrix.view()?;
+    // Step 1: frequent single edges come from the view's ingest-time support
+    // counters.  The rows the view exposes are the mining working set of the
+    // horizontal family (the trees come and go on top of them), so their
+    // bytes are recorded the same way the vertical miners record their
+    // resident frequent rows — on the memory backend they are shared with
+    // the capture structure, not copied.
     output.stats.peak_bitvector_bytes = view.heap_bytes();
     let frequent: Vec<(EdgeId, Support)> = view
         .singleton_supports()
@@ -152,7 +152,7 @@ fn mine_horizontal(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fsm_dsmatrix::DsMatrixConfig;
+    use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
@@ -218,7 +218,7 @@ mod tests {
     #[test]
     fn multi_tree_finds_the_17_collections_of_example_2() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(output.patterns.len(), 17);
         assert_eq!(pattern_strings(&output), expected_17());
         assert!(
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn single_tree_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_single_tree(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_single_tree(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(
             output.stats.tree_footprint.peak_trees, 1,
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn top_down_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_top_down(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_top_down(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(output.stats.tree_footprint.peak_trees, 1);
     }
@@ -249,11 +249,12 @@ mod tests {
     #[test]
     fn parallel_run_is_identical_to_sequential() {
         let mut m = paper_matrix();
+        let view = m.view().unwrap();
         for miner in [mine_multi_tree, mine_single_tree, mine_top_down] {
             for minsup in 1..=5 {
-                let sequential = miner(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+                let sequential = miner(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
                 for threads in [2, 4, 0] {
-                    let parallel = miner(&mut m, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                    let parallel = miner(&view, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
                     // Not just as sets: the merged order must match exactly.
                     assert_eq!(
                         parallel.patterns, sequential.patterns,
@@ -271,7 +272,7 @@ mod tests {
     #[test]
     fn higher_minsup_reduces_the_result() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 4, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(&m.view().unwrap(), 4, MiningLimits::UNBOUNDED, 1).unwrap();
         // minsup 4: singletons a:5, c:5, d:4, f:4 plus pairs {a,c}:4, {a,f}:4.
         assert_eq!(
             pattern_strings(&output),
@@ -289,15 +290,16 @@ mod tests {
     #[test]
     fn max_pattern_len_caps_results() {
         let mut m = paper_matrix();
-        let output = mine_single_tree(&mut m, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let view = m.view().unwrap();
+        let output = mine_single_tree(&view, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
         assert!(output.patterns.iter().any(|p| p.len() == 2));
-        let singles_only = mine_top_down(&mut m, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles_only = mine_top_down(&view, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles_only.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles_only.patterns.len(), 5);
         // A zero cap forbids even singletons, matching the vertical miners.
         for strategy in [mine_multi_tree, mine_single_tree, mine_top_down] {
-            let nothing = strategy(&mut m, 2, MiningLimits::with_max_len(0), 1).unwrap();
+            let nothing = strategy(&view, 2, MiningLimits::with_max_len(0), 1).unwrap();
             assert!(nothing.patterns.is_empty());
         }
     }
@@ -305,7 +307,7 @@ mod tests {
     #[test]
     fn unsatisfiable_minsup_returns_nothing() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&mut m, 100, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(&m.view().unwrap(), 100, MiningLimits::UNBOUNDED, 1).unwrap();
         assert!(output.patterns.is_empty());
         assert_eq!(output.stats.patterns_before_postprocess, 0);
     }

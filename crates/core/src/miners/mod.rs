@@ -1,10 +1,12 @@
 //! The five mining algorithms over the DSMatrix.
 //!
-//! Every algorithm consumes the same inputs — a [`fsm_dsmatrix::DsMatrix`]
-//! holding the current window, the edge catalog, a resolved absolute minimum
-//! support and optional pattern-length limits — and produces the same output
-//! type, a list of frequent patterns plus raw statistics.  The
-//! [`crate::miner::StreamMiner`] facade dispatches on
+//! Every algorithm consumes the same inputs — a [`fsm_dsmatrix::WindowView`]
+//! over the window being mined (either the live window through
+//! [`fsm_dsmatrix::DsMatrix::view`] or a frozen epoch through
+//! [`fsm_dsmatrix::EpochSnapshot::view`]), the edge catalog, a resolved
+//! absolute minimum support and optional pattern-length limits — and
+//! produces the same output type, a list of frequent patterns plus raw
+//! statistics.  The [`crate::miner::StreamMiner`] facade dispatches on
 //! [`crate::algorithm::Algorithm`] and applies the connectivity
 //! post-processing step where required.
 
@@ -12,7 +14,7 @@ pub mod direct;
 pub mod horizontal;
 pub mod vertical;
 
-use fsm_dsmatrix::DsMatrix;
+use fsm_dsmatrix::{DsMatrix, WindowView};
 use fsm_fptree::MiningLimits;
 use fsm_types::{EdgeCatalog, FrequentPattern, Result, Support};
 
@@ -52,7 +54,8 @@ impl RawMiningOutput {
     }
 }
 
-/// Runs the selected algorithm over the matrix.
+/// Runs the selected algorithm over the live window of `matrix`
+/// (stop-the-world: takes the view and mines it in one call).
 ///
 /// This is the dispatch point used by the facade and by the experiment
 /// harness when it wants raw (pre-post-processing) output.  `threads` fans
@@ -68,11 +71,28 @@ pub fn run_algorithm(
     limits: MiningLimits,
     threads: usize,
 ) -> Result<RawMiningOutput> {
+    let view = matrix.view()?;
+    run_algorithm_on_view(algorithm, &view, catalog, minsup, limits, threads)
+}
+
+/// Runs the selected algorithm over an already-taken [`WindowView`] — the
+/// live view or a frozen [`fsm_dsmatrix::EpochSnapshot`]'s; the algorithms
+/// cannot tell the difference, which is what makes snapshot mining
+/// byte-identical to stop-the-world mining at the same epoch
+/// (property-tested in `crates/core/tests/epoch_agreement.rs`).
+pub fn run_algorithm_on_view(
+    algorithm: Algorithm,
+    view: &WindowView<'_>,
+    catalog: &EdgeCatalog,
+    minsup: Support,
+    limits: MiningLimits,
+    threads: usize,
+) -> Result<RawMiningOutput> {
     match algorithm {
-        Algorithm::MultiTree => horizontal::mine_multi_tree(matrix, minsup, limits, threads),
-        Algorithm::SingleTree => horizontal::mine_single_tree(matrix, minsup, limits, threads),
-        Algorithm::TopDown => horizontal::mine_top_down(matrix, minsup, limits, threads),
-        Algorithm::Vertical => vertical::mine_vertical(matrix, minsup, limits, threads),
-        Algorithm::DirectVertical => direct::mine_direct(matrix, catalog, minsup, limits, threads),
+        Algorithm::MultiTree => horizontal::mine_multi_tree(view, minsup, limits, threads),
+        Algorithm::SingleTree => horizontal::mine_single_tree(view, minsup, limits, threads),
+        Algorithm::TopDown => horizontal::mine_top_down(view, minsup, limits, threads),
+        Algorithm::Vertical => vertical::mine_vertical(view, minsup, limits, threads),
+        Algorithm::DirectVertical => direct::mine_direct(view, catalog, minsup, limits, threads),
     }
 }

@@ -1,6 +1,6 @@
 //! §3.4 — vertical bit-vector mining of all frequent edge collections.
 
-use fsm_dsmatrix::DsMatrix;
+use fsm_dsmatrix::WindowView;
 use fsm_fptree::MiningLimits;
 use fsm_storage::RowRef;
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
@@ -27,14 +27,16 @@ use crate::scratch::ScratchArena;
 /// subtrees are merged back in canonical order, so the output is identical
 /// to the sequential traversal.
 ///
-/// Rows are read through the zero-copy [`fsm_dsmatrix::WindowView`] as
-/// [`RowRef`]s: singleton supports come from ingest-time counters and the
-/// frequent rows are *borrowed* — from the matrix's incrementally-maintained
-/// cache on the memory backend, or streamed out of pinned decoded chunks on
-/// a budgeted disk backend — rather than assembled per call, so in both
-/// steady states this function materialises no window data at all.
+/// Rows are read through the zero-copy [`WindowView`] as [`RowRef`]s —
+/// either the live view ([`fsm_dsmatrix::DsMatrix::view`]) or a frozen
+/// epoch's ([`fsm_dsmatrix::EpochSnapshot::view`]): singleton supports come
+/// from ingest-time counters and the frequent rows are *borrowed* — from the
+/// matrix's incrementally-maintained cache on the memory backend, or
+/// streamed out of pinned decoded chunks on a budgeted disk backend — rather
+/// than assembled per call, so in both steady states this function
+/// materialises no window data at all.
 pub fn mine_vertical(
-    matrix: &mut DsMatrix,
+    view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
     threads: usize,
@@ -45,7 +47,6 @@ pub fn mine_vertical(
     // Frequent single edges with their rows borrowed from the view.  All
     // rows of one view share the same column alignment, so the intersection
     // kernels below see exactly the flat-matrix bit strings.
-    let view = matrix.view()?;
     let frequent: Vec<(EdgeId, Support, RowRef<'_>)> = view
         .singleton_supports()
         .into_iter()
@@ -179,7 +180,7 @@ fn extend(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fsm_dsmatrix::DsMatrixConfig;
+    use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
@@ -216,7 +217,7 @@ mod tests {
     #[test]
     fn reproduces_example_5() {
         let mut m = paper_matrix();
-        let output = mine_vertical(&mut m, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_vertical(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
         // Example 5 finds the same 17 collections as the tree-based runs, and
         // spells out the key supports: {a,c}:4, {a,d}:3, {a,f}:4, {b,c}:2,
         // {c,d}:3, {c,f}:3, {d,f}:3.
@@ -248,13 +249,13 @@ mod tests {
     #[test]
     fn agrees_with_the_horizontal_algorithms() {
         let mut m = paper_matrix();
+        let view = m.view().unwrap();
         for minsup in 1..=5 {
-            let vertical = pattern_strings(
-                &mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap(),
-            );
+            let vertical =
+                pattern_strings(&mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap());
             let horizontal = pattern_strings(
                 &super::super::horizontal::mine_multi_tree(
-                    &mut m,
+                    &view,
                     minsup,
                     MiningLimits::UNBOUNDED,
                     1,
@@ -268,11 +269,12 @@ mod tests {
     #[test]
     fn parallel_run_is_identical_to_sequential() {
         let mut m = paper_matrix();
+        let view = m.view().unwrap();
         for minsup in 1..=5 {
-            let sequential = mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
+            let sequential = mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
             for threads in [2, 4, 0] {
                 let parallel =
-                    mine_vertical(&mut m, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                    mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
                 // Not just as sets: the merged order must match exactly.
                 assert_eq!(
                     parallel.patterns, sequential.patterns,
@@ -289,13 +291,14 @@ mod tests {
     #[test]
     fn respects_pattern_length_limit() {
         let mut m = paper_matrix();
-        let output = mine_vertical(&mut m, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let view = m.view().unwrap();
+        let output = mine_vertical(&view, 2, MiningLimits::with_max_len(2), 1).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_vertical(&mut m, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles = mine_vertical(&view, 2, MiningLimits::with_max_len(1), 1).unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles.stats.intersections, 0);
         // A zero cap forbids even singletons.
-        let nothing = mine_vertical(&mut m, 2, MiningLimits::with_max_len(0), 1).unwrap();
+        let nothing = mine_vertical(&view, 2, MiningLimits::with_max_len(0), 1).unwrap();
         assert!(nothing.patterns.is_empty());
         assert_eq!(nothing.stats.intersections, 0);
     }
@@ -308,14 +311,18 @@ mod tests {
             4,
         ))
         .unwrap();
-        assert!(mine_vertical(&mut empty, 1, MiningLimits::UNBOUNDED, 1)
-            .unwrap()
-            .patterns
-            .is_empty());
+        assert!(
+            mine_vertical(&empty.view().unwrap(), 1, MiningLimits::UNBOUNDED, 1)
+                .unwrap()
+                .patterns
+                .is_empty()
+        );
         let mut m = paper_matrix();
-        assert!(mine_vertical(&mut m, 7, MiningLimits::UNBOUNDED, 1)
-            .unwrap()
-            .patterns
-            .is_empty());
+        assert!(
+            mine_vertical(&m.view().unwrap(), 7, MiningLimits::UNBOUNDED, 1)
+                .unwrap()
+                .patterns
+                .is_empty()
+        );
     }
 }

@@ -17,6 +17,10 @@
 //!   the memory backend) plus per-worker scratch space, which is how the
 //!   parallel miners read rows and build per-pivot projected databases
 //!   without contending on `&mut DsMatrix`.
+//! * [`EpochSnapshot`] — the owned, `Arc`-backed, `Send + Sync` snapshot of
+//!   one window epoch ([`DsMatrix::snapshot_epoch`]): reader threads mine it
+//!   while `ingest_batch` keeps sliding on the writer side, and its segment
+//!   data is reclaimed when the last holder drops.
 //! * [`RowSnapshot`] — the demoted eager copy: retained as the reference for
 //!   the view's byte-identity tests and for callers that need an owned copy
 //!   of the window outliving the matrix.
@@ -63,11 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+mod epoch;
 mod matrix;
 mod snapshot;
 mod view;
 
 pub use durable::{decode_batch, encode_batch, DurabilityConfig, RecoveryReport};
+pub use epoch::EpochSnapshot;
 pub use fsm_storage::CaptureStats;
 pub use matrix::{DsMatrix, DsMatrixConfig, ReadStats};
 pub use snapshot::{ProjectedRows, ProjectionScratch, RowSnapshot};

@@ -1,6 +1,7 @@
 //! DSMatrix implementation.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use fsm_storage::{
     scan_segment_files, BitVec, CaptureStats, Checkpoint, CheckpointRow, CheckpointSegment,
@@ -10,6 +11,7 @@ use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, BatchId, EdgeId, FsmError, Result, Support, Transaction};
 
 use crate::durable::{decode_batch, encode_batch, DurabilityConfig, DurableState, RecoveryReport};
+use crate::epoch::EpochSnapshot;
 use crate::snapshot::{ProjectedRows, RowSnapshot};
 use crate::view::{MixedRow, WindowView};
 
@@ -186,6 +188,10 @@ pub struct DsMatrix {
     /// GC).  `None` on volatile matrices — including every memory-backend
     /// matrix — so the non-durable ingest path pays exactly one branch.
     durable: Option<DurableState>,
+    /// Memo of the newest [`DsMatrix::snapshot_epoch`] result, invalidated
+    /// by every ingest: repeated snapshot calls within one epoch return the
+    /// same `Arc` (and prove it with pointer equality in tests).
+    last_snapshot: Option<Arc<EpochSnapshot>>,
 }
 
 impl DsMatrix {
@@ -236,6 +242,7 @@ impl DsMatrix {
             col_chunk: BitVec::new(),
             pin_flags: Vec::new(),
             durable,
+            last_snapshot: None,
         })
     }
 
@@ -385,6 +392,7 @@ impl DsMatrix {
             col_chunk: BitVec::new(),
             pin_flags: Vec::new(),
             durable: Some(durable),
+            last_snapshot: None,
         };
 
         // Replay the WAL tail through the ordinary (post-WAL) ingest path.
@@ -561,6 +569,11 @@ impl DsMatrix {
     /// state.  Recovery replays WAL records through this same path (without
     /// re-appending them).
     fn ingest_applied(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        // The window is about to change epoch; snapshots already handed out
+        // stay valid (they own their data), only the memo goes stale.
+        // Dropping it here also releases the matrix's own reference to the
+        // evicted segment, so reclamation is driven by readers alone.
+        self.last_snapshot = None;
         let outcome = self.window.push(batch.id, batch.len());
         if let Some((_, cols)) = outcome.evicted {
             let dropped = match &mut self.durable {
@@ -934,6 +947,50 @@ impl DsMatrix {
             &self.supports[..self.num_items],
             self.num_cols,
         ))
+    }
+
+    /// An owned, `Arc`-backed snapshot of the current window epoch — the
+    /// concurrent twin of [`DsMatrix::view`].
+    ///
+    /// The returned [`EpochSnapshot`] is `Send + Sync` and borrows nothing
+    /// from the matrix: reader threads hold it (and mine it through
+    /// [`EpochSnapshot::view`]) while [`DsMatrix::ingest_batch`] keeps
+    /// appending and sliding here.  Snapshot-mined output is byte-identical
+    /// to a stop-the-world mine at the same epoch (see
+    /// `crates/core/tests/epoch_agreement.rs`).
+    ///
+    /// Cost: on the memory backend the snapshot shares the store's segment
+    /// data (`Arc` clones plus a copy of the support counters); on the disk
+    /// backends each segment is decoded once and memoised
+    /// ([`fsm_storage::SegmentedWindowStore::epoch_segment`]), so in the
+    /// sliding steady state a snapshot pays only for the segment the last
+    /// slide appended.  Within one epoch repeated calls return the same
+    /// `Arc`.  Old epochs are reclaimed by plain `Arc` drops — a slide,
+    /// [`DsMatrix::set_cache_budget`] or a later mine never invalidates a
+    /// held snapshot.
+    pub fn snapshot_epoch(&mut self) -> Result<Arc<EpochSnapshot>> {
+        let epoch = self.store.generation();
+        if let Some(snapshot) = &self.last_snapshot {
+            if snapshot.epoch() == epoch {
+                return Ok(Arc::clone(snapshot));
+            }
+        }
+        let mut segments = Vec::with_capacity(self.store.num_segments());
+        for seg in 0..self.store.num_segments() {
+            segments.push(self.store.epoch_segment(seg)?);
+        }
+        debug_assert!(self.supports.len() >= self.num_items);
+        let snapshot = Arc::new(EpochSnapshot::new(
+            epoch,
+            self.window.num_batches(),
+            self.window.newest(),
+            segments,
+            self.supports[..self.num_items].to_vec(),
+            self.num_items,
+            self.num_cols,
+        ));
+        self.last_snapshot = Some(Arc::clone(&snapshot));
+        Ok(snapshot)
     }
 
     /// Cumulative read-path cost counters (words eagerly assembled, cache

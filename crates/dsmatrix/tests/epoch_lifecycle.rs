@@ -1,0 +1,230 @@
+//! Epoch reclamation shadow model: segment memory is freed exactly when the
+//! last reader lets go, and never earlier.
+//!
+//! [`DsMatrix::snapshot_epoch`] hands out `Arc`-shared [`EpochSegment`]s, so
+//! reclamation is plain reference counting: a segment's decoded bits stay
+//! alive while it is inside the live window (the store itself holds an
+//! `Arc` — directly on the memory backend, via the decode-once memo on
+//! disk) **or** while any undropped snapshot still references it.  The
+//! matrix's own epoch memo only ever references the current window's
+//! segments and is invalidated by the next ingest, so it adds no liveness
+//! beyond window membership.
+//!
+//! These tests pin that rule against a `HashMap` shadow model: `Weak`
+//! probes are taken for every segment the moment a snapshot first exposes
+//! it, an oracle tracks (external refcount, window membership) per segment
+//! uid, and after every step — randomized drop orders, and drops randomly
+//! interleaved with further slides — every probe's `upgrade()` must agree
+//! with the oracle.  No segment may be reclaimed while referenced; every
+//! segment must be reclaimed once its last reference drops.
+//!
+//! One documented deviation from a file-level model: on the disk backend
+//! the *files* of a popped segment may be unlinked while snapshots still
+//! hold its bits — snapshots are self-contained decoded data and never go
+//! back to disk, so file lifetime is governed by durability alone.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use fsm_dsmatrix::{DsMatrix, DsMatrixConfig, EpochSnapshot};
+use fsm_storage::{EpochSegment, StorageBackend};
+use fsm_stream::WindowConfig;
+use fsm_types::{Batch, Transaction};
+
+const EDGES: usize = 6;
+const WINDOW: usize = 3;
+
+fn corners() -> Vec<(&'static str, StorageBackend, usize)> {
+    vec![
+        ("memory", StorageBackend::Memory, 0),
+        ("disk budget=0", StorageBackend::DiskTemp, 0),
+        ("disk budget=tiny", StorageBackend::DiskTemp, 600),
+        ("disk budget=max", StorageBackend::DiskTemp, usize::MAX),
+    ]
+}
+
+fn matrix(backend: StorageBackend, budget: usize) -> DsMatrix {
+    DsMatrix::new(
+        DsMatrixConfig::new(WindowConfig::new(WINDOW).unwrap(), backend, EDGES)
+            .with_cache_budget(budget),
+    )
+    .unwrap()
+}
+
+/// Deterministic pseudo-random batch `id` (no external RNG crate).
+fn batch(id: u64) -> Batch {
+    let mut rng = Xorshift::new(id.wrapping_mul(0xA076_1D64_78BD_642F) | 1);
+    let transactions = (0..1 + rng.below(3))
+        .map(|_| {
+            Transaction::from_raw((0..1 + rng.below(4)).map(|_| rng.below(EDGES as u64) as u32))
+        })
+        .collect();
+    Batch::from_transactions(id, transactions)
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i as u64 + 1) as usize);
+        }
+    }
+}
+
+/// The shadow model: per segment uid, a `Weak` probe plus the oracle's view
+/// of its external snapshot refcount; window membership is passed per check.
+#[derive(Default)]
+struct Shadow {
+    probes: HashMap<u64, Weak<EpochSegment>>,
+    refs: HashMap<u64, usize>,
+}
+
+impl Shadow {
+    /// Registers one held snapshot: probes for new segments, +1 refcount on
+    /// every segment it references.  Returns the snapshot's uid list.
+    fn acquire(&mut self, snapshot: &Arc<EpochSnapshot>) -> Vec<u64> {
+        snapshot
+            .segments()
+            .iter()
+            .map(|seg| {
+                self.probes
+                    .entry(seg.uid())
+                    .or_insert_with(|| Arc::downgrade(seg));
+                *self.refs.entry(seg.uid()).or_insert(0) += 1;
+                seg.uid()
+            })
+            .collect()
+    }
+
+    /// Forgets one dropped snapshot (by its uid list): -1 refcount each.
+    fn release(&mut self, uids: &[u64]) {
+        for uid in uids {
+            *self.refs.get_mut(uid).unwrap() -= 1;
+        }
+    }
+
+    /// Every probe must agree with the oracle: alive iff still inside the
+    /// live window or still referenced by an undropped snapshot.
+    fn check(&self, window: &[u64], context: &str) {
+        for (uid, probe) in &self.probes {
+            let expected = window.contains(uid) || self.refs[uid] > 0;
+            assert_eq!(
+                probe.upgrade().is_some(),
+                expected,
+                "{context}: segment {uid} (in window: {}, external refs: {})",
+                window.contains(uid),
+                self.refs[uid]
+            );
+        }
+    }
+}
+
+/// Slide a full stream holding every epoch's snapshot, then drop the
+/// snapshots in a randomized order: a segment must survive exactly until
+/// its last reader drops, and the snapshot *objects* themselves must die
+/// with their last `Arc` — except the newest epoch's, which the matrix memo
+/// keeps until the next ingest invalidates it.
+#[test]
+fn no_segment_outlives_its_last_reader() {
+    const BATCHES: usize = 8;
+    for (label, backend, budget) in corners() {
+        for seed in 1u64..=4 {
+            let mut m = matrix(backend.clone(), budget);
+            let mut shadow = Shadow::default();
+            let mut held: Vec<Option<(Arc<EpochSnapshot>, Vec<u64>)>> = Vec::new();
+            let mut snapshot_probes: Vec<Weak<EpochSnapshot>> = Vec::new();
+            for id in 0..BATCHES {
+                m.ingest_batch(&batch(id as u64)).unwrap();
+                let snap = m.snapshot_epoch().unwrap();
+                snapshot_probes.push(Arc::downgrade(&snap));
+                let uids = shadow.acquire(&snap);
+                shadow.check(&uids, &format!("{label} seed={seed} after ingest {id}"));
+                held.push(Some((snap, uids)));
+            }
+            let window: Vec<u64> = held.last().unwrap().as_ref().unwrap().1.clone();
+
+            let mut order: Vec<usize> = (0..BATCHES).collect();
+            Xorshift::new(seed).shuffle(&mut order);
+            for idx in order {
+                let (snap, uids) = held[idx].take().unwrap();
+                drop(snap);
+                shadow.release(&uids);
+                shadow.check(&window, &format!("{label} seed={seed} after drop {idx}"));
+                // The snapshot object itself: reclaimed with its last Arc,
+                // except the newest epoch, which the matrix memo still holds.
+                assert_eq!(
+                    snapshot_probes[idx].upgrade().is_some(),
+                    idx == BATCHES - 1,
+                    "{label} seed={seed}: snapshot {idx} liveness after its drop"
+                );
+            }
+
+            // The next ingest invalidates the memo: the newest epoch's
+            // snapshot dies, the popped segment's last reference with it.
+            m.ingest_batch(&batch(BATCHES as u64)).unwrap();
+            assert!(
+                snapshot_probes[BATCHES - 1].upgrade().is_none(),
+                "{label} seed={seed}: the memo must not outlive the next ingest"
+            );
+            let survivors: Vec<u64> = window[1..].to_vec();
+            shadow.check(
+                &survivors,
+                &format!("{label} seed={seed} after final ingest"),
+            );
+
+            // Dropping the matrix releases the window itself: nothing left.
+            drop(m);
+            shadow.check(&[], &format!("{label} seed={seed} after matrix drop"));
+        }
+    }
+}
+
+/// Drops interleaved at random with further slides: the shadow model must
+/// hold at every intermediate state, not just after a clean separation of
+/// "all ingests, then all drops".
+#[test]
+fn interleaved_slides_and_drops_follow_the_shadow_model() {
+    const BATCHES: u64 = 10;
+    for (label, backend, budget) in corners() {
+        for seed in 1u64..=4 {
+            let mut rng = Xorshift::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut m = matrix(backend.clone(), budget);
+            let mut shadow = Shadow::default();
+            let mut held: Vec<(Arc<EpochSnapshot>, Vec<u64>)> = Vec::new();
+            let mut window: Vec<u64> = Vec::new();
+            let mut next_id = 0u64;
+            let mut step = 0usize;
+            while next_id < BATCHES || !held.is_empty() {
+                let ingest = next_id < BATCHES && (held.is_empty() || rng.below(2) == 0);
+                if ingest {
+                    m.ingest_batch(&batch(next_id)).unwrap();
+                    next_id += 1;
+                    let snap = m.snapshot_epoch().unwrap();
+                    window = shadow.acquire(&snap);
+                    held.push((snap, window.clone()));
+                } else {
+                    let idx = rng.below(held.len() as u64) as usize;
+                    let (snap, uids) = held.swap_remove(idx);
+                    drop(snap);
+                    shadow.release(&uids);
+                }
+                shadow.check(&window, &format!("{label} seed={seed} step {step}"));
+                step += 1;
+            }
+            drop(m);
+            shadow.check(&[], &format!("{label} seed={seed} at the end"));
+        }
+    }
+}

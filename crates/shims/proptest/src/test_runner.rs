@@ -105,7 +105,20 @@ where
     }
 }
 
-/// Runs `config.cases` random cases of `test` against `strategy`, shrinking
+/// Case count actually run: the `PROPTEST_CASES` environment variable, when
+/// set, overrides the configured count — CI's knob for cranking coverage up
+/// on a deeper sweep without touching every test file.  (Real proptest only
+/// lets the variable set the *default*; since this workspace always
+/// configures counts explicitly, the shim lets the variable win.)
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Runs `config.cases` random cases of `test` against `strategy` (the
+/// `PROPTEST_CASES` environment variable overrides the count), shrinking
 /// and panicking with the minimal failing input on the first failure.
 pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
 where
@@ -113,7 +126,7 @@ where
     F: Fn(S::Value) -> Result<(), TestCaseError>,
 {
     let seed = base_seed(name);
-    for case in 0..config.cases {
+    for case in 0..effective_cases(config) {
         let mut rng = TestRng::new(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         let value = strategy.new_value(&mut rng);
         if let Err(first_message) = outcome::<S, F>(&test, &value) {

@@ -56,8 +56,8 @@ pub use chunkcache::{ChunkCache, ChunkCacheStats};
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
 pub use segment::{
-    remove_segment_file, scan_segment_files, CaptureStats, ChunkCursor, ChunkedRow, ReadIoStats,
-    RowRef, SegmentMeta, SegmentedWindowStore,
+    remove_segment_file, scan_segment_files, CaptureStats, ChunkCursor, ChunkedRow, EpochSegment,
+    ReadIoStats, RowRef, SegmentMeta, SegmentedWindowStore,
 };
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};

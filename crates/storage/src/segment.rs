@@ -58,6 +58,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::bitvec::BitVec;
 use crate::chunkcache::{ChunkCache, ChunkCacheStats};
@@ -166,11 +167,78 @@ pub fn remove_segment_file(path: &Path) -> Result<()> {
     }
 }
 
+/// One immutable, fully-decoded window segment, shareable across threads.
+///
+/// This is the unit an epoch snapshot holds: every live segment of the window
+/// is published as an `Arc<EpochSegment>`, so readers keep the segment's data
+/// alive for exactly as long as they reference it — a window slide drops the
+/// *store's* `Arc` (and, on the disk backends, unlinks the backing file), but
+/// the decoded rows survive until the last snapshot referencing the epoch is
+/// dropped.  Segments are immutable once built, so sharing needs no locks:
+/// `EpochSegment` is `Send + Sync` by construction.
+///
+/// On the memory backend the live segments *are* `EpochSegment`s (snapshots
+/// are free `Arc` clones); on the disk backends a segment is decoded into
+/// this form once, on the first snapshot that covers it, and memoised for
+/// every later epoch (see [`SegmentedWindowStore::epoch_segment`]).
+#[derive(Debug)]
+pub struct EpochSegment {
+    /// Stable uid of the segment (never reused; matches the chunk-cache key).
+    uid: u64,
+    /// Number of window columns (transactions) the segment contributes.
+    cols: usize,
+    /// Row chunks of the segment; rows without a set bit are absent.
+    rows: BTreeMap<usize, BitVec>,
+}
+
+impl EpochSegment {
+    /// The segment's stable uid (never reused across the store's lifetime).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Number of window columns the segment contributes.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the chunk of row `id`, or `None` if the segment never saw the
+    /// row (its span reads as zeros).
+    pub fn chunk(&self, id: usize) -> Option<&BitVec> {
+        self.rows.get(&id)
+    }
+
+    /// Iterates the `(row id, chunk)` pairs in ascending row order.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &BitVec)> {
+        self.rows.iter().map(|(id, chunk)| (*id, chunk))
+    }
+
+    /// Number of rows the segment holds a chunk for.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Heap bytes of the decoded chunks (shared across every epoch that
+    /// references the segment, not per snapshot).
+    pub fn heap_bytes(&self) -> usize {
+        self.rows
+            .values()
+            .map(|chunk| chunk.heap_bytes() + std::mem::size_of::<usize>() * 2)
+            .sum()
+    }
+}
+
 enum SegmentRows {
-    /// Memory backend: decoded chunks, borrowable zero-copy.
-    Memory(BTreeMap<usize, BitVec>),
-    /// Disk backends: serialised chunks in a paged file.
-    Disk(RowStore),
+    /// Memory backend: decoded chunks, borrowable zero-copy and shared with
+    /// epoch snapshots via `Arc`.
+    Memory(Arc<EpochSegment>),
+    /// Disk backends: serialised chunks in a paged file, plus the memoised
+    /// decoded form the first covering snapshot produced (segments are
+    /// immutable, so the memo can never go stale).
+    Disk {
+        store: RowStore,
+        decoded: Option<Arc<EpochSegment>>,
+    },
 }
 
 struct Segment {
@@ -341,49 +409,59 @@ impl SegmentedWindowStore {
     where
         I: IntoIterator<Item = (usize, &'a BitVec)>,
     {
-        let (store, path) = match &self.placement {
-            Placement::Memory => (SegmentRows::Memory(BTreeMap::new()), None),
+        // The window is changing: outstanding chunk pins belong to the old
+        // generation and must not outlive it.  (Epoch snapshots are immune:
+        // they own `Arc`s into the segments, not cache pins.)
+        self.cache.release_pins();
+        let id = self.next_id;
+        self.next_id += 1;
+        let (segment_rows, path) = match &self.placement {
+            Placement::Memory => {
+                let mut map = BTreeMap::new();
+                for (row, chunk) in rows {
+                    debug_assert_eq!(chunk.len(), cols, "row chunk must span the segment");
+                    self.stats.rows_written += 1;
+                    // One header word plus the payload words — identical for
+                    // both backends so the slide-cost tables are
+                    // backend-independent.
+                    self.stats.words_written += 1 + chunk.len().div_ceil(WORD_BITS) as u64;
+                    map.insert(row, chunk.clone());
+                }
+                let segment = EpochSegment {
+                    uid: id,
+                    cols,
+                    rows: map,
+                };
+                (SegmentRows::Memory(Arc::new(segment)), None)
+            }
             Placement::Disk { dir, .. } => {
-                let path = dir.join(format!("seg-{}.pages", self.next_id));
+                let path = dir.join(format!("seg-{id}.pages"));
+                let mut store =
+                    RowStore::with_page_size(StorageBackend::DiskAt(path.clone()), self.page_size)?;
+                for (row, chunk) in rows {
+                    debug_assert_eq!(chunk.len(), cols, "row chunk must span the segment");
+                    chunk.write_bytes(&mut self.buf);
+                    store.put_row(row, &self.buf)?;
+                    self.stats.rows_written += 1;
+                    self.stats.words_written += 1 + chunk.len().div_ceil(WORD_BITS) as u64;
+                }
                 (
-                    SegmentRows::Disk(RowStore::with_page_size(
-                        StorageBackend::DiskAt(path.clone()),
-                        self.page_size,
-                    )?),
+                    SegmentRows::Disk {
+                        store,
+                        decoded: None,
+                    },
                     Some(path),
                 )
             }
         };
-        // The window is changing: outstanding chunk pins belong to the old
-        // generation and must not outlive it.
-        self.cache.release_pins();
-        let id = self.next_id;
-        self.next_id += 1;
-        let mut segment = Segment {
-            id,
-            cols,
-            rows: store,
-            path,
-        };
-        for (id, chunk) in rows {
-            debug_assert_eq!(chunk.len(), cols, "row chunk must span the segment");
-            match &mut segment.rows {
-                SegmentRows::Memory(map) => {
-                    map.insert(id, chunk.clone());
-                }
-                SegmentRows::Disk(store) => {
-                    chunk.write_bytes(&mut self.buf);
-                    store.put_row(id, &self.buf)?;
-                }
-            }
-            self.stats.rows_written += 1;
-            // One header word plus the payload words — identical for both
-            // backends so the slide-cost tables are backend-independent.
-            self.stats.words_written += 1 + chunk.len().div_ceil(WORD_BITS) as u64;
-        }
         self.stats.segments_written += 1;
         self.generation += 1;
-        self.segments.push_back(segment);
+        self.segments.push_back(Segment {
+            id,
+            cols,
+            rows: segment_rows,
+            path,
+        });
         Ok(())
     }
 
@@ -471,7 +549,10 @@ impl SegmentedWindowStore {
             segments.push_back(Segment {
                 id: meta.uid,
                 cols: meta.cols,
-                rows: SegmentRows::Disk(store),
+                rows: SegmentRows::Disk {
+                    store,
+                    decoded: None,
+                },
                 path: Some(path),
             });
         }
@@ -501,7 +582,7 @@ impl SegmentedWindowStore {
             .iter()
             .map(|segment| match &segment.rows {
                 SegmentRows::Memory(_) => None,
-                SegmentRows::Disk(store) => Some(SegmentMeta {
+                SegmentRows::Disk { store, .. } => Some(SegmentMeta {
                     uid: segment.id,
                     cols: segment.cols,
                     rows: store.row_entries()?,
@@ -514,7 +595,7 @@ impl SegmentedWindowStore {
     /// names the first corrupt page and its file.
     pub fn verify_segments(&mut self) -> Result<()> {
         for segment in &mut self.segments {
-            if let SegmentRows::Disk(store) = &mut segment.rows {
+            if let SegmentRows::Disk { store, .. } = &mut segment.rows {
                 store.verify_pages()?;
             }
         }
@@ -533,7 +614,7 @@ impl SegmentedWindowStore {
             if segment.id < min_uid {
                 continue;
             }
-            if let SegmentRows::Disk(store) = &mut segment.rows {
+            if let SegmentRows::Disk { store, .. } = &mut segment.rows {
                 fsyncs += store.sync_all()?;
             }
         }
@@ -574,11 +655,11 @@ impl SegmentedWindowStore {
         } = self;
         for segment in segments.iter_mut() {
             match &mut segment.rows {
-                SegmentRows::Memory(map) => match map.get(&id) {
+                SegmentRows::Memory(seg) => match seg.chunk(id) {
                     Some(chunk) => out.extend_from_bitvec(chunk),
                     None => out.resize(out.len() + segment.cols),
                 },
-                SegmentRows::Disk(store) => {
+                SegmentRows::Disk { store, .. } => {
                     if store.contains_row(id) {
                         if let Some(cached) = cache.get(segment.id, id) {
                             out.extend_from_bitvec(cached);
@@ -615,8 +696,10 @@ impl SegmentedWindowStore {
         let mut len = 0;
         for segment in &self.segments {
             let chunk = match &segment.rows {
-                SegmentRows::Memory(map) => map.get(&id),
-                SegmentRows::Disk(_) => unreachable!("memory placement holds memory segments"),
+                SegmentRows::Memory(seg) => seg.chunk(id),
+                SegmentRows::Disk { .. } => {
+                    unreachable!("memory placement holds memory segments")
+                }
             };
             len += segment.cols;
             parts.push((segment.cols, chunk));
@@ -654,7 +737,7 @@ impl SegmentedWindowStore {
         } = self;
         pin_scratch.clear();
         for segment in segments.iter_mut() {
-            let SegmentRows::Disk(store) = &mut segment.rows else {
+            let SegmentRows::Disk { store, .. } = &mut segment.rows else {
                 unreachable!("disk placement holds disk segments");
             };
             if !store.contains_row(id) {
@@ -718,8 +801,8 @@ impl SegmentedWindowStore {
         let mut parts = Vec::with_capacity(self.segments.len());
         for segment in &self.segments {
             let chunk = match &segment.rows {
-                SegmentRows::Memory(map) => map.get(&id),
-                SegmentRows::Disk(store) => {
+                SegmentRows::Memory(seg) => seg.chunk(id),
+                SegmentRows::Disk { store, .. } => {
                     if store.contains_row(id) {
                         Some(self.cache.peek(segment.id, id).ok_or_else(|| {
                             FsmError::corrupt(format!(
@@ -744,6 +827,64 @@ impl SegmentedWindowStore {
         self.cache.release_pins();
     }
 
+    /// Publishes segment `seg` (0 = oldest live) as a shared
+    /// [`EpochSegment`] handle — the building block of an epoch snapshot.
+    ///
+    /// On the memory backend this is a free `Arc` clone of the live segment.
+    /// On the disk backends the segment is decoded in full on the first call
+    /// (chunks warm in the [`ChunkCache`] are served from it and counted as
+    /// hits; cold chunks pay their page fetches) and the decoded form is
+    /// memoised on the segment, so in the steady state a new epoch only
+    /// decodes the segment the latest slide appended.  The decoded rows are
+    /// *owned by the returned handle*, not pinned in the shared cache:
+    /// budget changes, slides and pin churn on the writer side can never
+    /// invalidate them, and the memory is reclaimed when the store drops the
+    /// segment (window slide) *and* the last snapshot referencing it is
+    /// dropped.
+    pub fn epoch_segment(&mut self, seg: usize) -> Result<Arc<EpochSegment>> {
+        let Self {
+            segments,
+            buf,
+            chunk,
+            cache,
+            pages_read,
+            page_size,
+            ..
+        } = self;
+        let segment = segments
+            .get_mut(seg)
+            .ok_or_else(|| FsmError::corrupt(format!("segment {seg} out of range")))?;
+        let uid = segment.id;
+        let cols = segment.cols;
+        match &mut segment.rows {
+            SegmentRows::Memory(seg) => Ok(Arc::clone(seg)),
+            SegmentRows::Disk { store, decoded } => {
+                if let Some(seg) = decoded {
+                    return Ok(Arc::clone(seg));
+                }
+                let ids: Vec<usize> = store.row_ids().collect();
+                let mut rows = BTreeMap::new();
+                for id in ids {
+                    if let Some(cached) = cache.get(uid, id) {
+                        rows.insert(id, cached.clone());
+                        continue;
+                    }
+                    store.get_row_into(id, buf)?;
+                    *pages_read += pages_for(buf.len(), *page_size);
+                    if !chunk.read_bytes(buf) {
+                        return Err(FsmError::corrupt(format!(
+                            "row {id} chunk failed to deserialise"
+                        )));
+                    }
+                    rows.insert(id, chunk.clone());
+                }
+                let segment = Arc::new(EpochSegment { uid, cols, rows });
+                *decoded = Some(Arc::clone(&segment));
+                Ok(segment)
+            }
+        }
+    }
+
     /// Number of columns contributed by segment `seg` (0 = oldest live).
     pub fn segment_cols(&self, seg: usize) -> Option<usize> {
         self.segments.get(seg).map(|s| s.cols)
@@ -761,8 +902,8 @@ impl SegmentedWindowStore {
         seg: usize,
     ) -> Option<impl Iterator<Item = (usize, &BitVec)> + '_> {
         match &self.segments.get(seg)?.rows {
-            SegmentRows::Memory(map) => Some(map.iter().map(|(id, chunk)| (*id, chunk))),
-            SegmentRows::Disk(_) => None,
+            SegmentRows::Memory(segment) => Some(segment.rows()),
+            SegmentRows::Disk { .. } => None,
         }
     }
 
@@ -771,8 +912,8 @@ impl SegmentedWindowStore {
     /// index).
     pub fn segment_row_ids(&self, seg: usize) -> Option<Vec<usize>> {
         match &self.segments.get(seg)?.rows {
-            SegmentRows::Memory(map) => Some(map.keys().copied().collect()),
-            SegmentRows::Disk(store) => Some(store.row_ids().collect()),
+            SegmentRows::Memory(segment) => Some(segment.rows().map(|(id, _)| id).collect()),
+            SegmentRows::Disk { store, .. } => Some(store.row_ids().collect()),
         }
     }
 
@@ -793,14 +934,14 @@ impl SegmentedWindowStore {
             .ok_or_else(|| FsmError::corrupt(format!("segment {seg} out of range")))?;
         out.resize(0);
         match &mut segment.rows {
-            SegmentRows::Memory(map) => match map.get(&id) {
+            SegmentRows::Memory(seg) => match seg.chunk(id) {
                 Some(chunk) => {
                     out.extend_from_bitvec(chunk);
                     Ok(true)
                 }
                 None => Ok(false),
             },
-            SegmentRows::Disk(store) => {
+            SegmentRows::Disk { store, .. } => {
                 if !store.contains_row(id) {
                     return Ok(false);
                 }
@@ -844,11 +985,11 @@ impl SegmentedWindowStore {
                 .iter()
                 .map(|s| {
                     let rows = match &s.rows {
-                        SegmentRows::Memory(map) => map
-                            .values()
-                            .map(|chunk| chunk.heap_bytes() + std::mem::size_of::<usize>() * 2)
-                            .sum(),
-                        SegmentRows::Disk(store) => store.resident_bytes(),
+                        SegmentRows::Memory(segment) => segment.heap_bytes(),
+                        SegmentRows::Disk { store, decoded } => {
+                            store.resident_bytes()
+                                + decoded.as_ref().map_or(0, |seg| seg.heap_bytes())
+                        }
                     };
                     rows + std::mem::size_of::<Segment>()
                 })
@@ -862,7 +1003,7 @@ impl SegmentedWindowStore {
             .iter()
             .map(|s| match &s.rows {
                 SegmentRows::Memory(_) => 0,
-                SegmentRows::Disk(store) => store.on_disk_bytes(),
+                SegmentRows::Disk { store, .. } => store.on_disk_bytes(),
             })
             .sum()
     }
@@ -1663,6 +1804,97 @@ mod tests {
         let mut row = BitVec::new();
         store.assemble_row(0, &mut row).unwrap();
         assert_eq!(store.io_stats(), ReadIoStats::default());
+    }
+
+    #[test]
+    fn epoch_segments_agree_with_assembled_rows() {
+        for backend in backends() {
+            let mut store = SegmentedWindowStore::open(backend).unwrap();
+            // Misaligned widths to exercise every chunk shape: 3 + 70 + 64.
+            store
+                .push_segment(3, [(0, &bv("101")), (1, &bv("011"))])
+                .unwrap();
+            store
+                .push_segment(70, [(0, &bv(&"10".repeat(35)))])
+                .unwrap();
+            store.push_segment(64, [(1, &bv(&"1".repeat(64)))]).unwrap();
+
+            let epochs: Vec<Arc<EpochSegment>> = (0..store.num_segments())
+                .map(|seg| store.epoch_segment(seg).unwrap())
+                .collect();
+            for id in [0usize, 1, 9] {
+                let mut flat = BitVec::new();
+                store.assemble_row(id, &mut flat).unwrap();
+                let parts: Vec<(usize, Option<&BitVec>)> = epochs
+                    .iter()
+                    .map(|seg| (seg.cols(), seg.chunk(id)))
+                    .collect();
+                let chunked = ChunkedRow::from_parts(parts);
+                assert_eq!(chunked.len(), flat.len(), "row {id}");
+                let streamed: Vec<u64> = chunked.words().collect();
+                assert_eq!(streamed, flat.as_words(), "row {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn disk_epoch_segments_are_memoised_and_outlive_the_slide() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        let wide = bv(&"10".repeat(40));
+        store.push_segment(80, [(0, &wide), (1, &wide)]).unwrap();
+        store.push_segment(80, [(0, &wide)]).unwrap();
+
+        let first = store.epoch_segment(0).unwrap();
+        let pages_after_decode = store.io_stats().pages_read;
+        assert!(pages_after_decode > 0, "the first decode reads pages");
+        // A second epoch over the same segment is served from the memo.
+        let again = store.epoch_segment(0).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(store.io_stats().pages_read, pages_after_decode);
+
+        // The slide drops the store's handle and unlinks the file, but the
+        // snapshot's data survives until its last Arc drops.
+        let weak = Arc::downgrade(&first);
+        store.pop_segment().unwrap();
+        assert_eq!(first.chunk(0).unwrap().len(), 80);
+        assert_eq!(first.num_rows(), 2);
+        drop(again);
+        drop(first);
+        assert!(
+            weak.upgrade().is_none(),
+            "the decoded segment is reclaimed with its last reader"
+        );
+    }
+
+    #[test]
+    fn memory_epoch_segments_share_the_live_segment() {
+        let mut store = SegmentedWindowStore::open(StorageBackend::Memory).unwrap();
+        store.push_segment(2, [(0, &bv("10"))]).unwrap();
+        let a = store.epoch_segment(0).unwrap();
+        let b = store.epoch_segment(0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "memory snapshots are Arc clones");
+        assert_eq!(a.uid(), 0);
+        assert_eq!(a.cols(), 2);
+        assert!(a.heap_bytes() > 0);
+        assert!(store.epoch_segment(7).is_err());
+    }
+
+    #[test]
+    fn budget_changes_never_touch_epoch_segment_data() {
+        // The pin-lifecycle regression at the store level: `set_cache_budget`
+        // (which releases every cache pin) and later slides must not disturb
+        // rows owned by an epoch segment.
+        let mut store = SegmentedWindowStore::open(StorageBackend::DiskTemp).unwrap();
+        store.set_cache_budget(usize::MAX);
+        let wide = bv(&"10".repeat(40));
+        store.push_segment(80, [(0, &wide)]).unwrap();
+        let epoch = store.epoch_segment(0).unwrap();
+        let before = epoch.chunk(0).unwrap().clone();
+        store.set_cache_budget(64);
+        store.set_cache_budget(0);
+        store.push_segment(80, [(0, &wide)]).unwrap();
+        store.pop_segment().unwrap();
+        assert_eq!(epoch.chunk(0).unwrap(), &before);
     }
 
     #[test]
