@@ -1,0 +1,1018 @@
+//! Delta mining: maintain the frequent-pattern set across window slides
+//! instead of re-enumerating the window on every mine.
+//!
+//! A window slide changes exactly one segment in and one out, so between
+//! consecutive epochs the frequent-pattern set differs only where a support
+//! count crossed the minimum-support threshold.  The [`DeltaMiner`] exploits
+//! this with three pieces of state, all keyed to the frozen
+//! [`EpochSnapshot`]s of the capture structure:
+//!
+//! 1. **Per-segment support contributions.**  Every tracked pattern's support
+//!    is stored split by window segment (recorded with
+//!    [`fsm_storage::BitVec::count_range`] over the segment column ranges
+//!    when the pattern is first materialised).  A departing segment is then
+//!    *subtracted* — one integer per pattern the segment actually supported —
+//!    and an arriving segment is *added* by a top-down walk over the pattern
+//!    tree that intersects only the new segment's chunks, pruning every
+//!    subtree the segment does not reach.  Patterns untouched by the slide
+//!    are never visited.
+//! 2. **A border set, maintained exactly.**  Every enumeration screen that
+//!    *fails* (an extension whose support is below minsup) is remembered on
+//!    its parent node as a `BorderEntry` carrying its own per-segment
+//!    contributions, instead of being forgotten the way a full re-mine
+//!    forgets it.  Border supports then ride the same slide machinery as
+//!    tracked patterns: a departing segment subtracts its recorded
+//!    contribution, and the arrival walk adds one chunk intersection per
+//!    entry of each visited node (the entry's tidset is nested in its
+//!    parent's, so a skipped subtree provably contributes nothing).  An
+//!    entry's support is therefore exact at every epoch — a candidate
+//!    promotes at precisely the slide where it crosses minsup, with no
+//!    conservative re-counting in between.
+//! 3. **Targeted re-expansion.**  Only when a support count crosses minsup
+//!    does enumeration run, and only under the affected prefix: a border
+//!    crossing materialises that one candidate and re-expands just its
+//!    subtree via the same screen-then-materialise kernels the §3.4 vertical
+//!    miner uses; a singleton crossing up runs a canonical-order sweep that
+//!    visits only tree paths whose screens pass.  Subtrees whose root fell
+//!    below minsup are cut in one step (sound by anti-monotonicity), their
+//!    contribution records moving onto the border entry left behind for the
+//!    reverse crossing.
+//!
+//! Steady state — no threshold crossings — therefore costs O(patterns and
+//! border candidates whose support the slide changed), not O(window): a mine
+//! call subtracts the departed segment's contribution records, walks the
+//! arriving segment's chunks down the tree, and collects the result, each
+//! touch costing one segment-sized chunk operation rather than a
+//! window-sized row intersection.
+//!
+//! The full re-mine stays authoritative: `StreamMiner::mine_delta` output is
+//! byte-identical to [`crate::StreamMiner::mine`] at the same epoch,
+//! property-tested across randomized slide sequences in
+//! `crates/core/tests/delta_agreement.rs` with a brute-force support recount
+//! shadowing the border bookkeeping.
+
+use std::collections::{BTreeMap, HashMap};
+
+use fsm_dsmatrix::{EpochSnapshot, WindowView};
+use fsm_fptree::MiningLimits;
+use fsm_storage::{BitVec, EpochSegment, RowRef};
+use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Support};
+
+use crate::instrument::DeltaStats;
+
+/// Generational handle to a pattern-tree slot: stale handles (left behind in
+/// contribution indexes after a subtree prune) resolve to `None` instead of
+/// aliasing a reused slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeRef {
+    idx: u32,
+    generation: u32,
+}
+
+/// One tracked frequent collection: a node of the Eclat-style prefix tree,
+/// identified by the edges on its root path (ascending canonical order).
+#[derive(Debug)]
+struct Node {
+    edge: EdgeId,
+    parent: Option<NodeRef>,
+    support: Support,
+    /// Per-segment support contributions: `(segment uid, count)` for every
+    /// window segment with at least one supporting column.  Always sums to
+    /// `support`.
+    contribs: Vec<(u64, Support)>,
+    /// Child nodes, ascending by child edge.
+    children: Vec<NodeRef>,
+    /// Infrequent extensions of this node, ascending by edge — the border.
+    border: Vec<BorderEntry>,
+}
+
+/// An arena slot; `generation` increments on every free so old [`NodeRef`]s
+/// die with their node.
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    node: Option<Node>,
+}
+
+/// A remembered failed extension: pattern `parent ∪ {edge}` with its exact
+/// support (< minsup until the slide that promotes it) and the per-segment
+/// contributions that keep that support exact across slides.
+///
+/// `seq` uniquely identifies this arming: the per-segment indexes reference
+/// entries as `(parent, edge, seq)`, so rows pointing at a superseded entry
+/// (re-armed by a sweep, or consumed by a promotion) are skipped instead of
+/// corrupting the replacement's support.
+///
+/// `deep` marks entries created by an interrupted singleton sweep: promotion
+/// must resume the sweep below the parent (the failed screen skipped the
+/// descendants without recording their own entries), whereas entries from
+/// ordinary expansion or subtree prunes re-expand only their own subtree.
+#[derive(Debug, Clone)]
+struct BorderEntry {
+    edge: EdgeId,
+    support: Support,
+    seq: u64,
+    deep: bool,
+    /// Per-segment support contributions, like [`Node::contribs`].
+    contribs: Vec<(u64, Support)>,
+}
+
+/// Incrementally maintains the set of frequent edge collections across
+/// window slides.
+///
+/// Drive it with [`DeltaMiner::advance`] once per mine against the current
+/// [`EpochSnapshot`]; the first call (and any call after a minsup, limit, or
+/// window discontinuity) falls back to a full rebuild, every later call pays
+/// only for the patterns the slide affected.  The returned collections are
+/// exactly what the §3.4 vertical enumeration would produce at the same
+/// epoch — connected and disconnected alike, so the caller applies the same
+/// §3.5 connectivity post-processing as a full mine.
+///
+/// The preferred entry point is the [`crate::StreamMiner::mine_delta`]
+/// facade, which wires snapshots, threshold resolution, and post-processing
+/// exactly like [`crate::StreamMiner::mine`].
+#[derive(Debug)]
+pub struct DeltaMiner {
+    /// Resolved absolute threshold the current state was built against.
+    minsup: Support,
+    limits: MiningLimits,
+    /// Epoch of the snapshot the state reflects (`None` before first use).
+    epoch: Option<u64>,
+    num_items: usize,
+    /// Window segments the state reflects: `(uid, cols)`, oldest first.
+    segments: Vec<(u64, usize)>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live length-1 patterns, by edge.
+    roots: BTreeMap<EdgeId, NodeRef>,
+    /// Per-segment contribution index for tracked patterns: segment uid →
+    /// nodes it supports.  The counts live on the nodes; a departing segment
+    /// drains its index row and subtracts each node's recorded contribution.
+    contribs: HashMap<u64, Vec<NodeRef>>,
+    /// Per-segment contribution index for border entries: segment uid →
+    /// `(parent, edge, seq)` of entries the segment supports.
+    border_index: HashMap<u64, Vec<(NodeRef, EdgeId, u64)>>,
+    /// Next border-entry arming sequence number.
+    next_seq: u64,
+    /// Which singletons are currently frequent (extension alphabet).
+    frequent: Vec<bool>,
+    live_nodes: usize,
+    border_entries: usize,
+    stats: DeltaStats,
+}
+
+impl Default for DeltaMiner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaMiner {
+    /// Creates an empty miner; the first [`DeltaMiner::advance`] performs a
+    /// full rebuild.
+    pub fn new() -> Self {
+        Self {
+            minsup: 0,
+            limits: MiningLimits::UNBOUNDED,
+            epoch: None,
+            num_items: 0,
+            segments: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            roots: BTreeMap::new(),
+            contribs: HashMap::new(),
+            border_index: HashMap::new(),
+            next_seq: 0,
+            frequent: Vec::new(),
+            live_nodes: 0,
+            border_entries: 0,
+            stats: DeltaStats::default(),
+        }
+    }
+
+    /// Counters of the most recent [`DeltaMiner::advance`] call.
+    pub fn stats(&self) -> &DeltaStats {
+        &self.stats
+    }
+
+    /// Number of frequent collections currently tracked.
+    pub fn patterns_tracked(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of border (infrequent but remembered) candidates currently
+    /// armed.
+    pub fn border_size(&self) -> usize {
+        self.border_entries
+    }
+
+    /// Brings the maintained pattern set to `snapshot`'s epoch and returns
+    /// every frequent edge collection there (pre-connectivity, like the raw
+    /// §3.4 output; unsorted — [`crate::MiningResult::new`] canonicalises).
+    ///
+    /// Incremental when the snapshot continues the previously seen window
+    /// under the same resolved `minsup` and `limits`; otherwise (first call,
+    /// threshold re-resolution, domain growth, or a window discontinuity of
+    /// more than the full window) it falls back to one full rebuild and
+    /// records that in [`DeltaStats::full_rebuilds`].
+    pub fn advance(
+        &mut self,
+        snapshot: &EpochSnapshot,
+        minsup: Support,
+        limits: MiningLimits,
+    ) -> Vec<FrequentPattern> {
+        let minsup = minsup.max(1);
+        self.stats = DeltaStats::default();
+        let unchanged_config = self.minsup == minsup
+            && self.limits == limits
+            && self.num_items == snapshot.num_items();
+        if self.epoch == Some(snapshot.epoch()) && unchanged_config {
+            self.finish_stats();
+            return self.collect();
+        }
+        let metas: Vec<(u64, usize)> = snapshot
+            .segments()
+            .iter()
+            .map(|seg| (seg.uid(), seg.cols()))
+            .collect();
+        let overlap = self.window_overlap(&metas);
+        let contiguous = overlap > 0 || self.segments.is_empty() || metas.is_empty();
+        if self.epoch.is_some() && unchanged_config && contiguous {
+            self.apply_slides(snapshot, &metas, overlap);
+        } else {
+            self.rebuild(snapshot, &metas, minsup, limits);
+        }
+        self.epoch = Some(snapshot.epoch());
+        self.finish_stats();
+        self.collect()
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.patterns_tracked = self.live_nodes;
+        self.stats.border_size = self.border_entries;
+    }
+
+    /// Longest suffix of the tracked window that is a prefix of the
+    /// snapshot's window (slides drop oldest segments and append newest).
+    fn window_overlap(&self, metas: &[(u64, usize)]) -> usize {
+        let max_k = self.segments.len().min(metas.len());
+        (0..=max_k)
+            .rev()
+            .find(|&k| self.segments[self.segments.len() - k..] == metas[..k])
+            .unwrap_or(0)
+    }
+
+    // ----- incremental path ------------------------------------------------
+
+    fn apply_slides(&mut self, snapshot: &EpochSnapshot, metas: &[(u64, usize)], overlap: usize) {
+        let departed: Vec<u64> = self.segments[..self.segments.len() - overlap]
+            .iter()
+            .map(|(uid, _)| *uid)
+            .collect();
+        let arrivals = &snapshot.segments()[overlap..];
+        self.stats.slides_applied = departed.len().max(arrivals.len()) as u64;
+
+        let mut touched = Vec::new();
+        for uid in departed {
+            self.subtract_segment(uid, &mut touched);
+        }
+        self.segments = metas.to_vec();
+        let mut crossings = Vec::new();
+        for seg in arrivals {
+            self.add_segment(seg, &mut crossings);
+        }
+        self.prune_touched(touched);
+
+        // Threshold crossings: only they need row access, so the view (and
+        // with it any disk-backend row decoding) is built lazily — a steady
+        // slide never touches window rows at all.  The singleton alphabet is
+        // refreshed first so the expansions below extend over it.
+        let promoted = self.detect_singleton_crossings(snapshot);
+        if !promoted.is_empty() || !crossings.is_empty() {
+            let view = snapshot.view();
+            for (parent, edge) in crossings {
+                self.promote_border(&view, parent, edge);
+            }
+            for edge in promoted {
+                self.promote_singleton(snapshot, &view, edge);
+            }
+        }
+    }
+
+    /// Subtracts one departed segment's recorded contributions from tracked
+    /// patterns and border entries alike.  Exact: a stored support is always
+    /// the sum of its live contribution records, so removal leaves the
+    /// support over the remaining segments.
+    fn subtract_segment(&mut self, uid: u64, touched: &mut Vec<NodeRef>) {
+        for nref in self.contribs.remove(&uid).unwrap_or_default() {
+            let Some(node) = self.node_mut(nref) else {
+                continue;
+            };
+            let Some(pos) = node.contribs.iter().position(|(u, _)| *u == uid) else {
+                continue;
+            };
+            let (_, contrib) = node.contribs.remove(pos);
+            node.support -= contrib;
+            // A subtraction is O(1) integer work on a recorded count, not a
+            // support evaluation — it counts as affected, not re-examined.
+            self.stats.patterns_affected += 1;
+            touched.push(nref);
+        }
+        for (parent, edge, seq) in self.border_index.remove(&uid).unwrap_or_default() {
+            let Some(node) = self.node_mut(parent) else {
+                continue;
+            };
+            let Ok(i) = node.border.binary_search_by_key(&edge, |b| b.edge) else {
+                continue;
+            };
+            let entry = &mut node.border[i];
+            if entry.seq != seq {
+                continue; // superseded arming; its records died with it
+            }
+            let Some(pos) = entry.contribs.iter().position(|(u, _)| *u == uid) else {
+                continue;
+            };
+            let (_, contrib) = entry.contribs.remove(pos);
+            entry.support -= contrib;
+            self.stats.border_updates += 1;
+        }
+    }
+
+    /// Adds one arriving segment: a top-down walk intersecting only the
+    /// segment's chunks.  A node whose pattern the segment does not support
+    /// prunes its whole subtree — and that subtree's border — from the walk
+    /// (every tidset below is nested in the node's, so the segment cannot
+    /// contribute to any of them), keeping the cost proportional to what the
+    /// segment actually touches.  Border entries that cross minsup are
+    /// collected for promotion once the walk is done.
+    fn add_segment(&mut self, seg: &EpochSegment, crossings: &mut Vec<(NodeRef, EdgeId)>) {
+        let mut records = Vec::new();
+        let roots: Vec<NodeRef> = self.roots.values().copied().collect();
+        for root in roots {
+            self.add_segment_walk(seg, root, None, &mut records, crossings);
+        }
+        if !records.is_empty() {
+            self.contribs.insert(seg.uid(), records);
+        }
+    }
+
+    fn add_segment_walk(
+        &mut self,
+        seg: &EpochSegment,
+        nref: NodeRef,
+        prefix_chunk: Option<&BitVec>,
+        records: &mut Vec<NodeRef>,
+        crossings: &mut Vec<(NodeRef, EdgeId)>,
+    ) {
+        self.stats.patterns_reexamined += 1;
+        let edge = self.node(nref).expect("walk visits live nodes only").edge;
+        let Some(own) = seg.chunk(edge.index()) else {
+            return;
+        };
+        let (contrib, materialised) = match prefix_chunk {
+            // Root level: the pattern's columns within the segment are the
+            // edge's chunk itself — no intersection, the popcount is free.
+            None => (own.count_ones(), None),
+            Some(prefix) => {
+                let mut buf = BitVec::new();
+                let contrib = prefix.and_into(own, &mut buf);
+                (contrib, Some(buf))
+            }
+        };
+        if contrib == 0 {
+            return;
+        }
+        let uid = seg.uid();
+        {
+            let node = self.node_mut(nref).expect("checked live above");
+            node.support += contrib;
+            node.contribs.push((uid, contrib));
+        }
+        self.stats.patterns_affected += 1;
+        records.push(nref);
+
+        let chunk: &BitVec = materialised.as_ref().unwrap_or(own);
+        // Border entries ride the same walk: each costs one chunk-sized
+        // intersection against the arriving segment (entry tidset = node
+        // tidset ∧ singleton row, restricted to this segment's columns).
+        let gains: Vec<(EdgeId, u64, Support)> = self
+            .node(nref)
+            .expect("checked live above")
+            .border
+            .iter()
+            .filter_map(|entry| {
+                let gain = seg
+                    .chunk(entry.edge.index())
+                    .map_or(0, |row| chunk.and_count(row));
+                (gain > 0).then_some((entry.edge, entry.seq, gain))
+            })
+            .collect();
+        let minsup = self.minsup;
+        for (border_edge, seq, gain) in gains {
+            let mut recorded = false;
+            let mut crossed = false;
+            if let Some(node) = self.node_mut(nref) {
+                if let Ok(i) = node.border.binary_search_by_key(&border_edge, |b| b.edge) {
+                    let entry = &mut node.border[i];
+                    if entry.seq == seq {
+                        let was = entry.support;
+                        entry.support += gain;
+                        entry.contribs.push((uid, gain));
+                        recorded = true;
+                        crossed = was < minsup && entry.support >= minsup;
+                    }
+                }
+            }
+            if recorded {
+                self.stats.border_updates += 1;
+                self.border_index
+                    .entry(uid)
+                    .or_default()
+                    .push((nref, border_edge, seq));
+            }
+            if crossed {
+                crossings.push((nref, border_edge));
+            }
+        }
+
+        let children = self
+            .node(nref)
+            .expect("checked live above")
+            .children
+            .clone();
+        for child in children {
+            self.add_segment_walk(seg, child, Some(chunk), records, crossings);
+        }
+    }
+
+    /// Cuts every touched node whose support fell below minsup, subtree and
+    /// all (anti-monotone: no superset can stay frequent), leaving a border
+    /// entry on the parent so the reverse crossing can resurrect it exactly.
+    fn prune_touched(&mut self, touched: Vec<NodeRef>) {
+        for nref in touched {
+            let Some(node) = self.node(nref) else {
+                continue; // already freed by an ancestor's prune
+            };
+            if node.support >= self.minsup {
+                continue;
+            }
+            self.prune_subtree(nref);
+        }
+    }
+
+    fn prune_subtree(&mut self, nref: NodeRef) {
+        self.stats.subtree_prunes += 1;
+        let (edge, support, parent, contribs) = {
+            let node = self.node_mut(nref).expect("caller checked liveness");
+            (
+                node.edge,
+                node.support,
+                node.parent,
+                std::mem::take(&mut node.contribs),
+            )
+        };
+        match parent {
+            // A root going infrequent is a singleton crossing; those are
+            // re-detected from the snapshot's exact support counters, so no
+            // border entry is needed.
+            None => {
+                self.roots.remove(&edge);
+            }
+            Some(parent) => {
+                if let Some(node) = self.node_mut(parent) {
+                    node.children.retain(|c| *c != nref);
+                }
+                // The pruned node's contribution records move onto the
+                // border entry, so its support keeps sliding exactly.
+                self.arm_border(parent, edge, support, false, contribs);
+            }
+        }
+        self.free_subtree(nref);
+    }
+
+    /// Updates the frequent-singleton alphabet against the snapshot's frozen
+    /// support counters and returns the edges that newly crossed *up*.
+    /// Downward crossings need no work here: every tracked superset lost
+    /// support through exact subtraction and was already pruned, and a
+    /// border entry's maintained support can never reach minsup while its
+    /// singleton's is below it.
+    fn detect_singleton_crossings(&mut self, snapshot: &EpochSnapshot) -> Vec<EdgeId> {
+        let mut promoted = Vec::new();
+        for idx in 0..self.num_items {
+            let now = snapshot.singleton_support(idx) >= self.minsup;
+            if now == self.frequent[idx] {
+                continue;
+            }
+            self.frequent[idx] = now;
+            if now {
+                promoted.push(EdgeId::new(idx as u32));
+            }
+        }
+        promoted
+    }
+
+    /// Promotes a border entry whose maintained support crossed minsup:
+    /// materialises that one candidate's tidset, attaches it, and re-expands
+    /// only its subtree (resuming the interrupted sweep first for `deep`
+    /// entries).
+    fn promote_border(&mut self, view: &WindowView<'_>, parent: NodeRef, edge: EdgeId) {
+        let Some(node) = self.node(parent) else {
+            return; // parent pruned after the walk queued this crossing
+        };
+        let Ok(i) = node.border.binary_search_by_key(&edge, |b| b.edge) else {
+            return; // consumed by an earlier promotion this advance
+        };
+        let entry = &node.border[i];
+        if entry.support < self.minsup {
+            return;
+        }
+        let deep = entry.deep;
+        let len = self.path_len(parent);
+        if !self.limits.allows(len + 1) {
+            self.remove_border(parent, edge);
+            return;
+        }
+        self.stats.patterns_reexamined += 1;
+        let mut path = BitVec::new();
+        let mut buf = BitVec::new();
+        let support = match (self.path_tidset(view, parent, &mut path), view.row(edge)) {
+            (true, Some(row)) => RowRef::Flat(&path).and_into(&row, &mut buf),
+            _ => 0,
+        };
+        debug_assert_eq!(
+            support,
+            self.node(parent).expect("checked live above").border[i].support,
+            "maintained border support diverged from the materialised tidset"
+        );
+        self.remove_border(parent, edge);
+        let child = self.attach_child(parent, edge, support, &buf);
+        self.stats.border_promotions += 1;
+        self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+        if deep {
+            // Resume the singleton sweep this entry interrupted: the failed
+            // screen had skipped the parent's descendants.
+            if let Some(row) = view.row(edge) {
+                self.sweep_children(view, parent, &RowRef::Flat(&path), len, edge, &row);
+            }
+        }
+    }
+
+    /// Handles a singleton newly crossing minsup: creates its root (with
+    /// full expansion) and runs a canonical-order sweep extending every
+    /// tracked pattern with `edge` where the screen passes.  Failed screens
+    /// become `deep` border entries — the sweep stops there, and a later
+    /// promotion resumes it below that point.
+    fn promote_singleton(&mut self, snapshot: &EpochSnapshot, view: &WindowView<'_>, edge: EdgeId) {
+        self.stats.singleton_sweeps += 1;
+        if !self.limits.allows(1) {
+            return;
+        }
+        let support = snapshot.singleton_support(edge.index());
+        let contribs = self.singleton_contribs(snapshot, edge);
+        let nref = self.alloc(Node {
+            edge,
+            parent: None,
+            support,
+            contribs: Vec::new(),
+            children: Vec::new(),
+            border: Vec::new(),
+        });
+        self.roots.insert(edge, nref);
+        self.stats.patterns_affected += 1;
+        self.stats.patterns_reexamined += 1;
+        self.set_node_contribs(nref, contribs);
+        let Some(row) = view.row(edge) else {
+            return;
+        };
+        self.expand(view, nref, &row, 1);
+        self.sweep(view, edge, &row);
+    }
+
+    /// Per-segment contributions of a singleton, straight from the
+    /// snapshot's frozen segment chunks.
+    fn singleton_contribs(&self, snapshot: &EpochSnapshot, edge: EdgeId) -> Vec<(u64, Support)> {
+        let mut contribs = Vec::new();
+        for (seg_idx, &(uid, _)) in self.segments.iter().enumerate() {
+            let contrib = snapshot.segment_support(seg_idx, edge.index());
+            if contrib > 0 {
+                contribs.push((uid, contrib));
+            }
+        }
+        contribs
+    }
+
+    /// Installs a node's contribution records and indexes them per segment.
+    fn set_node_contribs(&mut self, nref: NodeRef, contribs: Vec<(u64, Support)>) {
+        for &(uid, _) in &contribs {
+            self.contribs.entry(uid).or_default().push(nref);
+        }
+        if let Some(node) = self.node_mut(nref) {
+            node.contribs = contribs;
+        }
+    }
+
+    /// Full Eclat expansion of one node over the currently frequent
+    /// alphabet: the exact materialise-and-count loop of the §3.4 vertical
+    /// miner, except failed screens are remembered as border entries (whose
+    /// per-segment contributions are split from the materialised tidset).
+    fn expand(&mut self, view: &WindowView<'_>, nref: NodeRef, tidset: &RowRef<'_>, len: usize) {
+        if !self.limits.allows(len + 1) {
+            return;
+        }
+        let last = self.node(nref).expect("expansion target is live").edge;
+        for idx in last.index() + 1..self.num_items {
+            if !self.frequent[idx] {
+                continue;
+            }
+            let edge = EdgeId::new(idx as u32);
+            self.stats.patterns_reexamined += 1;
+            let Some(row) = view.row(edge) else {
+                continue;
+            };
+            let mut buf = BitVec::new();
+            let support = tidset.and_into(&row, &mut buf);
+            if support >= self.minsup {
+                let child = self.attach_child(nref, edge, support, &buf);
+                self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+            } else {
+                let contribs = self.split_contribs(&buf);
+                self.arm_border(nref, edge, support, false, contribs);
+            }
+        }
+    }
+
+    /// Creates a child node with its per-segment contribution records split
+    /// from the materialised tidset.
+    fn attach_child(
+        &mut self,
+        parent: NodeRef,
+        edge: EdgeId,
+        support: Support,
+        tidset: &BitVec,
+    ) -> NodeRef {
+        let child = self.alloc(Node {
+            edge,
+            parent: Some(parent),
+            support,
+            contribs: Vec::new(),
+            children: Vec::new(),
+            border: Vec::new(),
+        });
+        self.insert_child(parent, child, edge);
+        let contribs = self.split_contribs(tidset);
+        self.set_node_contribs(child, contribs);
+        self.stats.patterns_affected += 1;
+        child
+    }
+
+    /// Splits a snapshot-aligned tidset (column 0 = window column 0) into
+    /// per-segment `(uid, count)` contributions.
+    fn split_contribs(&self, tidset: &BitVec) -> Vec<(u64, Support)> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for &(uid, cols) in &self.segments {
+            let contrib = tidset.count_range(start, start + cols);
+            if contrib > 0 {
+                out.push((uid, contrib));
+            }
+            start += cols;
+        }
+        out
+    }
+
+    /// Canonical-order sweep for a singleton `edge` that newly became
+    /// frequent: visits every tracked pattern whose edges all precede
+    /// `edge`, screening the extension against the window rows.
+    fn sweep(&mut self, view: &WindowView<'_>, edge: EdgeId, row: &RowRef<'_>) {
+        let roots: Vec<NodeRef> = self.roots.range(..edge).map(|(_, r)| *r).collect();
+        for root in roots {
+            let root_edge = self.node(root).expect("roots are live").edge;
+            let Some(root_row) = view.row(root_edge) else {
+                continue;
+            };
+            self.sweep_node(view, root, &root_row, 1, edge, row);
+        }
+    }
+
+    fn sweep_node(
+        &mut self,
+        view: &WindowView<'_>,
+        nref: NodeRef,
+        tidset: &RowRef<'_>,
+        len: usize,
+        edge: EdgeId,
+        row: &RowRef<'_>,
+    ) {
+        if !self.limits.allows(len + 1) {
+            return;
+        }
+        // When several singletons promote in one advance, an earlier
+        // promotion's expansion may already have attached this extension
+        // (its frequent flag was raised before any promotion ran).  Such a
+        // subtree was built against the current window, so the sweep only
+        // needs to keep descending past it.
+        let already_attached = self
+            .node(nref)
+            .expect("sweep visits live nodes only")
+            .children
+            .iter()
+            .any(|&c| self.node(c).is_some_and(|n| n.edge == edge));
+        if already_attached {
+            self.sweep_children(view, nref, tidset, len, edge, row);
+            return;
+        }
+        self.stats.patterns_reexamined += 1;
+        let mut buf = BitVec::new();
+        let support = tidset.and_into(row, &mut buf);
+        // A fresh exact evaluation supersedes any remembered border entry
+        // for this candidate.
+        self.remove_border(nref, edge);
+        if support >= self.minsup {
+            let child = self.attach_child(nref, edge, support, &buf);
+            self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+        } else {
+            let contribs = self.split_contribs(&buf);
+            self.arm_border(nref, edge, support, true, contribs);
+            // Anti-monotone: no descendant can support the extension either.
+            return;
+        }
+        self.sweep_children(view, nref, tidset, len, edge, row);
+    }
+
+    /// Continues a sweep into the children of `nref` whose edge precedes the
+    /// swept singleton (extensions stay in canonical ascending order).
+    fn sweep_children(
+        &mut self,
+        view: &WindowView<'_>,
+        nref: NodeRef,
+        tidset: &RowRef<'_>,
+        len: usize,
+        edge: EdgeId,
+        row: &RowRef<'_>,
+    ) {
+        let children: Vec<(NodeRef, EdgeId)> = self
+            .node(nref)
+            .expect("sweep visits live nodes only")
+            .children
+            .iter()
+            .map(|&c| (c, self.node(c).expect("children are live").edge))
+            .filter(|(_, child_edge)| *child_edge < edge)
+            .collect();
+        for (child, child_edge) in children {
+            let Some(child_row) = view.row(child_edge) else {
+                continue;
+            };
+            let mut buf = BitVec::new();
+            tidset.and_into(&child_row, &mut buf);
+            self.sweep_node(view, child, &RowRef::Flat(&buf), len + 1, edge, row);
+        }
+    }
+
+    // ----- border bookkeeping ----------------------------------------------
+
+    /// Records (or replaces) a border entry on `parent` with a fresh arming
+    /// sequence, indexing its contributions per segment.  Replacement
+    /// invalidates the superseded arming's index rows via the sequence
+    /// mismatch.
+    fn arm_border(
+        &mut self,
+        parent: NodeRef,
+        edge: EdgeId,
+        support: Support,
+        deep: bool,
+        contribs: Vec<(u64, Support)>,
+    ) {
+        if self.node(parent).is_none() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for &(uid, _) in &contribs {
+            self.border_index
+                .entry(uid)
+                .or_default()
+                .push((parent, edge, seq));
+        }
+        let entry = BorderEntry {
+            edge,
+            support,
+            seq,
+            deep,
+            contribs,
+        };
+        let node = self.node_mut(parent).expect("checked live above");
+        match node.border.binary_search_by_key(&edge, |b| b.edge) {
+            Ok(i) => node.border[i] = entry,
+            Err(i) => {
+                node.border.insert(i, entry);
+                self.border_entries += 1;
+            }
+        }
+    }
+
+    fn remove_border(&mut self, parent: NodeRef, edge: EdgeId) -> Option<BorderEntry> {
+        let node = self.node_mut(parent)?;
+        match node.border.binary_search_by_key(&edge, |b| b.edge) {
+            Ok(i) => {
+                let entry = node.border.remove(i);
+                self.border_entries -= 1;
+                Some(entry)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn path_len(&self, nref: NodeRef) -> usize {
+        let mut len = 0;
+        let mut cursor = Some(nref);
+        while let Some(r) = cursor {
+            len += 1;
+            cursor = self.node(r).expect("path nodes are live").parent;
+        }
+        len
+    }
+
+    /// Materialises the tidset of `nref`'s full pattern by intersecting its
+    /// root path's rows.  Returns `false` if any row is unavailable (the
+    /// pattern then has support 0 at this epoch).
+    fn path_tidset(&self, view: &WindowView<'_>, nref: NodeRef, out: &mut BitVec) -> bool {
+        let mut edges = Vec::new();
+        let mut cursor = Some(nref);
+        while let Some(r) = cursor {
+            let node = self.node(r).expect("path nodes are live");
+            edges.push(node.edge);
+            cursor = node.parent;
+        }
+        edges.reverse();
+        let Some(first) = view.row(edges[0]) else {
+            return false;
+        };
+        first.assemble_into(out);
+        let mut scratch = BitVec::new();
+        for &edge in &edges[1..] {
+            let Some(row) = view.row(edge) else {
+                return false;
+            };
+            RowRef::Flat(out).and_into(&row, &mut scratch);
+            std::mem::swap(out, &mut scratch);
+        }
+        true
+    }
+
+    // ----- full rebuild ----------------------------------------------------
+
+    /// Rebuilds the whole state from one snapshot: the same enumeration as
+    /// the sequential §3.4 vertical miner, additionally materialising the
+    /// per-segment contribution records and the border set.
+    fn rebuild(
+        &mut self,
+        snapshot: &EpochSnapshot,
+        metas: &[(u64, usize)],
+        minsup: Support,
+        limits: MiningLimits,
+    ) {
+        self.stats.full_rebuilds = 1;
+        self.minsup = minsup;
+        self.limits = limits;
+        self.num_items = snapshot.num_items();
+        self.segments = metas.to_vec();
+        self.slots.clear();
+        self.free.clear();
+        self.roots.clear();
+        self.contribs.clear();
+        self.border_index.clear();
+        self.live_nodes = 0;
+        self.border_entries = 0;
+        self.frequent = (0..self.num_items)
+            .map(|idx| snapshot.singleton_support(idx) >= minsup)
+            .collect();
+        if !limits.allows(1) {
+            return;
+        }
+        let view = snapshot.view();
+        for idx in 0..self.num_items {
+            if !self.frequent[idx] {
+                continue;
+            }
+            let edge = EdgeId::new(idx as u32);
+            let support = snapshot.singleton_support(idx);
+            let contribs = self.singleton_contribs(snapshot, edge);
+            let nref = self.alloc(Node {
+                edge,
+                parent: None,
+                support,
+                contribs: Vec::new(),
+                children: Vec::new(),
+                border: Vec::new(),
+            });
+            self.roots.insert(edge, nref);
+            self.stats.patterns_affected += 1;
+            self.stats.patterns_reexamined += 1;
+            self.set_node_contribs(nref, contribs);
+            if let Some(row) = view.row(edge) {
+                self.expand(&view, nref, &row, 1);
+            }
+        }
+    }
+
+    // ----- arena -----------------------------------------------------------
+
+    fn node(&self, r: NodeRef) -> Option<&Node> {
+        let slot = self.slots.get(r.idx as usize)?;
+        if slot.generation != r.generation {
+            return None;
+        }
+        slot.node.as_ref()
+    }
+
+    fn node_mut(&mut self, r: NodeRef) -> Option<&mut Node> {
+        let slot = self.slots.get_mut(r.idx as usize)?;
+        if slot.generation != r.generation {
+            return None;
+        }
+        slot.node.as_mut()
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeRef {
+        self.live_nodes += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.node = Some(node);
+            NodeRef {
+                idx,
+                generation: slot.generation,
+            }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                node: Some(node),
+            });
+            NodeRef { idx, generation: 0 }
+        }
+    }
+
+    fn free_subtree(&mut self, nref: NodeRef) {
+        let mut stack = vec![nref];
+        while let Some(r) = stack.pop() {
+            let Some(node) = self.node(r) else { continue };
+            stack.extend(node.children.iter().copied());
+            let slot = &mut self.slots[r.idx as usize];
+            if let Some(freed) = slot.node.take() {
+                self.border_entries -= freed.border.len();
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(r.idx);
+                self.live_nodes -= 1;
+            }
+        }
+    }
+
+    fn insert_child(&mut self, parent: NodeRef, child: NodeRef, edge: EdgeId) {
+        let pos = {
+            let node = self.node(parent).expect("attach target is live");
+            let mut pos = node.children.len();
+            for (i, &c) in node.children.iter().enumerate() {
+                let child_edge = self.node(c).expect("children are live").edge;
+                debug_assert_ne!(child_edge, edge, "duplicate child");
+                if child_edge > edge {
+                    pos = i;
+                    break;
+                }
+            }
+            pos
+        };
+        self.node_mut(parent)
+            .expect("attach target is live")
+            .children
+            .insert(pos, child);
+    }
+
+    // ----- output ----------------------------------------------------------
+
+    fn collect(&self) -> Vec<FrequentPattern> {
+        let mut out = Vec::with_capacity(self.live_nodes);
+        let mut prefix = Vec::new();
+        for &root in self.roots.values() {
+            self.collect_node(root, &mut prefix, &mut out);
+        }
+        out
+    }
+
+    fn collect_node(
+        &self,
+        nref: NodeRef,
+        prefix: &mut Vec<EdgeId>,
+        out: &mut Vec<FrequentPattern>,
+    ) {
+        let node = self.node(nref).expect("collected nodes are live");
+        prefix.push(node.edge);
+        out.push(FrequentPattern::new(
+            EdgeSet::from_edges(prefix.iter().copied()),
+            node.support,
+        ));
+        for &child in &node.children {
+            self.collect_node(child, prefix, out);
+        }
+        prefix.pop();
+    }
+}

@@ -1,0 +1,378 @@
+//! Delta-mining agreement: the incrementally maintained pattern set must be
+//! **byte-identical** to a full re-mine at every epoch of a randomized slide
+//! sequence — for all five algorithms, both storage backends, several thread
+//! counts, and absolute *and* relative thresholds (whose re-resolution as
+//! the window size changes forces the delta miner's rebuild fallback).
+//!
+//! Alongside the facade-level oracle property, a shadow-model test drives
+//! [`DeltaMiner`] directly and recounts every support brute-force from the
+//! window's transactions (the `HashMap`-free equivalent of recounting from
+//! scratch): the maintained set must equal the recounted frequent set after
+//! every advance, which catches border-set bookkeeping errors (missed
+//! promotions, stale triggers, wrong per-segment contributions) that the
+//! pattern-level oracle would only surface indirectly.  A third test
+//! interleaves delta advances with a held epoch snapshot mined concurrently
+//! on another thread — the PR 7 reader/writer split must compose with delta
+//! state.
+
+use std::thread;
+
+use fsm_core::{Algorithm, DeltaMiner, MiningResult, StreamMiner, StreamMinerBuilder};
+use fsm_fptree::MiningLimits;
+use fsm_storage::StorageBackend;
+use fsm_types::{Batch, MinSup, Transaction};
+use proptest::prelude::*;
+
+const VERTICES: u32 = 5;
+const EDGES: u32 = 10;
+
+fn build(
+    algorithm: Algorithm,
+    window: usize,
+    minsup: MinSup,
+    backend: StorageBackend,
+    threads: usize,
+    max_len: Option<usize>,
+    delta: bool,
+) -> StreamMiner {
+    let mut builder = StreamMinerBuilder::new()
+        .algorithm(algorithm)
+        .window_batches(window)
+        .min_support(minsup)
+        .backend(backend)
+        .threads(threads)
+        .delta(delta)
+        .complete_graph_vertices(VERTICES);
+    if let Some(max) = max_len {
+        builder = builder.max_pattern_len(max);
+    }
+    builder.build().unwrap()
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<Vec<u32>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..EDGES, 0..6)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            1..6,
+        ),
+        1..7,
+    )
+}
+
+fn to_batches(raw: &[Vec<Vec<u32>>]) -> Vec<Batch> {
+    raw.iter()
+        .enumerate()
+        .map(|(id, transactions)| {
+            Batch::from_transactions(
+                id as u64,
+                transactions
+                    .iter()
+                    .map(|t| Transaction::from_raw(t.iter().copied()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn assert_same(
+    label: &str,
+    delta: &MiningResult,
+    oracle: &MiningResult,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert!(
+        delta.same_patterns_as(oracle),
+        "{label}: delta diverged from the full re-mine: {:?}",
+        oracle.diff(delta)
+    );
+    let stats = &delta.stats().delta;
+    prop_assert!(
+        stats.patterns_tracked as u64 >= stats.border_promotions,
+        "{label}: promotions ({}) cannot exceed tracked patterns ({})",
+        stats.border_promotions,
+        stats.patterns_tracked
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The headline property: `mine_delta` after every slide (and, via the
+    /// random mask, after *runs* of slides — multi-segment advances) equals
+    /// the stop-the-world miner of each algorithm at the same epoch, on
+    /// both backends, sequential and threaded oracles, absolute and
+    /// relative thresholds.  Relative thresholds re-resolve as the window
+    /// fills, which must route the delta miner through its rebuild
+    /// fallback without breaking agreement.
+    #[test]
+    fn delta_mining_matches_every_full_remine_oracle(
+        raw in arb_stream(),
+        mask in proptest::collection::vec(any::<bool>(), 6),
+        window in 1usize..4,
+        knobs in (1u64..4, any::<bool>(), 0usize..4),
+    ) {
+        let (abs, relative, max_len_raw) = knobs;
+        let max_len = if max_len_raw == 0 { None } else { Some(max_len_raw) };
+        let batches = to_batches(&raw);
+        let minsup = if relative {
+            MinSup::relative(abs as f64 / 4.0)
+        } else {
+            MinSup::absolute(abs)
+        };
+        for algorithm in Algorithm::ALL {
+            for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+                for threads in [1usize, 2] {
+                    let label = format!(
+                        "{algorithm} {backend:?} threads={threads} minsup={minsup} max_len={max_len:?}"
+                    );
+                    let mut delta_miner = build(
+                        algorithm, window, minsup, backend.clone(), threads, max_len, true,
+                    );
+                    let mut oracle = build(
+                        algorithm, window, minsup, backend.clone(), threads, max_len, false,
+                    );
+                    for (i, batch) in batches.iter().enumerate() {
+                        delta_miner.ingest_batch(batch).unwrap();
+                        oracle.ingest_batch(batch).unwrap();
+                        // The mask skips mines at some epochs, so the next
+                        // delta advance has to absorb several slides at once
+                        // (and a full window turnover when the gap exceeds
+                        // the window).  The last epoch is always mined.
+                        if i + 1 != batches.len() && !mask[i % mask.len()] {
+                            continue;
+                        }
+                        let incremental = delta_miner.mine().unwrap();
+                        let full = oracle.mine().unwrap();
+                        assert_same(&format!("{label} epoch={i}"), &incremental, &full)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shadow model: drive the [`DeltaMiner`] directly through randomized
+    /// slides and recount every pattern's support brute-force from the
+    /// window's transactions.  The maintained (pre-connectivity) set must
+    /// equal the recounted frequent set exactly — supports included — after
+    /// every advance, including advances that cover several slides and a
+    /// mid-stream threshold switch (which must trigger exactly one rebuild).
+    #[test]
+    fn delta_state_matches_a_brute_force_recount(
+        raw in arb_stream(),
+        mask in proptest::collection::vec(any::<bool>(), 6),
+        window in 1usize..4,
+        thresholds in (1u64..4, 1u64..4),
+    ) {
+        let (minsup, switched) = thresholds;
+        let batches = to_batches(&raw);
+        let mut miner = build(
+            Algorithm::Vertical,
+            window,
+            MinSup::absolute(minsup),
+            StorageBackend::Memory,
+            1,
+            None,
+            false,
+        );
+        let mut state = DeltaMiner::new();
+        let mut rebuilds_seen = 0u64;
+        for (i, batch) in batches.iter().enumerate() {
+            miner.ingest_batch(batch).unwrap();
+            if i + 1 != batches.len() && !mask[i % mask.len()] {
+                continue;
+            }
+            // Switch thresholds halfway through the stream: the advance
+            // must fall back to a full rebuild exactly once per switch.
+            let threshold = if i >= batches.len() / 2 { switched } else { minsup };
+            let snapshot = miner.matrix_mut().snapshot_epoch().unwrap();
+            let mut found = state.advance(&snapshot, threshold, MiningLimits::UNBOUNDED);
+            rebuilds_seen += state.stats().full_rebuilds;
+
+            let window_tx = window_transactions(&batches, i, window);
+            let mut expected = brute_force_frequent(&window_tx, threshold.max(1));
+            let mut got: Vec<(Vec<u32>, u64)> = found
+                .drain(..)
+                .map(|p| (p.edges.edges().iter().map(|e| e.0).collect(), p.support))
+                .collect();
+            got.sort();
+            expected.sort();
+            prop_assert_eq!(
+                got,
+                expected,
+                "epoch {} window {} minsup {}: maintained set diverged from recount",
+                i,
+                window,
+                threshold
+            );
+            prop_assert_eq!(state.stats().patterns_tracked, state.patterns_tracked());
+            prop_assert_eq!(state.stats().border_size, state.border_size());
+        }
+        prop_assert!(rebuilds_seen >= 1, "the first advance is always a rebuild");
+    }
+}
+
+/// The transactions inside the window after ingesting batches `0..=upto`.
+fn window_transactions(batches: &[Batch], upto: usize, window: usize) -> Vec<Vec<u32>> {
+    let first = (upto + 1).saturating_sub(window);
+    batches[first..=upto]
+        .iter()
+        .flat_map(|b| {
+            b.transactions()
+                .iter()
+                .map(|t| t.edges().iter().map(|e| e.0).collect())
+        })
+        .collect()
+}
+
+/// Brute-force frequent-set enumeration by rescanning the window for every
+/// candidate — the recount oracle for the maintained state.
+fn brute_force_frequent(window_tx: &[Vec<u32>], minsup: u64) -> Vec<(Vec<u32>, u64)> {
+    fn support(window_tx: &[Vec<u32>], set: &[u32]) -> u64 {
+        window_tx
+            .iter()
+            .filter(|t| set.iter().all(|e| t.contains(e)))
+            .count() as u64
+    }
+    fn extend(
+        window_tx: &[Vec<u32>],
+        minsup: u64,
+        prefix: &mut Vec<u32>,
+        from: u32,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
+        for edge in from..EDGES {
+            prefix.push(edge);
+            let s = support(window_tx, prefix);
+            if s >= minsup {
+                out.push((prefix.clone(), s));
+                extend(window_tx, minsup, prefix, edge + 1, out);
+            }
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    extend(window_tx, minsup, &mut Vec::new(), 0, &mut out);
+    out
+}
+
+/// Deterministic anchor: the paper's stream mined delta-first on every
+/// algorithm and backend gives the 15 connected collections at the final
+/// epoch, with the second advance incremental (no rebuild) and cheaper than
+/// the tracked set.
+#[test]
+fn paper_stream_delta_mines_incrementally() {
+    let raw: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![2, 3, 5], vec![0, 4, 5], vec![0, 2, 5]],
+        vec![vec![0, 2, 3, 5], vec![0, 3, 4, 5], vec![0, 1, 2]],
+        vec![vec![0, 2, 5], vec![0, 2, 3, 5], vec![1, 2, 3]],
+    ];
+    let batches = to_batches(&raw);
+    for backend in [StorageBackend::Memory, StorageBackend::DiskTemp] {
+        let mut miner = StreamMinerBuilder::new()
+            .window_batches(2)
+            .min_support(MinSup::absolute(2))
+            .backend(backend)
+            .delta(true)
+            .complete_graph_vertices(4)
+            .build()
+            .unwrap();
+        let mut last = None;
+        for batch in &batches {
+            miner.ingest_batch(batch).unwrap();
+            last = Some(miner.mine().unwrap());
+        }
+        let result = last.unwrap();
+        assert_eq!(result.len(), 15);
+        let delta = &result.stats().delta;
+        assert_eq!(delta.full_rebuilds, 0, "steady state must not rebuild");
+        assert_eq!(delta.slides_applied, 1);
+        assert!(delta.patterns_tracked >= 15);
+    }
+}
+
+/// Epoch-snapshot interleaving: delta state advances (and stays correct)
+/// while a previously held snapshot of an older epoch is mined concurrently
+/// on another thread — and the held snapshot still reproduces its own epoch.
+#[test]
+fn delta_advances_while_a_held_snapshot_is_mined() {
+    let raw: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![2, 3, 5], vec![0, 4, 5], vec![0, 2, 5]],
+        vec![vec![0, 2, 3, 5], vec![0, 3, 4, 5], vec![0, 1, 2]],
+        vec![vec![0, 2, 5], vec![0, 2, 3, 5], vec![1, 2, 3]],
+        vec![vec![1, 4], vec![0, 2]],
+    ];
+    let batches = to_batches(&raw);
+    let mut delta_miner = build(
+        Algorithm::Vertical,
+        2,
+        MinSup::absolute(2),
+        StorageBackend::Memory,
+        1,
+        None,
+        true,
+    );
+    let mut oracle = build(
+        Algorithm::Vertical,
+        2,
+        MinSup::absolute(2),
+        StorageBackend::Memory,
+        1,
+        None,
+        false,
+    );
+    delta_miner.ingest_batch(&batches[0]).unwrap();
+    delta_miner.ingest_batch(&batches[1]).unwrap();
+    oracle.ingest_batch(&batches[0]).unwrap();
+    oracle.ingest_batch(&batches[1]).unwrap();
+    let at_hold = delta_miner.mine().unwrap();
+    assert!(at_hold.same_patterns_as(&oracle.mine().unwrap()));
+
+    // Hold the epoch, then keep sliding + delta-mining while a reader mines
+    // the frozen epoch on its own thread.
+    let held = delta_miner.snapshot().unwrap();
+    let reader = thread::spawn(move || (held.last_batch_id(), held.mine().unwrap()));
+    for batch in &batches[2..] {
+        delta_miner.ingest_batch(batch).unwrap();
+        oracle.ingest_batch(batch).unwrap();
+        let incremental = delta_miner.mine().unwrap();
+        let full = oracle.mine().unwrap();
+        assert!(
+            incremental.same_patterns_as(&full),
+            "delta diverged while the snapshot was held: {:?}",
+            full.diff(&incremental)
+        );
+        assert_eq!(incremental.stats().delta.full_rebuilds, 0);
+    }
+    let (held_epoch, held_result) = reader.join().unwrap();
+    assert_eq!(held_epoch, Some(1));
+    assert!(
+        held_result.same_patterns_as(&at_hold),
+        "held snapshot no longer reproduces its epoch: {:?}",
+        at_hold.diff(&held_result)
+    );
+}
+
+/// Repeating `mine_delta` without an intervening ingest is idempotent and
+/// does not recount anything.
+#[test]
+fn repeated_delta_mines_are_idempotent() {
+    let mut miner = build(
+        Algorithm::Vertical,
+        2,
+        MinSup::absolute(2),
+        StorageBackend::Memory,
+        1,
+        None,
+        true,
+    );
+    miner
+        .ingest_batch(&to_batches(&[vec![vec![0, 1, 2], vec![0, 2, 3]]])[0])
+        .unwrap();
+    let first = miner.mine().unwrap();
+    let again = miner.mine().unwrap();
+    assert!(first.same_patterns_as(&again));
+    assert_eq!(again.stats().delta.full_rebuilds, 0);
+    assert_eq!(again.stats().delta.slides_applied, 0);
+    assert_eq!(again.stats().delta.patterns_reexamined, 0);
+}

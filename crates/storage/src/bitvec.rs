@@ -10,6 +10,75 @@ use std::fmt;
 
 const WORD_BITS: usize = 64;
 
+/// Word-lane width of the unrolled intersection kernels.
+///
+/// The hot kernels below process four independent `u64` lanes per iteration
+/// (with a scalar tail), which is the portable idiom LLVM turns into SIMD
+/// `AND` + `popcnt` sequences on every target the workspace builds for — no
+/// intrinsics, no `unsafe`, nothing the shims-only build environment cannot
+/// compile.  Four lanes is the sweet spot: it matches one AVX2 register (or
+/// two NEON registers) and keeps the popcount accumulators independent so
+/// the adds pipeline instead of serialising on one register.
+const LANES: usize = 4;
+
+/// Unrolled popcount of `a[i] & b[i]` over two equal-length word slices.
+#[inline]
+fn and_count_slices(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0u64; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        lanes[0] += u64::from((ca[0] & cb[0]).count_ones());
+        lanes[1] += u64::from((ca[1] & cb[1]).count_ones());
+        lanes[2] += u64::from((ca[2] & cb[2]).count_ones());
+        lanes[3] += u64::from((ca[3] & cb[3]).count_ones());
+    }
+    let mut count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        count += u64::from((x & y).count_ones());
+    }
+    count
+}
+
+/// Unrolled fused intersection `dst[i] = a[i] & b[i]` over three
+/// equal-length word slices, returning the popcount of the result.
+#[inline]
+fn and_into_slices(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut lanes = [0u64; LANES];
+    let mut chunks_d = dst.chunks_exact_mut(LANES);
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for ((cd, ca), cb) in (&mut chunks_d).zip(&mut chunks_a).zip(&mut chunks_b) {
+        let m0 = ca[0] & cb[0];
+        let m1 = ca[1] & cb[1];
+        let m2 = ca[2] & cb[2];
+        let m3 = ca[3] & cb[3];
+        lanes[0] += u64::from(m0.count_ones());
+        lanes[1] += u64::from(m1.count_ones());
+        lanes[2] += u64::from(m2.count_ones());
+        lanes[3] += u64::from(m3.count_ones());
+        cd[0] = m0;
+        cd[1] = m1;
+        cd[2] = m2;
+        cd[3] = m3;
+    }
+    let mut count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for ((d, &x), &y) in chunks_d
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_a.remainder())
+        .zip(chunks_b.remainder())
+    {
+        let masked = x & y;
+        count += u64::from(masked.count_ones());
+        *d = masked;
+    }
+    count
+}
+
 /// A growable vector of bits backed by `u64` words.
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitVec {
@@ -137,16 +206,11 @@ impl BitVec {
         out.words.clear();
         out.words.resize(self.words.len(), 0);
         let overlap = self.words.len().min(other.words.len());
-        let mut count = 0u64;
-        for ((dst, &a), &b) in out.words[..overlap]
-            .iter_mut()
-            .zip(&self.words[..overlap])
-            .zip(&other.words[..overlap])
-        {
-            let masked = a & b;
-            count += u64::from(masked.count_ones());
-            *dst = masked;
-        }
+        let count = and_into_slices(
+            &mut out.words[..overlap],
+            &self.words[..overlap],
+            &other.words[..overlap],
+        );
         out.len = self.len;
         count
     }
@@ -168,11 +232,51 @@ impl BitVec {
 
     /// Counts the set bits of `self & other` without materialising the result.
     pub fn and_count(&self, other: &BitVec) -> u64 {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as u64)
-            .sum()
+        let overlap = self.words.len().min(other.words.len());
+        and_count_slices(&self.words[..overlap], &other.words[..overlap])
+    }
+
+    /// Number of set bits with column index in `[start, end)`, clamped to the
+    /// vector length.
+    ///
+    /// This is the per-segment support attribution primitive of the delta
+    /// miner: a pattern's tidset over a snapshot view starts at column 0, so
+    /// its support contribution from one window segment is exactly the
+    /// popcount of the segment's column range.  Interior whole words go
+    /// through the unrolled slice kernel; the two boundary words are masked
+    /// individually.
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        let end = end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        let first = start / WORD_BITS;
+        let last = (end - 1) / WORD_BITS;
+        let head_mask = u64::MAX << (start % WORD_BITS);
+        let tail_bits = end % WORD_BITS;
+        let tail_mask = if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        if first == last {
+            return u64::from((self.words[first] & head_mask & tail_mask).count_ones());
+        }
+        let mut count = u64::from((self.words[first] & head_mask).count_ones());
+        let interior = &self.words[first + 1..last];
+        let mut lanes = [0u64; LANES];
+        let mut chunks = interior.chunks_exact(LANES);
+        for c in &mut chunks {
+            lanes[0] += u64::from(c[0].count_ones());
+            lanes[1] += u64::from(c[1].count_ones());
+            lanes[2] += u64::from(c[2].count_ones());
+            lanes[3] += u64::from(c[3].count_ones());
+        }
+        count += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for &w in chunks.remainder() {
+            count += u64::from(w.count_ones());
+        }
+        count + u64::from((self.words[last] & tail_mask).count_ones())
     }
 
     /// Word-stream twin of [`BitVec::and_count`]: counts the set bits of the
@@ -185,11 +289,26 @@ impl BitVec {
     where
         I: IntoIterator<Item = u64>,
     {
-        self.words
-            .iter()
-            .zip(other)
-            .map(|(a, b)| (a & b).count_ones() as u64)
-            .sum()
+        let mut stream = other.into_iter();
+        let mut lanes = [0u64; LANES];
+        let mut chunks = self.words.chunks_exact(LANES);
+        for c in &mut chunks {
+            // Pull a full block; a `None` mid-block ends the stream, and the
+            // remaining lanes intersect with zero.
+            let (b0, b1, b2, b3) = (stream.next(), stream.next(), stream.next(), stream.next());
+            lanes[0] += u64::from((c[0] & b0.unwrap_or(0)).count_ones());
+            lanes[1] += u64::from((c[1] & b1.unwrap_or(0)).count_ones());
+            lanes[2] += u64::from((c[2] & b2.unwrap_or(0)).count_ones());
+            lanes[3] += u64::from((c[3] & b3.unwrap_or(0)).count_ones());
+            if b3.is_none() {
+                return lanes.iter().sum();
+            }
+        }
+        let mut count: u64 = lanes.iter().sum();
+        for &a in chunks.remainder() {
+            count += u64::from((a & stream.next().unwrap_or(0)).count_ones());
+        }
+        count
     }
 
     /// Word-stream twin of [`BitVec::and_into`]: writes the intersection of
@@ -202,12 +321,41 @@ impl BitVec {
     {
         out.words.clear();
         out.words.resize(self.words.len(), 0);
-        let mut words = other.into_iter();
-        let mut count = 0u64;
-        for (dst, &a) in out.words.iter_mut().zip(&self.words) {
-            let masked = a & words.next().unwrap_or(0);
-            count += u64::from(masked.count_ones());
-            *dst = masked;
+        let mut stream = other.into_iter();
+        let mut lanes = [0u64; LANES];
+        let mut chunks_d = out.words.chunks_exact_mut(LANES);
+        let mut chunks_a = self.words.chunks_exact(LANES);
+        let mut exhausted = false;
+        for (cd, ca) in (&mut chunks_d).zip(&mut chunks_a) {
+            let (b0, b1, b2, b3) = (stream.next(), stream.next(), stream.next(), stream.next());
+            let m0 = ca[0] & b0.unwrap_or(0);
+            let m1 = ca[1] & b1.unwrap_or(0);
+            let m2 = ca[2] & b2.unwrap_or(0);
+            let m3 = ca[3] & b3.unwrap_or(0);
+            lanes[0] += u64::from(m0.count_ones());
+            lanes[1] += u64::from(m1.count_ones());
+            lanes[2] += u64::from(m2.count_ones());
+            lanes[3] += u64::from(m3.count_ones());
+            cd[0] = m0;
+            cd[1] = m1;
+            cd[2] = m2;
+            cd[3] = m3;
+            if b3.is_none() {
+                exhausted = true;
+                break;
+            }
+        }
+        let mut count: u64 = lanes.iter().sum();
+        if !exhausted {
+            for (dst, &a) in chunks_d
+                .into_remainder()
+                .iter_mut()
+                .zip(chunks_a.remainder())
+            {
+                let masked = a & stream.next().unwrap_or(0);
+                count += u64::from(masked.count_ones());
+                *dst = masked;
+            }
         }
         out.len = self.len;
         count
@@ -230,8 +378,24 @@ impl BitVec {
         self.words.resize(len.div_ceil(WORD_BITS), 0);
         let mut a = a.into_iter();
         let mut b = b.into_iter();
-        let mut count = 0u64;
-        for dst in &mut self.words {
+        let mut lanes = [0u64; LANES];
+        let mut chunks = self.words.chunks_exact_mut(LANES);
+        for cd in &mut chunks {
+            let m0 = a.next().unwrap_or(0) & b.next().unwrap_or(0);
+            let m1 = a.next().unwrap_or(0) & b.next().unwrap_or(0);
+            let m2 = a.next().unwrap_or(0) & b.next().unwrap_or(0);
+            let m3 = a.next().unwrap_or(0) & b.next().unwrap_or(0);
+            lanes[0] += u64::from(m0.count_ones());
+            lanes[1] += u64::from(m1.count_ones());
+            lanes[2] += u64::from(m2.count_ones());
+            lanes[3] += u64::from(m3.count_ones());
+            cd[0] = m0;
+            cd[1] = m1;
+            cd[2] = m2;
+            cd[3] = m3;
+        }
+        let mut count: u64 = lanes.iter().sum();
+        for dst in chunks.into_remainder() {
             let masked = a.next().unwrap_or(0) & b.next().unwrap_or(0);
             count += u64::from(masked.count_ones());
             *dst = masked;
@@ -543,6 +707,70 @@ mod tests {
         let count = out.assign_and_of_words(130, a.as_words().iter().copied(), [u64::MAX]);
         assert_eq!(out.len(), 130);
         assert_eq!(count, a.as_words()[0].count_ones() as u64);
+    }
+
+    /// Deterministic pseudo-random vector for kernel agreement tests: long
+    /// enough to exercise the 4-word unrolled blocks, with a length that
+    /// leaves a scalar tail.
+    fn lcg_bits(seed: u64, len: usize) -> BitVec {
+        let mut state = seed | 1;
+        BitVec::from_bools((0..len).map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        }))
+    }
+
+    #[test]
+    fn unrolled_kernels_match_naive_references_across_lengths() {
+        // Lengths straddle every unroll boundary: sub-word, one block,
+        // block + tail, many blocks + tail.
+        for (la, lb) in [(0, 64), (63, 65), (256, 256), (257, 510), (700, 383)] {
+            let a = lcg_bits(la as u64 + 1, la);
+            let b = lcg_bits(lb as u64 + 2, lb);
+            let naive: u64 = (0..la.min(lb)).filter(|&i| a.get(i) && b.get(i)).count() as u64;
+            assert_eq!(a.and_count(&b), naive, "and_count {la}x{lb}");
+            assert_eq!(a.and_count_words(b.as_words().iter().copied()), naive);
+            let mut out = BitVec::new();
+            assert_eq!(a.and_into(&b, &mut out), naive, "and_into {la}x{lb}");
+            assert_eq!(out, a.and(&b));
+            let mut streamed = BitVec::new();
+            assert_eq!(
+                a.and_into_words(b.as_words().iter().copied(), &mut streamed),
+                naive
+            );
+            assert_eq!(streamed, out);
+            let mut assigned = BitVec::new();
+            let count = assigned.assign_and_of_words(
+                la.min(lb),
+                a.as_words().iter().copied(),
+                b.as_words().iter().copied(),
+            );
+            assert_eq!(count, naive, "assign_and_of_words {la}x{lb}");
+        }
+    }
+
+    #[test]
+    fn count_range_matches_a_bit_loop() {
+        let v = lcg_bits(42, 517);
+        for (start, end) in [
+            (0, 0),
+            (0, 517),
+            (0, 64),
+            (1, 63),
+            (63, 65),
+            (64, 128),
+            (100, 101),
+            (130, 517),
+            (200, 9999),
+            (517, 600),
+            (30, 30),
+            (40, 12),
+        ] {
+            let naive = (start..end.min(517)).filter(|&i| v.get(i)).count() as u64;
+            assert_eq!(v.count_range(start, end), naive, "range {start}..{end}");
+        }
     }
 
     #[test]
