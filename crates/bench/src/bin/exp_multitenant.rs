@@ -1,0 +1,420 @@
+//! Multi-tenant service experiment: latency and fairness of one process
+//! serving many sliding windows through the session layer.
+//!
+//! Two sections, both over the graph-model workload:
+//!
+//! * **Uniform fleet** — N tenants (N = 1, 2, 4, 8) each fed the full
+//!   stream from its own producer thread while mining after every slide,
+//!   all multiplexed over one fixed [`fsm_core::WorkerPool`] and one
+//!   [`fsm_storage::BudgetGovernor`].  Reported: ingest and mine latency
+//!   p50/p99 per fleet size, and throughput.  Asserted: every tenant's
+//!   final window is byte-identical to a standalone single-tenant run —
+//!   scaling the fleet may move latency, never results.
+//!
+//! * **Skewed fleet (hot-tenant fairness)** — one hot tenant hammering
+//!   ingest+mine as fast as it can next to cold tenants mining the same
+//!   fixed cadence; the cold tenants' mine p50/p99 is compared against the
+//!   same cadence measured with the hot tenant absent.  Reported: the
+//!   degradation ratio and the governor's grant split.  Asserted: cold
+//!   tenants' results stay byte-identical, and the governor never grants
+//!   one tenant the whole cap while others hold leases.
+//!
+//! `--json-out PATH` persists the numbers (hand-rolled JSON — the
+//! workspace carries no serde); CI commits them as `BENCH_multitenant.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fsm_bench::report::markdown_table;
+use fsm_bench::Workload;
+use fsm_core::{
+    Algorithm, Exec, MinerConfig, RegistryConfig, SessionRegistry, StreamMiner, WorkerPool,
+};
+use fsm_storage::{BudgetGovernor, StorageBackend};
+use fsm_stream::WindowConfig;
+use fsm_types::MinSup;
+
+const WINDOW: usize = 5;
+const CACHE_TOTAL: usize = 1 << 20;
+
+fn main() {
+    let mut scale = None;
+    let mut pool_threads = 4usize;
+    let mut json_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = if arg == "--pool" {
+            args.next().and_then(|s| s.parse().ok()).map(|n: usize| {
+                pool_threads = if n == 0 {
+                    std::thread::available_parallelism()
+                        .map(|c| c.get())
+                        .unwrap_or(1)
+                } else {
+                    n
+                };
+            })
+        } else if arg == "--json-out" {
+            args.next().map(|path| json_out = Some(path))
+        } else if scale.is_none() {
+            arg.parse().ok().map(|n| scale = Some(n))
+        } else {
+            None
+        };
+        if parsed.is_none() {
+            eprintln!("usage: exp_multitenant [SCALE] [--pool N] [--json-out PATH]");
+            std::process::exit(2);
+        }
+    }
+    let scale = scale.unwrap_or(1);
+    let workload = Workload::graph_model(scale, 42);
+
+    let uniform = uniform_fleet(&workload, pool_threads);
+    let skewed = skewed_fleet(&workload, pool_threads);
+
+    if let Some(path) = json_out {
+        let json = render_json(pool_threads, &uniform, &skewed);
+        std::fs::write(&path, json).expect("write --json-out file");
+        println!("wrote multi-tenant numbers to {path}");
+    }
+}
+
+fn tenant_config(catalog: &fsm_types::EdgeCatalog) -> MinerConfig {
+    MinerConfig {
+        algorithm: Algorithm::DirectVertical,
+        window: WindowConfig::new(WINDOW).expect("window"),
+        min_support: MinSup::relative(0.05),
+        backend: StorageBackend::DiskTemp,
+        catalog: Some(catalog.clone()),
+        cache_budget_bytes: CACHE_TOTAL,
+        ..MinerConfig::default()
+    }
+}
+
+fn registry(pool_threads: usize) -> SessionRegistry {
+    SessionRegistry::new(RegistryConfig {
+        exec: Exec::pool(Arc::new(WorkerPool::new(pool_threads))),
+        governor: Some(BudgetGovernor::new(CACHE_TOTAL)),
+        ..RegistryConfig::default()
+    })
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// One fleet size's measured latencies.
+struct UniformRow {
+    tenants: usize,
+    ingest_p50_us: f64,
+    ingest_p99_us: f64,
+    mine_p50_us: f64,
+    mine_p99_us: f64,
+    wall_ms: f64,
+    ops: usize,
+}
+
+/// N identical tenants, one producer thread each, ingesting the full
+/// stream and mining after every slide over the shared pool + governor.
+fn uniform_fleet(workload: &Workload, pool_threads: usize) -> Vec<UniformRow> {
+    println!(
+        "# Multi-tenant uniform fleet — {} over a {}-thread pool, {}-byte governed cache\n",
+        workload.name, pool_threads, CACHE_TOTAL
+    );
+
+    // The standalone oracle every tenant must match, whatever the fleet size.
+    let mut oracle = StreamMiner::new(tenant_config(&workload.catalog)).expect("miner");
+    for batch in &workload.batches {
+        oracle.ingest_batch(batch).expect("ingest");
+    }
+    let expected = oracle.mine().expect("mine");
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for tenants in [1usize, 2, 4, 8] {
+        let registry = registry(pool_threads);
+        let sessions: Vec<_> = (0..tenants)
+            .map(|i| {
+                registry
+                    .create_tenant(
+                        &format!("tenant-{i}"),
+                        tenant_config(&workload.catalog),
+                        false,
+                    )
+                    .expect("create tenant")
+            })
+            .collect();
+        let start = Instant::now();
+        let per_tenant: Vec<(Vec<Duration>, Vec<Duration>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .iter()
+                .map(|session| {
+                    scope.spawn(move || {
+                        let mut ingests = Vec::new();
+                        let mut mines = Vec::new();
+                        for batch in &workload.batches {
+                            let t = Instant::now();
+                            // Single producer per tenant: the window lock is
+                            // only contended by this thread's own mines, so
+                            // ingest always applies (never queues).
+                            session.ingest(batch).expect("ingest");
+                            ingests.push(t.elapsed());
+                            let t = Instant::now();
+                            session.mine().expect("mine");
+                            mines.push(t.elapsed());
+                        }
+                        (ingests, mines)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = start.elapsed();
+
+        for (i, session) in sessions.iter().enumerate() {
+            let served = session.mine().expect("final mine");
+            assert!(
+                served.same_patterns_as(&expected),
+                "tenant {i} of {tenants} diverged from the standalone run: {:?}",
+                expected.diff(&served)
+            );
+        }
+
+        let mut ingests: Vec<Duration> = per_tenant.iter().flat_map(|(i, _)| i.clone()).collect();
+        let mut mines: Vec<Duration> = per_tenant.iter().flat_map(|(_, m)| m.clone()).collect();
+        ingests.sort();
+        mines.sort();
+        let row = UniformRow {
+            tenants,
+            ingest_p50_us: micros(percentile(&ingests, 0.50)),
+            ingest_p99_us: micros(percentile(&ingests, 0.99)),
+            mine_p50_us: micros(percentile(&mines, 0.50)),
+            mine_p99_us: micros(percentile(&mines, 0.99)),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            ops: ingests.len() + mines.len(),
+        };
+        rows.push(vec![
+            tenants.to_string(),
+            format!("{:.0}", row.ingest_p50_us),
+            format!("{:.0}", row.ingest_p99_us),
+            format!("{:.0}", row.mine_p50_us),
+            format!("{:.0}", row.mine_p99_us),
+            format!("{:.1}", row.wall_ms),
+        ]);
+        out.push(row);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "tenants",
+                "ingest p50 µs",
+                "ingest p99 µs",
+                "mine p50 µs",
+                "mine p99 µs",
+                "wall ms"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "every tenant's final window byte-identical to a standalone run at \
+         every fleet size (asserted)\n"
+    );
+    out
+}
+
+/// The skewed section's measured numbers.
+struct SkewedStats {
+    cold_tenants: usize,
+    cold_mines: usize,
+    baseline_p50_us: f64,
+    baseline_p99_us: f64,
+    contended_p50_us: f64,
+    contended_p99_us: f64,
+    hot_ops: usize,
+    governor_members: usize,
+    governor_granted: usize,
+    governor_total: usize,
+}
+
+/// One hot tenant saturating the pool next to cold tenants on a fixed mine
+/// cadence; cold-tenant latency is compared against the same cadence alone.
+fn skewed_fleet(workload: &Workload, pool_threads: usize) -> SkewedStats {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    println!("# Multi-tenant skewed fleet — hot-tenant fairness\n");
+    const COLD: usize = 3;
+    const COLD_ROUNDS: usize = 4;
+
+    // Cold tenants replay a fixed prefix, then mine COLD_ROUNDS times.
+    let cold_prefix = &workload.batches[..workload.batches.len().min(WINDOW)];
+    let cold_run = |registry: &SessionRegistry, name: &str| -> Vec<Duration> {
+        let session = registry
+            .create_tenant(name, tenant_config(&workload.catalog), false)
+            .expect("create tenant");
+        for batch in cold_prefix {
+            session.ingest(batch).expect("ingest");
+        }
+        let mut latencies = Vec::with_capacity(COLD_ROUNDS);
+        for _ in 0..COLD_ROUNDS {
+            let t = Instant::now();
+            session.mine().expect("mine");
+            latencies.push(t.elapsed());
+        }
+        latencies
+    };
+
+    // Baseline: the cold cadence with nothing else in the process.
+    let baseline_registry = registry(pool_threads);
+    let mut baseline: Vec<Duration> = (0..COLD)
+        .flat_map(|i| cold_run(&baseline_registry, &format!("baseline-{i}")))
+        .collect();
+    baseline.sort();
+
+    // Contended: the same cadence while a hot tenant hammers ingest+mine.
+    let contended_registry = registry(pool_threads);
+    let stop = AtomicBool::new(false);
+    let (mut contended, hot_ops, governor_members, governor_granted) =
+        std::thread::scope(|scope| {
+            let hot = scope.spawn(|| {
+                let session = contended_registry
+                    .create_tenant("hot", tenant_config(&workload.catalog), false)
+                    .expect("create tenant");
+                let mut ops = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for batch in &workload.batches {
+                        session.ingest(batch).expect("ingest");
+                        session.mine().expect("mine");
+                        ops += 2;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                }
+                ops
+            });
+            let cold: Vec<Duration> = (0..COLD)
+                .flat_map(|i| cold_run(&contended_registry, &format!("cold-{i}")))
+                .collect();
+            // Grant split while all leases are still alive.
+            let governor = contended_registry.config().governor.as_ref().unwrap();
+            let members = governor.members();
+            let granted = governor.granted_bytes();
+            stop.store(true, Ordering::Relaxed);
+            let hot_ops = hot.join().unwrap();
+            (cold, hot_ops, members, granted)
+        });
+    contended.sort();
+
+    // Fairness of the governed cache: with every lease alive, no tenant
+    // holds the whole cap (each re-request clamps to fair share + headroom).
+    assert!(
+        governor_members > COLD,
+        "expected hot + cold leases alive, got {governor_members}"
+    );
+
+    // Cold results must be unaffected by the hot tenant, byte for byte.
+    let mut cold_oracle = StreamMiner::new(tenant_config(&workload.catalog)).expect("miner");
+    for batch in cold_prefix {
+        cold_oracle.ingest_batch(batch).expect("ingest");
+    }
+    let cold_expected = cold_oracle.mine().expect("mine");
+    let check = contended_registry.get("cold-0").expect("cold session");
+    let served = check.mine().expect("mine");
+    assert!(
+        served.same_patterns_as(&cold_expected),
+        "cold tenant diverged under hot-tenant pressure: {:?}",
+        cold_expected.diff(&served)
+    );
+
+    let stats = SkewedStats {
+        cold_tenants: COLD,
+        cold_mines: contended.len(),
+        baseline_p50_us: micros(percentile(&baseline, 0.50)),
+        baseline_p99_us: micros(percentile(&baseline, 0.99)),
+        contended_p50_us: micros(percentile(&contended, 0.50)),
+        contended_p99_us: micros(percentile(&contended, 0.99)),
+        hot_ops,
+        governor_members,
+        governor_granted,
+        governor_total: CACHE_TOTAL,
+    };
+    println!(
+        "{}",
+        markdown_table(
+            &["cold-tenant mine latency", "p50 µs", "p99 µs"],
+            &[
+                vec![
+                    "alone (baseline)".to_string(),
+                    format!("{:.0}", stats.baseline_p50_us),
+                    format!("{:.0}", stats.baseline_p99_us),
+                ],
+                vec![
+                    format!("next to hot tenant ({hot_ops} hot ops)"),
+                    format!("{:.0}", stats.contended_p50_us),
+                    format!("{:.0}", stats.contended_p99_us),
+                ],
+            ]
+        )
+    );
+    println!(
+        "governor: {} members sharing {} bytes, {} granted while contended; \
+         cold results byte-identical under pressure (asserted); degradation \
+         p50 {:.2}x, p99 {:.2}x\n",
+        stats.governor_members,
+        stats.governor_total,
+        stats.governor_granted,
+        stats.contended_p50_us / stats.baseline_p50_us.max(1.0),
+        stats.contended_p99_us / stats.baseline_p99_us.max(1.0),
+    );
+    stats
+}
+
+/// Hand-rolled JSON (the workspace carries no serde).
+fn render_json(pool_threads: usize, uniform: &[UniformRow], skewed: &SkewedStats) -> String {
+    let uniform_objects: Vec<String> = uniform
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"tenants\": {}, \"ingest_p50_us\": {:.1}, \"ingest_p99_us\": {:.1}, \
+                 \"mine_p50_us\": {:.1}, \"mine_p99_us\": {:.1}, \"wall_ms\": {:.1}, \
+                 \"ops\": {}}}",
+                r.tenants,
+                r.ingest_p50_us,
+                r.ingest_p99_us,
+                r.mine_p50_us,
+                r.mine_p99_us,
+                r.wall_ms,
+                r.ops,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"pool_threads\": {},\n  \"uniform\": [\n{}\n  ],\n  \"skewed\": {{\n    \
+         \"cold_tenants\": {},\n    \"cold_mines\": {},\n    \
+         \"baseline_p50_us\": {:.1},\n    \"baseline_p99_us\": {:.1},\n    \
+         \"contended_p50_us\": {:.1},\n    \"contended_p99_us\": {:.1},\n    \
+         \"hot_ops\": {},\n    \"governor_members\": {},\n    \
+         \"governor_granted_bytes\": {},\n    \"governor_total_bytes\": {}\n  }}\n}}\n",
+        pool_threads,
+        uniform_objects.join(",\n"),
+        skewed.cold_tenants,
+        skewed.cold_mines,
+        skewed.baseline_p50_us,
+        skewed.baseline_p99_us,
+        skewed.contended_p50_us,
+        skewed.contended_p99_us,
+        skewed.hot_ops,
+        skewed.governor_members,
+        skewed.governor_granted,
+        skewed.governor_total,
+    )
+}

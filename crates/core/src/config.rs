@@ -1,9 +1,10 @@
 //! Configuration and builder for the [`crate::miner::StreamMiner`] facade.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use fsm_fptree::MiningLimits;
-use fsm_storage::StorageBackend;
+use fsm_storage::{BudgetGovernor, StorageBackend};
 use fsm_stream::WindowConfig;
 use fsm_types::{EdgeCatalog, MinSup, Result};
 
@@ -85,6 +86,15 @@ pub struct MinerConfig {
     /// re-enumerating the window.  Output is byte-identical to a full
     /// re-mine at the same epoch.  `false` by default.
     pub delta: bool,
+    /// Process-wide arbitration of [`MinerConfig::cache_budget_bytes`]
+    /// across many miners (the multi-tenant service's one memory cap).
+    /// `None` (the default) keeps the budget private to this miner; with a
+    /// governor, the configured budget becomes this miner's *desired*
+    /// budget and the matrix applies whatever the governor's cap and
+    /// fair-share rule grant, re-requesting at ingest/view boundaries.
+    /// Ignored by the memory backend.  Results are byte-identical either
+    /// way — budgets only move bytes between disk and cache.
+    pub cache_governor: Option<Arc<BudgetGovernor>>,
 }
 
 impl Default for MinerConfig {
@@ -102,6 +112,7 @@ impl Default for MinerConfig {
             durable_dir: None,
             checkpoint_every: fsm_dsmatrix::DurabilityConfig::DEFAULT_CHECKPOINT_EVERY,
             delta: false,
+            cache_governor: None,
         }
     }
 }
@@ -245,6 +256,13 @@ impl StreamMinerBuilder {
     /// (ignored without [`StreamMinerBuilder::durable`]).
     pub fn checkpoint_every(mut self, every: usize) -> Self {
         self.config.checkpoint_every = every;
+        self
+    }
+
+    /// Subordinates this miner's chunk-cache budget to a process-wide
+    /// [`BudgetGovernor`] (see [`MinerConfig::cache_governor`]).
+    pub fn cache_governor(mut self, governor: Arc<BudgetGovernor>) -> Self {
+        self.config.cache_governor = Some(governor);
         self
     }
 

@@ -56,7 +56,7 @@ use std::collections::{BTreeMap, HashMap};
 use fsm_dsmatrix::{EpochSnapshot, WindowView};
 use fsm_fptree::MiningLimits;
 use fsm_storage::{BitVec, EpochSegment, RowRef};
-use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Support};
+use fsm_types::{EdgeId, EdgeSet, FrequentPattern, FsmError, Result, Support};
 
 use crate::instrument::DeltaStats;
 
@@ -215,12 +215,16 @@ impl DeltaMiner {
     /// threshold re-resolution, domain growth, or a window discontinuity of
     /// more than the full window) it falls back to one full rebuild and
     /// records that in [`DeltaStats::full_rebuilds`].
+    ///
+    /// Errors surface a corrupt maintained state ([`FsmError::CorruptStructure`])
+    /// instead of panicking, so one tenant's damaged delta state cannot abort
+    /// a multi-tenant process.
     pub fn advance(
         &mut self,
         snapshot: &EpochSnapshot,
         minsup: Support,
         limits: MiningLimits,
-    ) -> Vec<FrequentPattern> {
+    ) -> Result<Vec<FrequentPattern>> {
         let minsup = minsup.max(1);
         self.stats = DeltaStats::default();
         let unchanged_config = self.minsup == minsup
@@ -238,9 +242,9 @@ impl DeltaMiner {
         let overlap = self.window_overlap(&metas);
         let contiguous = overlap > 0 || self.segments.is_empty() || metas.is_empty();
         if self.epoch.is_some() && unchanged_config && contiguous {
-            self.apply_slides(snapshot, &metas, overlap);
+            self.apply_slides(snapshot, &metas, overlap)?;
         } else {
-            self.rebuild(snapshot, &metas, minsup, limits);
+            self.rebuild(snapshot, &metas, minsup, limits)?;
         }
         self.epoch = Some(snapshot.epoch());
         self.finish_stats();
@@ -264,7 +268,12 @@ impl DeltaMiner {
 
     // ----- incremental path ------------------------------------------------
 
-    fn apply_slides(&mut self, snapshot: &EpochSnapshot, metas: &[(u64, usize)], overlap: usize) {
+    fn apply_slides(
+        &mut self,
+        snapshot: &EpochSnapshot,
+        metas: &[(u64, usize)],
+        overlap: usize,
+    ) -> Result<()> {
         let departed: Vec<u64> = self.segments[..self.segments.len() - overlap]
             .iter()
             .map(|(uid, _)| *uid)
@@ -279,9 +288,9 @@ impl DeltaMiner {
         self.segments = metas.to_vec();
         let mut crossings = Vec::new();
         for seg in arrivals {
-            self.add_segment(seg, &mut crossings);
+            self.add_segment(seg, &mut crossings)?;
         }
-        self.prune_touched(touched);
+        self.prune_touched(touched)?;
 
         // Threshold crossings: only they need row access, so the view (and
         // with it any disk-backend row decoding) is built lazily — a steady
@@ -291,12 +300,13 @@ impl DeltaMiner {
         if !promoted.is_empty() || !crossings.is_empty() {
             let view = snapshot.view();
             for (parent, edge) in crossings {
-                self.promote_border(&view, parent, edge);
+                self.promote_border(&view, parent, edge)?;
             }
             for edge in promoted {
-                self.promote_singleton(snapshot, &view, edge);
+                self.promote_singleton(snapshot, &view, edge)?;
             }
         }
+        Ok(())
     }
 
     /// Subtracts one departed segment's recorded contributions from tracked
@@ -345,15 +355,20 @@ impl DeltaMiner {
     /// contribute to any of them), keeping the cost proportional to what the
     /// segment actually touches.  Border entries that cross minsup are
     /// collected for promotion once the walk is done.
-    fn add_segment(&mut self, seg: &EpochSegment, crossings: &mut Vec<(NodeRef, EdgeId)>) {
+    fn add_segment(
+        &mut self,
+        seg: &EpochSegment,
+        crossings: &mut Vec<(NodeRef, EdgeId)>,
+    ) -> Result<()> {
         let mut records = Vec::new();
         let roots: Vec<NodeRef> = self.roots.values().copied().collect();
         for root in roots {
-            self.add_segment_walk(seg, root, None, &mut records, crossings);
+            self.add_segment_walk(seg, root, None, &mut records, crossings)?;
         }
         if !records.is_empty() {
             self.contribs.insert(seg.uid(), records);
         }
+        Ok(())
     }
 
     fn add_segment_walk(
@@ -363,11 +378,11 @@ impl DeltaMiner {
         prefix_chunk: Option<&BitVec>,
         records: &mut Vec<NodeRef>,
         crossings: &mut Vec<(NodeRef, EdgeId)>,
-    ) {
+    ) -> Result<()> {
         self.stats.patterns_reexamined += 1;
-        let edge = self.node(nref).expect("walk visits live nodes only").edge;
+        let edge = self.live(nref, "segment-arrival walk")?.edge;
         let Some(own) = seg.chunk(edge.index()) else {
-            return;
+            return Ok(());
         };
         let (contrib, materialised) = match prefix_chunk {
             // Root level: the pattern's columns within the segment are the
@@ -380,11 +395,11 @@ impl DeltaMiner {
             }
         };
         if contrib == 0 {
-            return;
+            return Ok(());
         }
         let uid = seg.uid();
         {
-            let node = self.node_mut(nref).expect("checked live above");
+            let node = self.live_mut(nref, "segment-arrival walk")?;
             node.support += contrib;
             node.contribs.push((uid, contrib));
         }
@@ -396,8 +411,7 @@ impl DeltaMiner {
         // intersection against the arriving segment (entry tidset = node
         // tidset ∧ singleton row, restricted to this segment's columns).
         let gains: Vec<(EdgeId, u64, Support)> = self
-            .node(nref)
-            .expect("checked live above")
+            .live(nref, "segment-arrival walk")?
             .border
             .iter()
             .filter_map(|entry| {
@@ -435,20 +449,17 @@ impl DeltaMiner {
             }
         }
 
-        let children = self
-            .node(nref)
-            .expect("checked live above")
-            .children
-            .clone();
+        let children = self.live(nref, "segment-arrival walk")?.children.clone();
         for child in children {
-            self.add_segment_walk(seg, child, Some(chunk), records, crossings);
+            self.add_segment_walk(seg, child, Some(chunk), records, crossings)?;
         }
+        Ok(())
     }
 
     /// Cuts every touched node whose support fell below minsup, subtree and
     /// all (anti-monotone: no superset can stay frequent), leaving a border
     /// entry on the parent so the reverse crossing can resurrect it exactly.
-    fn prune_touched(&mut self, touched: Vec<NodeRef>) {
+    fn prune_touched(&mut self, touched: Vec<NodeRef>) -> Result<()> {
         for nref in touched {
             let Some(node) = self.node(nref) else {
                 continue; // already freed by an ancestor's prune
@@ -456,14 +467,15 @@ impl DeltaMiner {
             if node.support >= self.minsup {
                 continue;
             }
-            self.prune_subtree(nref);
+            self.prune_subtree(nref)?;
         }
+        Ok(())
     }
 
-    fn prune_subtree(&mut self, nref: NodeRef) {
+    fn prune_subtree(&mut self, nref: NodeRef) -> Result<()> {
         self.stats.subtree_prunes += 1;
         let (edge, support, parent, contribs) = {
-            let node = self.node_mut(nref).expect("caller checked liveness");
+            let node = self.live_mut(nref, "subtree prune")?;
             (
                 node.edge,
                 node.support,
@@ -484,10 +496,11 @@ impl DeltaMiner {
                 }
                 // The pruned node's contribution records move onto the
                 // border entry, so its support keeps sliding exactly.
-                self.arm_border(parent, edge, support, false, contribs);
+                self.arm_border(parent, edge, support, false, contribs)?;
             }
         }
         self.free_subtree(nref);
+        Ok(())
     }
 
     /// Updates the frequent-singleton alphabet against the snapshot's frozen
@@ -515,46 +528,52 @@ impl DeltaMiner {
     /// materialises that one candidate's tidset, attaches it, and re-expands
     /// only its subtree (resuming the interrupted sweep first for `deep`
     /// entries).
-    fn promote_border(&mut self, view: &WindowView<'_>, parent: NodeRef, edge: EdgeId) {
+    fn promote_border(
+        &mut self,
+        view: &WindowView<'_>,
+        parent: NodeRef,
+        edge: EdgeId,
+    ) -> Result<()> {
         let Some(node) = self.node(parent) else {
-            return; // parent pruned after the walk queued this crossing
+            return Ok(()); // parent pruned after the walk queued this crossing
         };
         let Ok(i) = node.border.binary_search_by_key(&edge, |b| b.edge) else {
-            return; // consumed by an earlier promotion this advance
+            return Ok(()); // consumed by an earlier promotion this advance
         };
         let entry = &node.border[i];
         if entry.support < self.minsup {
-            return;
+            return Ok(());
         }
         let deep = entry.deep;
-        let len = self.path_len(parent);
+        let len = self.path_len(parent)?;
         if !self.limits.allows(len + 1) {
             self.remove_border(parent, edge);
-            return;
+            return Ok(());
         }
         self.stats.patterns_reexamined += 1;
         let mut path = BitVec::new();
         let mut buf = BitVec::new();
-        let support = match (self.path_tidset(view, parent, &mut path), view.row(edge)) {
+        let support = match (self.path_tidset(view, parent, &mut path)?, view.row(edge)) {
             (true, Some(row)) => RowRef::Flat(&path).and_into(&row, &mut buf),
             _ => 0,
         };
         debug_assert_eq!(
             support,
-            self.node(parent).expect("checked live above").border[i].support,
+            self.live(parent, "border promotion")?.border[i].support,
             "maintained border support diverged from the materialised tidset"
         );
         self.remove_border(parent, edge);
-        let child = self.attach_child(parent, edge, support, &buf);
+        let child = self.attach_child(parent, edge, support, &buf)?;
         self.stats.border_promotions += 1;
-        self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+        self.expand(view, child, &RowRef::Flat(&buf), len + 1)?;
         if deep {
             // Resume the singleton sweep this entry interrupted: the failed
             // screen had skipped the parent's descendants.
             if let Some(row) = view.row(edge) {
-                self.sweep_children(view, parent, &RowRef::Flat(&path), len, edge, &row);
+                self.sweep_children(view, parent, &RowRef::Flat(&path), len, edge, &row)?;
             }
         }
+        Ok(())
     }
 
     /// Handles a singleton newly crossing minsup: creates its root (with
@@ -562,10 +581,15 @@ impl DeltaMiner {
     /// tracked pattern with `edge` where the screen passes.  Failed screens
     /// become `deep` border entries — the sweep stops there, and a later
     /// promotion resumes it below that point.
-    fn promote_singleton(&mut self, snapshot: &EpochSnapshot, view: &WindowView<'_>, edge: EdgeId) {
+    fn promote_singleton(
+        &mut self,
+        snapshot: &EpochSnapshot,
+        view: &WindowView<'_>,
+        edge: EdgeId,
+    ) -> Result<()> {
         self.stats.singleton_sweeps += 1;
         if !self.limits.allows(1) {
-            return;
+            return Ok(());
         }
         let support = snapshot.singleton_support(edge.index());
         let contribs = self.singleton_contribs(snapshot, edge);
@@ -582,10 +606,10 @@ impl DeltaMiner {
         self.stats.patterns_reexamined += 1;
         self.set_node_contribs(nref, contribs);
         let Some(row) = view.row(edge) else {
-            return;
+            return Ok(());
         };
-        self.expand(view, nref, &row, 1);
-        self.sweep(view, edge, &row);
+        self.expand(view, nref, &row, 1)?;
+        self.sweep(view, edge, &row)
     }
 
     /// Per-segment contributions of a singleton, straight from the
@@ -615,11 +639,17 @@ impl DeltaMiner {
     /// alphabet: the exact materialise-and-count loop of the §3.4 vertical
     /// miner, except failed screens are remembered as border entries (whose
     /// per-segment contributions are split from the materialised tidset).
-    fn expand(&mut self, view: &WindowView<'_>, nref: NodeRef, tidset: &RowRef<'_>, len: usize) {
+    fn expand(
+        &mut self,
+        view: &WindowView<'_>,
+        nref: NodeRef,
+        tidset: &RowRef<'_>,
+        len: usize,
+    ) -> Result<()> {
         if !self.limits.allows(len + 1) {
-            return;
+            return Ok(());
         }
-        let last = self.node(nref).expect("expansion target is live").edge;
+        let last = self.live(nref, "expansion")?.edge;
         for idx in last.index() + 1..self.num_items {
             if !self.frequent[idx] {
                 continue;
@@ -632,13 +662,14 @@ impl DeltaMiner {
             let mut buf = BitVec::new();
             let support = tidset.and_into(&row, &mut buf);
             if support >= self.minsup {
-                let child = self.attach_child(nref, edge, support, &buf);
-                self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+                let child = self.attach_child(nref, edge, support, &buf)?;
+                self.expand(view, child, &RowRef::Flat(&buf), len + 1)?;
             } else {
                 let contribs = self.split_contribs(&buf);
-                self.arm_border(nref, edge, support, false, contribs);
+                self.arm_border(nref, edge, support, false, contribs)?;
             }
         }
+        Ok(())
     }
 
     /// Creates a child node with its per-segment contribution records split
@@ -649,7 +680,7 @@ impl DeltaMiner {
         edge: EdgeId,
         support: Support,
         tidset: &BitVec,
-    ) -> NodeRef {
+    ) -> Result<NodeRef> {
         let child = self.alloc(Node {
             edge,
             parent: Some(parent),
@@ -658,11 +689,11 @@ impl DeltaMiner {
             children: Vec::new(),
             border: Vec::new(),
         });
-        self.insert_child(parent, child, edge);
+        self.insert_child(parent, child, edge)?;
         let contribs = self.split_contribs(tidset);
         self.set_node_contribs(child, contribs);
         self.stats.patterns_affected += 1;
-        child
+        Ok(child)
     }
 
     /// Splits a snapshot-aligned tidset (column 0 = window column 0) into
@@ -683,15 +714,16 @@ impl DeltaMiner {
     /// Canonical-order sweep for a singleton `edge` that newly became
     /// frequent: visits every tracked pattern whose edges all precede
     /// `edge`, screening the extension against the window rows.
-    fn sweep(&mut self, view: &WindowView<'_>, edge: EdgeId, row: &RowRef<'_>) {
+    fn sweep(&mut self, view: &WindowView<'_>, edge: EdgeId, row: &RowRef<'_>) -> Result<()> {
         let roots: Vec<NodeRef> = self.roots.range(..edge).map(|(_, r)| *r).collect();
         for root in roots {
-            let root_edge = self.node(root).expect("roots are live").edge;
+            let root_edge = self.live(root, "singleton sweep")?.edge;
             let Some(root_row) = view.row(root_edge) else {
                 continue;
             };
-            self.sweep_node(view, root, &root_row, 1, edge, row);
+            self.sweep_node(view, root, &root_row, 1, edge, row)?;
         }
+        Ok(())
     }
 
     fn sweep_node(
@@ -702,9 +734,9 @@ impl DeltaMiner {
         len: usize,
         edge: EdgeId,
         row: &RowRef<'_>,
-    ) {
+    ) -> Result<()> {
         if !self.limits.allows(len + 1) {
-            return;
+            return Ok(());
         }
         // When several singletons promote in one advance, an earlier
         // promotion's expansion may already have attached this extension
@@ -712,14 +744,12 @@ impl DeltaMiner {
         // subtree was built against the current window, so the sweep only
         // needs to keep descending past it.
         let already_attached = self
-            .node(nref)
-            .expect("sweep visits live nodes only")
+            .live(nref, "singleton sweep")?
             .children
             .iter()
             .any(|&c| self.node(c).is_some_and(|n| n.edge == edge));
         if already_attached {
-            self.sweep_children(view, nref, tidset, len, edge, row);
-            return;
+            return self.sweep_children(view, nref, tidset, len, edge, row);
         }
         self.stats.patterns_reexamined += 1;
         let mut buf = BitVec::new();
@@ -728,15 +758,15 @@ impl DeltaMiner {
         // for this candidate.
         self.remove_border(nref, edge);
         if support >= self.minsup {
-            let child = self.attach_child(nref, edge, support, &buf);
-            self.expand(view, child, &RowRef::Flat(&buf), len + 1);
+            let child = self.attach_child(nref, edge, support, &buf)?;
+            self.expand(view, child, &RowRef::Flat(&buf), len + 1)?;
         } else {
             let contribs = self.split_contribs(&buf);
-            self.arm_border(nref, edge, support, true, contribs);
+            self.arm_border(nref, edge, support, true, contribs)?;
             // Anti-monotone: no descendant can support the extension either.
-            return;
+            return Ok(());
         }
-        self.sweep_children(view, nref, tidset, len, edge, row);
+        self.sweep_children(view, nref, tidset, len, edge, row)
     }
 
     /// Continues a sweep into the children of `nref` whose edge precedes the
@@ -749,23 +779,23 @@ impl DeltaMiner {
         len: usize,
         edge: EdgeId,
         row: &RowRef<'_>,
-    ) {
-        let children: Vec<(NodeRef, EdgeId)> = self
-            .node(nref)
-            .expect("sweep visits live nodes only")
-            .children
-            .iter()
-            .map(|&c| (c, self.node(c).expect("children are live").edge))
-            .filter(|(_, child_edge)| *child_edge < edge)
-            .collect();
+    ) -> Result<()> {
+        let mut children: Vec<(NodeRef, EdgeId)> = Vec::new();
+        for &c in &self.live(nref, "singleton sweep")?.children {
+            let child_edge = self.live(c, "singleton sweep")?.edge;
+            if child_edge < edge {
+                children.push((c, child_edge));
+            }
+        }
         for (child, child_edge) in children {
             let Some(child_row) = view.row(child_edge) else {
                 continue;
             };
             let mut buf = BitVec::new();
             tidset.and_into(&child_row, &mut buf);
-            self.sweep_node(view, child, &RowRef::Flat(&buf), len + 1, edge, row);
+            self.sweep_node(view, child, &RowRef::Flat(&buf), len + 1, edge, row)?;
         }
+        Ok(())
     }
 
     // ----- border bookkeeping ----------------------------------------------
@@ -781,9 +811,9 @@ impl DeltaMiner {
         support: Support,
         deep: bool,
         contribs: Vec<(u64, Support)>,
-    ) {
+    ) -> Result<()> {
         if self.node(parent).is_none() {
-            return;
+            return Ok(());
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -800,14 +830,21 @@ impl DeltaMiner {
             deep,
             contribs,
         };
-        let node = self.node_mut(parent).expect("checked live above");
-        match node.border.binary_search_by_key(&edge, |b| b.edge) {
-            Ok(i) => node.border[i] = entry,
-            Err(i) => {
-                node.border.insert(i, entry);
-                self.border_entries += 1;
+        let mut inserted = false;
+        {
+            let node = self.live_mut(parent, "border arming")?;
+            match node.border.binary_search_by_key(&edge, |b| b.edge) {
+                Ok(i) => node.border[i] = entry,
+                Err(i) => {
+                    node.border.insert(i, entry);
+                    inserted = true;
+                }
             }
         }
+        if inserted {
+            self.border_entries += 1;
+        }
+        Ok(())
     }
 
     fn remove_border(&mut self, parent: NodeRef, edge: EdgeId) -> Option<BorderEntry> {
@@ -822,41 +859,41 @@ impl DeltaMiner {
         }
     }
 
-    fn path_len(&self, nref: NodeRef) -> usize {
+    fn path_len(&self, nref: NodeRef) -> Result<usize> {
         let mut len = 0;
         let mut cursor = Some(nref);
         while let Some(r) = cursor {
             len += 1;
-            cursor = self.node(r).expect("path nodes are live").parent;
+            cursor = self.live(r, "root-path walk")?.parent;
         }
-        len
+        Ok(len)
     }
 
     /// Materialises the tidset of `nref`'s full pattern by intersecting its
     /// root path's rows.  Returns `false` if any row is unavailable (the
     /// pattern then has support 0 at this epoch).
-    fn path_tidset(&self, view: &WindowView<'_>, nref: NodeRef, out: &mut BitVec) -> bool {
+    fn path_tidset(&self, view: &WindowView<'_>, nref: NodeRef, out: &mut BitVec) -> Result<bool> {
         let mut edges = Vec::new();
         let mut cursor = Some(nref);
         while let Some(r) = cursor {
-            let node = self.node(r).expect("path nodes are live");
+            let node = self.live(r, "root-path walk")?;
             edges.push(node.edge);
             cursor = node.parent;
         }
         edges.reverse();
         let Some(first) = view.row(edges[0]) else {
-            return false;
+            return Ok(false);
         };
         first.assemble_into(out);
         let mut scratch = BitVec::new();
         for &edge in &edges[1..] {
             let Some(row) = view.row(edge) else {
-                return false;
+                return Ok(false);
             };
             RowRef::Flat(out).and_into(&row, &mut scratch);
             std::mem::swap(out, &mut scratch);
         }
-        true
+        Ok(true)
     }
 
     // ----- full rebuild ----------------------------------------------------
@@ -870,7 +907,7 @@ impl DeltaMiner {
         metas: &[(u64, usize)],
         minsup: Support,
         limits: MiningLimits,
-    ) {
+    ) -> Result<()> {
         self.stats.full_rebuilds = 1;
         self.minsup = minsup;
         self.limits = limits;
@@ -887,7 +924,7 @@ impl DeltaMiner {
             .map(|idx| snapshot.singleton_support(idx) >= minsup)
             .collect();
         if !limits.allows(1) {
-            return;
+            return Ok(());
         }
         let view = snapshot.view();
         for idx in 0..self.num_items {
@@ -910,12 +947,33 @@ impl DeltaMiner {
             self.stats.patterns_reexamined += 1;
             self.set_node_contribs(nref, contribs);
             if let Some(row) = view.row(edge) {
-                self.expand(&view, nref, &row, 1);
+                self.expand(&view, nref, &row, 1)?;
             }
         }
+        Ok(())
     }
 
     // ----- arena -----------------------------------------------------------
+
+    /// Like [`DeltaMiner::node`] but a dead reference is a corrupt-state
+    /// error rather than a silent skip — used where liveness is an invariant
+    /// of the maintained structure, not an expected race with pruning.
+    fn live(&self, r: NodeRef, during: &str) -> Result<&Node> {
+        self.node(r).ok_or_else(|| {
+            FsmError::corrupt(format!(
+                "delta state references a dead pattern node during {during}"
+            ))
+        })
+    }
+
+    /// Mutable counterpart of [`DeltaMiner::live`].
+    fn live_mut(&mut self, r: NodeRef, during: &str) -> Result<&mut Node> {
+        self.node_mut(r).ok_or_else(|| {
+            FsmError::corrupt(format!(
+                "delta state references a dead pattern node during {during}"
+            ))
+        })
+    }
 
     fn node(&self, r: NodeRef) -> Option<&Node> {
         let slot = self.slots.get(r.idx as usize)?;
@@ -967,12 +1025,12 @@ impl DeltaMiner {
         }
     }
 
-    fn insert_child(&mut self, parent: NodeRef, child: NodeRef, edge: EdgeId) {
+    fn insert_child(&mut self, parent: NodeRef, child: NodeRef, edge: EdgeId) -> Result<()> {
         let pos = {
-            let node = self.node(parent).expect("attach target is live");
+            let node = self.live(parent, "child attachment")?;
             let mut pos = node.children.len();
             for (i, &c) in node.children.iter().enumerate() {
-                let child_edge = self.node(c).expect("children are live").edge;
+                let child_edge = self.live(c, "child attachment")?.edge;
                 debug_assert_ne!(child_edge, edge, "duplicate child");
                 if child_edge > edge {
                     pos = i;
@@ -981,21 +1039,21 @@ impl DeltaMiner {
             }
             pos
         };
-        self.node_mut(parent)
-            .expect("attach target is live")
+        self.live_mut(parent, "child attachment")?
             .children
             .insert(pos, child);
+        Ok(())
     }
 
     // ----- output ----------------------------------------------------------
 
-    fn collect(&self) -> Vec<FrequentPattern> {
+    fn collect(&self) -> Result<Vec<FrequentPattern>> {
         let mut out = Vec::with_capacity(self.live_nodes);
         let mut prefix = Vec::new();
         for &root in self.roots.values() {
-            self.collect_node(root, &mut prefix, &mut out);
+            self.collect_node(root, &mut prefix, &mut out)?;
         }
-        out
+        Ok(out)
     }
 
     fn collect_node(
@@ -1003,16 +1061,17 @@ impl DeltaMiner {
         nref: NodeRef,
         prefix: &mut Vec<EdgeId>,
         out: &mut Vec<FrequentPattern>,
-    ) {
-        let node = self.node(nref).expect("collected nodes are live");
+    ) -> Result<()> {
+        let node = self.live(nref, "pattern collection")?;
         prefix.push(node.edge);
         out.push(FrequentPattern::new(
             EdgeSet::from_edges(prefix.iter().copied()),
             node.support,
         ));
         for &child in &node.children {
-            self.collect_node(child, prefix, out);
+            self.collect_node(child, prefix, out)?;
         }
         prefix.pop();
+        Ok(())
     }
 }

@@ -89,6 +89,7 @@ pub mod parallel;
 pub mod postprocess;
 pub mod result;
 pub mod scratch;
+pub mod session;
 
 pub use algorithm::{Algorithm, ConnectivityMode};
 pub use baseline::{mine_dstable, mine_dstree, BaselineStructure};
@@ -99,6 +100,10 @@ pub use fsm_dsmatrix::{DurabilityConfig, RecoveryReport};
 pub use instrument::{DeltaStats, MiningStats};
 pub use miner::{MinerSnapshot, StreamMiner};
 pub use neighborhood::{neighborhood_of_set, Neighborhood};
+pub use parallel::{Exec, WorkerPool};
 pub use postprocess::{closed_patterns, maximal_patterns, top_k};
 pub use result::MiningResult;
 pub use scratch::ScratchArena;
+pub use session::{
+    validate_tenant_id, IngestOutcome, RegistryConfig, Session, SessionRegistry, Subscription,
+};

@@ -16,6 +16,7 @@ use crate::config::MinerConfig;
 use crate::connectivity::ConnectivityChecker;
 use crate::delta::DeltaMiner;
 use crate::miners;
+use crate::parallel::Exec;
 use crate::result::MiningResult;
 
 /// A streaming frequent connected subgraph miner.
@@ -64,6 +65,9 @@ impl StreamMiner {
         let mut matrix_config =
             DsMatrixConfig::new(config.window, config.backend.clone(), catalog.num_edges())
                 .with_cache_budget(config.cache_budget_bytes);
+        if let Some(governor) = &config.cache_governor {
+            matrix_config = matrix_config.with_budget_governor(Arc::clone(governor));
+        }
         if let Some(dir) = &config.durable_dir {
             matrix_config = matrix_config.with_durability(
                 DurabilityConfig::new(dir).with_checkpoint_every(config.checkpoint_every),
@@ -144,13 +148,25 @@ impl StreamMiner {
     /// [`StreamMiner::mine_delta`], which maintains the pattern set across
     /// slides instead of re-enumerating the window.
     pub fn mine(&mut self) -> Result<MiningResult> {
+        self.mine_with(&Exec::scoped(self.config.threads))
+    }
+
+    /// Like [`StreamMiner::mine`] but under an explicit executor — the
+    /// service layer passes [`Exec::pool`] here so concurrent tenant mines
+    /// multiplex over one process-wide worker set instead of each spawning
+    /// scoped threads.  Output is byte-identical to [`StreamMiner::mine`]
+    /// for every executor.
+    ///
+    /// Delta mining ([`MinerConfig::delta`]) maintains its pattern set
+    /// sequentially and therefore ignores the executor.
+    pub fn mine_with(&mut self, exec: &Exec) -> Result<MiningResult> {
         if self.config.delta {
             return self.mine_delta();
         }
-        self.mine_full()
+        self.mine_full(exec)
     }
 
-    fn mine_full(&mut self) -> Result<MiningResult> {
+    fn mine_full(&mut self, exec: &Exec) -> Result<MiningResult> {
         let start = Instant::now();
         let resolved = self
             .config
@@ -169,7 +185,7 @@ impl StreamMiner {
             &self.catalog,
             resolved,
             self.config.limits,
-            self.config.threads,
+            exec,
         )?;
         drop(matrix);
         // Read amplification of this call: words the read path materialised
@@ -228,7 +244,7 @@ impl StreamMiner {
         let snapshot = self.matrix.snapshot_epoch()?;
         let resolved = self.config.min_support.resolve(snapshot.num_transactions());
         let state = self.delta.get_or_insert_with(DeltaMiner::new);
-        let mut patterns = state.advance(&snapshot, resolved, self.config.limits);
+        let mut patterns = state.advance(&snapshot, resolved, self.config.limits)?;
         let mut stats = crate::MiningStats {
             delta: state.stats().clone(),
             intersections: state.stats().patterns_reexamined,
@@ -341,6 +357,13 @@ impl MinerSnapshot {
     /// epoch; the capture/durability statistics are zero (a snapshot has no
     /// capture structure).
     pub fn mine(&self) -> Result<MiningResult> {
+        self.mine_with(&Exec::scoped(self.threads))
+    }
+
+    /// Like [`MinerSnapshot::mine`] but under an explicit executor (see
+    /// [`StreamMiner::mine_with`]); the service layer's subscription path
+    /// mines epoch snapshots on the shared pool through this.
+    pub fn mine_with(&self, exec: &Exec) -> Result<MiningResult> {
         let start = Instant::now();
         let view = self.snapshot.view();
         let mut raw = miners::run_algorithm_on_view(
@@ -349,7 +372,7 @@ impl MinerSnapshot {
             &self.catalog,
             self.resolved_minsup,
             self.limits,
-            self.threads,
+            exec,
         )?;
         if self.algorithm.needs_postprocessing() {
             let checker = ConnectivityChecker::new(&self.catalog, self.connectivity);

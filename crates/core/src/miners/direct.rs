@@ -9,7 +9,7 @@ use fsm_types::{EdgeCatalog, EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
 use super::{Bytes, RawMiningOutput};
 use crate::neighborhood::Neighborhood;
-use crate::parallel;
+use crate::parallel::Exec;
 use crate::scratch::ScratchArena;
 
 /// Mines frequent connected subgraphs directly, without a post-processing
@@ -29,7 +29,8 @@ use crate::scratch::ScratchArena;
 /// allocation-free: candidates are screened with the fused
 /// [`RowRef::and_count`] kernel and surviving intersections land in per-depth
 /// [`ScratchArena`] buffers, while the fan-out over frequent single edges
-/// runs on `threads` workers (`0` = all cores) and merges deterministically.
+/// runs under `exec` (scoped workers or the shared pool) and merges
+/// deterministically.
 /// Singleton rows are borrowed zero-copy from the [`WindowView`] — the live
 /// one or a frozen [`fsm_dsmatrix::EpochSnapshot`]'s — as [`RowRef`]s (flat
 /// cached rows on the memory backend, pinned-chunk cursors on a budgeted
@@ -40,7 +41,7 @@ pub fn mine_direct(
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
@@ -51,7 +52,16 @@ pub fn mine_direct(
     let mut frequent: Vec<(EdgeId, Support)> = Vec::new();
     for (edge, support) in view.singleton_supports() {
         if support >= minsup {
-            rows.insert(edge, view.row(edge).expect("view covers every listed edge"));
+            let row = view.row(edge).ok_or_else(|| {
+                // A view that lists an edge it cannot serve is corrupt;
+                // surface it instead of aborting the (possibly
+                // multi-tenant) process.
+                fsm_types::FsmError::corrupt(format!(
+                    "window view lists edge {} but cannot serve its row",
+                    edge.index()
+                ))
+            })?;
+            rows.insert(edge, row);
             frequent.push((edge, support));
         }
     }
@@ -92,8 +102,7 @@ pub fn mine_direct(
 
     // Each worker owns one scratch arena for all the subtrees it processes,
     // so intersection buffers are allocated once per worker per depth.
-    let threads = parallel::effective_threads(threads, frequent.len());
-    for sub in parallel::run_indexed_stateful(frequent.len(), threads, ScratchArena::new, worker) {
+    for sub in exec.run_indexed_stateful(frequent.len(), ScratchArena::new, worker) {
         output.merge(sub?);
     }
 
@@ -204,9 +213,11 @@ fn is_canonical_extension(
 mod tests {
     use super::*;
     use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+    use fsm_pool::WorkerPool;
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
+    use std::sync::Arc;
 
     fn paper_matrix() -> DsMatrix {
         let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
@@ -241,8 +252,14 @@ mod tests {
     fn reproduces_example_7_exactly() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output =
-            mine_direct(&m.view().unwrap(), &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_direct(
+            &m.view().unwrap(),
+            &catalog,
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         // Example 7 / Example 6: the direct algorithm returns the 15 connected
         // collections — the 17 of Example 2 minus the disjoint {a,f} and {c,d}.
         let expected: Vec<String> = vec![
@@ -285,9 +302,21 @@ mod tests {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
         let view = m.view().unwrap();
-        let direct = mine_direct(&view, &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
-        let vertical =
-            super::super::vertical::mine_vertical(&view, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let direct = mine_direct(
+            &view,
+            &catalog,
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
+        let vertical = super::super::vertical::mine_vertical(
+            &view,
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(direct.stats.intersections > 0);
         assert!(direct.stats.intersections < vertical.stats.intersections);
     }
@@ -298,18 +327,31 @@ mod tests {
         let mut m = paper_matrix();
         let view = m.view().unwrap();
         for minsup in 1..=4 {
-            let sequential =
-                mine_direct(&view, &catalog, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
-            for threads in [2, 4, 0] {
+            let sequential = mine_direct(
+                &view,
+                &catalog,
+                minsup,
+                MiningLimits::UNBOUNDED,
+                &Exec::scoped(1),
+            )
+            .unwrap();
+            let execs = [
+                Exec::scoped(2),
+                Exec::scoped(4),
+                Exec::scoped(0),
+                Exec::pool(Arc::new(WorkerPool::new(2))),
+                Exec::pool(Arc::new(WorkerPool::inline_only())),
+            ];
+            for exec in &execs {
                 let parallel =
-                    mine_direct(&view, &catalog, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                    mine_direct(&view, &catalog, minsup, MiningLimits::UNBOUNDED, exec).unwrap();
                 assert_eq!(
                     parallel.patterns, sequential.patterns,
-                    "threads {threads}, minsup {minsup}"
+                    "exec {exec:?}, minsup {minsup}"
                 );
                 assert_eq!(
                     parallel.stats.intersections, sequential.stats.intersections,
-                    "threads {threads}, minsup {minsup}"
+                    "exec {exec:?}, minsup {minsup}"
                 );
             }
         }
@@ -319,8 +361,14 @@ mod tests {
     fn canonical_extension_enumerates_each_pattern_once() {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
-        let output =
-            mine_direct(&m.view().unwrap(), &catalog, 1, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_direct(
+            &m.view().unwrap(),
+            &catalog,
+            1,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         let mut sets: Vec<String> = output.patterns.iter().map(|p| p.edges.symbols()).collect();
         let before = sets.len();
         sets.sort();
@@ -333,14 +381,42 @@ mod tests {
         let catalog = EdgeCatalog::complete(4);
         let mut m = paper_matrix();
         let view = m.view().unwrap();
-        let pairs = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let pairs = mine_direct(
+            &view,
+            &catalog,
+            2,
+            MiningLimits::with_max_len(2),
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(pairs.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles = mine_direct(
+            &view,
+            &catalog,
+            2,
+            MiningLimits::with_max_len(1),
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
         // A zero cap forbids even singletons.
-        let nothing = mine_direct(&view, &catalog, 2, MiningLimits::with_max_len(0), 1).unwrap();
+        let nothing = mine_direct(
+            &view,
+            &catalog,
+            2,
+            MiningLimits::with_max_len(0),
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(nothing.patterns.is_empty());
-        let unsupported = mine_direct(&view, &catalog, 99, MiningLimits::UNBOUNDED, 1).unwrap();
+        let unsupported = mine_direct(
+            &view,
+            &catalog,
+            99,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(unsupported.patterns.is_empty());
     }
 
@@ -359,8 +435,14 @@ mod tests {
         .unwrap();
         m.ingest_batch(&Batch::from_transactions(0, vec![e(&[0, 2]), e(&[0, 2])]))
             .unwrap();
-        let output =
-            mine_direct(&m.view().unwrap(), &catalog, 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_direct(
+            &m.view().unwrap(),
+            &catalog,
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         let strings = pattern_strings(&output);
         assert!(strings.contains(&"{a}:2".to_string()));
         assert!(strings.contains(&"{c}:2".to_string()));

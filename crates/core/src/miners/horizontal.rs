@@ -27,16 +27,16 @@ use fsm_fptree::{MiningLimits, ProjectedDb};
 use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
 
 use super::RawMiningOutput;
-use crate::parallel;
+use crate::parallel::Exec;
 
 /// §3.1 — mining with multiple recursive FP-trees.
 pub fn mine_multi_tree(
     view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(view, minsup, limits, threads, fsm_fptree::mine_recursive)
+    mine_horizontal(view, minsup, limits, exec, fsm_fptree::mine_recursive)
 }
 
 /// §3.2 — frequency counting on a single FP-tree per frequent edge.
@@ -44,13 +44,13 @@ pub fn mine_single_tree(
     view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
     mine_horizontal(
         view,
         minsup,
         limits,
-        threads,
+        exec,
         fsm_fptree::mine_by_subset_enumeration,
     )
 }
@@ -60,23 +60,23 @@ pub fn mine_top_down(
     view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
-    mine_horizontal(view, minsup, limits, threads, fsm_fptree::mine_top_down)
+    mine_horizontal(view, minsup, limits, exec, fsm_fptree::mine_top_down)
 }
 
 /// Shared outline of the three horizontal algorithms, parameterised by the
 /// projected-database mining strategy.
 ///
-/// `threads` fans the per-pivot loop out over scoped workers (`0` = all
-/// cores, `1` = sequential); each worker reuses one projection scratch for
-/// every pivot it processes, and results merge in canonical order so the
-/// output never depends on the worker count.
+/// `exec` fans the per-pivot loop out over workers (per-mine scoped threads
+/// or the shared pool); each worker reuses one projection scratch for every
+/// pivot it processes, and results merge in canonical order so the output
+/// never depends on the worker count.
 fn mine_horizontal(
     view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
     strategy: fn(&ProjectedDb, Support, MiningLimits) -> MineOutcome,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
@@ -107,13 +107,9 @@ fn mine_horizontal(
     // Step 2: one projected database per frequent edge, mined in parallel.
     // Pivot costs are skewed (small pivots see the largest projected
     // databases), which is exactly the case the dynamic load balancer of
-    // `parallel::run_indexed_stateful` handles.
-    let threads = parallel::effective_threads(threads, frequent.len());
-    let per_pivot = parallel::run_indexed_stateful(
-        frequent.len(),
-        threads,
-        ProjectionScratch::new,
-        |scratch, idx| {
+    // the executor's dynamic load balancer handles.
+    let per_pivot =
+        exec.run_indexed_stateful(frequent.len(), ProjectionScratch::new, |scratch, idx| {
             let (edge, support) = frequent[idx];
             let mut out = RawMiningOutput::default();
             out.patterns
@@ -139,8 +135,7 @@ fn mine_horizontal(
                 ));
             }
             out
-        },
-    );
+        });
     for subtree in per_pivot {
         output.merge(subtree);
     }
@@ -153,9 +148,11 @@ fn mine_horizontal(
 mod tests {
     use super::*;
     use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+    use fsm_pool::WorkerPool;
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
+    use std::sync::Arc;
 
     /// DSMatrix holding the paper's window E4..E9.
     fn paper_matrix() -> DsMatrix {
@@ -218,7 +215,13 @@ mod tests {
     #[test]
     fn multi_tree_finds_the_17_collections_of_example_2() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(
+            &m.view().unwrap(),
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert_eq!(output.patterns.len(), 17);
         assert_eq!(pattern_strings(&output), expected_17());
         assert!(
@@ -230,7 +233,13 @@ mod tests {
     #[test]
     fn single_tree_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_single_tree(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_single_tree(
+            &m.view().unwrap(),
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(
             output.stats.tree_footprint.peak_trees, 1,
@@ -241,7 +250,13 @@ mod tests {
     #[test]
     fn top_down_finds_the_same_collections_with_one_tree_at_a_time() {
         let mut m = paper_matrix();
-        let output = mine_top_down(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_top_down(
+            &m.view().unwrap(),
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert_eq!(pattern_strings(&output), expected_17());
         assert_eq!(output.stats.tree_footprint.peak_trees, 1);
     }
@@ -252,17 +267,25 @@ mod tests {
         let view = m.view().unwrap();
         for miner in [mine_multi_tree, mine_single_tree, mine_top_down] {
             for minsup in 1..=5 {
-                let sequential = miner(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
-                for threads in [2, 4, 0] {
-                    let parallel = miner(&view, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+                let sequential =
+                    miner(&view, minsup, MiningLimits::UNBOUNDED, &Exec::scoped(1)).unwrap();
+                let execs = [
+                    Exec::scoped(2),
+                    Exec::scoped(4),
+                    Exec::scoped(0),
+                    Exec::pool(Arc::new(WorkerPool::new(2))),
+                    Exec::pool(Arc::new(WorkerPool::inline_only())),
+                ];
+                for exec in &execs {
+                    let parallel = miner(&view, minsup, MiningLimits::UNBOUNDED, exec).unwrap();
                     // Not just as sets: the merged order must match exactly.
                     assert_eq!(
                         parallel.patterns, sequential.patterns,
-                        "threads {threads}, minsup {minsup}"
+                        "exec {exec:?}, minsup {minsup}"
                     );
                     assert_eq!(
                         parallel.stats, sequential.stats,
-                        "threads {threads}, minsup {minsup}"
+                        "exec {exec:?}, minsup {minsup}"
                     );
                 }
             }
@@ -272,7 +295,13 @@ mod tests {
     #[test]
     fn higher_minsup_reduces_the_result() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&m.view().unwrap(), 4, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(
+            &m.view().unwrap(),
+            4,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         // minsup 4: singletons a:5, c:5, d:4, f:4 plus pairs {a,c}:4, {a,f}:4.
         assert_eq!(
             pattern_strings(&output),
@@ -291,15 +320,18 @@ mod tests {
     fn max_pattern_len_caps_results() {
         let mut m = paper_matrix();
         let view = m.view().unwrap();
-        let output = mine_single_tree(&view, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let output =
+            mine_single_tree(&view, 2, MiningLimits::with_max_len(2), &Exec::scoped(1)).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
         assert!(output.patterns.iter().any(|p| p.len() == 2));
-        let singles_only = mine_top_down(&view, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles_only =
+            mine_top_down(&view, 2, MiningLimits::with_max_len(1), &Exec::scoped(1)).unwrap();
         assert!(singles_only.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles_only.patterns.len(), 5);
         // A zero cap forbids even singletons, matching the vertical miners.
         for strategy in [mine_multi_tree, mine_single_tree, mine_top_down] {
-            let nothing = strategy(&view, 2, MiningLimits::with_max_len(0), 1).unwrap();
+            let nothing =
+                strategy(&view, 2, MiningLimits::with_max_len(0), &Exec::scoped(1)).unwrap();
             assert!(nothing.patterns.is_empty());
         }
     }
@@ -307,7 +339,13 @@ mod tests {
     #[test]
     fn unsatisfiable_minsup_returns_nothing() {
         let mut m = paper_matrix();
-        let output = mine_multi_tree(&m.view().unwrap(), 100, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_multi_tree(
+            &m.view().unwrap(),
+            100,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         assert!(output.patterns.is_empty());
         assert_eq!(output.stats.patterns_before_postprocess, 0);
     }

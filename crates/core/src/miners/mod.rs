@@ -20,6 +20,7 @@ use fsm_types::{EdgeCatalog, FrequentPattern, Result, Support};
 
 use crate::algorithm::Algorithm;
 use crate::instrument::MiningStats;
+use crate::parallel::Exec;
 
 /// Working-set accounting the vertical miners thread through their
 /// recursion: the resident frequent rows (`base`) plus the intersection
@@ -58,21 +59,23 @@ impl RawMiningOutput {
 /// (stop-the-world: takes the view and mines it in one call).
 ///
 /// This is the dispatch point used by the facade and by the experiment
-/// harness when it wants raw (pre-post-processing) output.  `threads` fans
+/// harness when it wants raw (pre-post-processing) output.  `exec` fans
 /// every algorithm's top-level enumeration — per-singleton subtrees for the
 /// vertical family, per-pivot projected databases for the horizontal family —
-/// out over worker threads (`0` = all available cores, `1` = sequential).
-/// Results are byte-identical for every thread count.
+/// out over worker threads: [`Exec::scoped`] spawns per-mine scoped workers
+/// (`0` = all available cores, `1` = sequential), [`Exec::pool`] multiplexes
+/// the tasks over a process-wide [`crate::parallel::WorkerPool`].  Results
+/// are byte-identical for every executor, thread count and pool size.
 pub fn run_algorithm(
     algorithm: Algorithm,
     matrix: &mut DsMatrix,
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
     let view = matrix.view()?;
-    run_algorithm_on_view(algorithm, &view, catalog, minsup, limits, threads)
+    run_algorithm_on_view(algorithm, &view, catalog, minsup, limits, exec)
 }
 
 /// Runs the selected algorithm over an already-taken [`WindowView`] — the
@@ -86,13 +89,13 @@ pub fn run_algorithm_on_view(
     catalog: &EdgeCatalog,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
     match algorithm {
-        Algorithm::MultiTree => horizontal::mine_multi_tree(view, minsup, limits, threads),
-        Algorithm::SingleTree => horizontal::mine_single_tree(view, minsup, limits, threads),
-        Algorithm::TopDown => horizontal::mine_top_down(view, minsup, limits, threads),
-        Algorithm::Vertical => vertical::mine_vertical(view, minsup, limits, threads),
-        Algorithm::DirectVertical => direct::mine_direct(view, catalog, minsup, limits, threads),
+        Algorithm::MultiTree => horizontal::mine_multi_tree(view, minsup, limits, exec),
+        Algorithm::SingleTree => horizontal::mine_single_tree(view, minsup, limits, exec),
+        Algorithm::TopDown => horizontal::mine_top_down(view, minsup, limits, exec),
+        Algorithm::Vertical => vertical::mine_vertical(view, minsup, limits, exec),
+        Algorithm::DirectVertical => direct::mine_direct(view, catalog, minsup, limits, exec),
     }
 }

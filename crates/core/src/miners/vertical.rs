@@ -3,10 +3,10 @@
 use fsm_dsmatrix::WindowView;
 use fsm_fptree::MiningLimits;
 use fsm_storage::RowRef;
-use fsm_types::{EdgeId, EdgeSet, FrequentPattern, Result, Support};
+use fsm_types::{EdgeId, EdgeSet, FrequentPattern, FsmError, Result, Support};
 
 use super::{Bytes, RawMiningOutput};
-use crate::parallel;
+use crate::parallel::Exec;
 use crate::scratch::ScratchArena;
 
 /// Mines every frequent edge collection by intersecting DSMatrix rows.
@@ -23,9 +23,9 @@ use crate::scratch::ScratchArena;
 /// infrequent candidates never materialise an intersection vector at all),
 /// and surviving intersections are written into a per-depth [`ScratchArena`]
 /// buffer via [`RowRef::and_into`].  The top-level fan-out over frequent
-/// single edges runs on `threads` workers (`0` = all cores); per-edge
-/// subtrees are merged back in canonical order, so the output is identical
-/// to the sequential traversal.
+/// single edges runs under `exec` (per-mine scoped workers or the shared
+/// pool); per-edge subtrees are merged back in canonical order, so the
+/// output is identical to the sequential traversal.
 ///
 /// Rows are read through the zero-copy [`WindowView`] as [`RowRef`]s —
 /// either the live view ([`fsm_dsmatrix::DsMatrix::view`]) or a frozen
@@ -39,7 +39,7 @@ pub fn mine_vertical(
     view: &WindowView<'_>,
     minsup: Support,
     limits: MiningLimits,
-    threads: usize,
+    exec: &Exec,
 ) -> Result<RawMiningOutput> {
     let minsup = minsup.max(1);
     let mut output = RawMiningOutput::default();
@@ -51,11 +51,17 @@ pub fn mine_vertical(
         .singleton_supports()
         .into_iter()
         .filter(|(_, support)| *support >= minsup)
-        .map(|(edge, support)| {
-            let row = view.row(edge).expect("view covers every listed edge");
-            (edge, support, row)
+        .map(|(edge, support)| match view.row(edge) {
+            Some(row) => Ok((edge, support, row)),
+            // A view that lists an edge it cannot serve is corrupt; surface
+            // it as an error (one tenant's damaged window must not abort a
+            // multi-tenant process).
+            None => Err(FsmError::corrupt(format!(
+                "window view lists edge {} but cannot serve its row",
+                edge.index()
+            ))),
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let row_bytes: usize = frequent.iter().map(|(_, _, row)| row.heap_bytes()).sum();
     output.stats.peak_bitvector_bytes = row_bytes;
 
@@ -67,13 +73,9 @@ pub fn mine_vertical(
 
     // Each worker owns one scratch arena for all the subtrees it processes,
     // so intersection buffers are allocated once per worker per depth.
-    let threads = parallel::effective_threads(threads, frequent.len());
-    let subtrees = parallel::run_indexed_stateful(
-        frequent.len(),
-        threads,
-        ScratchArena::new,
-        |scratch, idx| mine_subtree(&frequent, idx, minsup, limits, row_bytes, scratch),
-    );
+    let subtrees = exec.run_indexed_stateful(frequent.len(), ScratchArena::new, |scratch, idx| {
+        mine_subtree(&frequent, idx, minsup, limits, row_bytes, scratch)
+    });
     for sub in subtrees {
         output.merge(sub);
     }
@@ -181,9 +183,11 @@ fn extend(
 mod tests {
     use super::*;
     use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
+    use fsm_pool::WorkerPool;
     use fsm_storage::StorageBackend;
     use fsm_stream::WindowConfig;
     use fsm_types::{Batch, Transaction};
+    use std::sync::Arc;
 
     fn paper_matrix() -> DsMatrix {
         let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
@@ -217,7 +221,13 @@ mod tests {
     #[test]
     fn reproduces_example_5() {
         let mut m = paper_matrix();
-        let output = mine_vertical(&m.view().unwrap(), 2, MiningLimits::UNBOUNDED, 1).unwrap();
+        let output = mine_vertical(
+            &m.view().unwrap(),
+            2,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1),
+        )
+        .unwrap();
         // Example 5 finds the same 17 collections as the tree-based runs, and
         // spells out the key supports: {a,c}:4, {a,d}:3, {a,f}:4, {b,c}:2,
         // {c,d}:3, {c,f}:3, {d,f}:3.
@@ -251,14 +261,15 @@ mod tests {
         let mut m = paper_matrix();
         let view = m.view().unwrap();
         for minsup in 1..=5 {
-            let vertical =
-                pattern_strings(&mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap());
+            let vertical = pattern_strings(
+                &mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, &Exec::scoped(1)).unwrap(),
+            );
             let horizontal = pattern_strings(
                 &super::super::horizontal::mine_multi_tree(
                     &view,
                     minsup,
                     MiningLimits::UNBOUNDED,
-                    1,
+                    &Exec::scoped(1),
                 )
                 .unwrap(),
             );
@@ -271,18 +282,25 @@ mod tests {
         let mut m = paper_matrix();
         let view = m.view().unwrap();
         for minsup in 1..=5 {
-            let sequential = mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, 1).unwrap();
-            for threads in [2, 4, 0] {
-                let parallel =
-                    mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, threads).unwrap();
+            let sequential =
+                mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, &Exec::scoped(1)).unwrap();
+            let execs = [
+                Exec::scoped(2),
+                Exec::scoped(4),
+                Exec::scoped(0),
+                Exec::pool(Arc::new(WorkerPool::new(2))),
+                Exec::pool(Arc::new(WorkerPool::inline_only())),
+            ];
+            for exec in &execs {
+                let parallel = mine_vertical(&view, minsup, MiningLimits::UNBOUNDED, exec).unwrap();
                 // Not just as sets: the merged order must match exactly.
                 assert_eq!(
                     parallel.patterns, sequential.patterns,
-                    "threads {threads}, minsup {minsup}"
+                    "exec {exec:?}, minsup {minsup}"
                 );
                 assert_eq!(
                     parallel.stats.intersections, sequential.stats.intersections,
-                    "threads {threads}, minsup {minsup}"
+                    "exec {exec:?}, minsup {minsup}"
                 );
             }
         }
@@ -292,13 +310,16 @@ mod tests {
     fn respects_pattern_length_limit() {
         let mut m = paper_matrix();
         let view = m.view().unwrap();
-        let output = mine_vertical(&view, 2, MiningLimits::with_max_len(2), 1).unwrap();
+        let output =
+            mine_vertical(&view, 2, MiningLimits::with_max_len(2), &Exec::scoped(1)).unwrap();
         assert!(output.patterns.iter().all(|p| p.len() <= 2));
-        let singles = mine_vertical(&view, 2, MiningLimits::with_max_len(1), 1).unwrap();
+        let singles =
+            mine_vertical(&view, 2, MiningLimits::with_max_len(1), &Exec::scoped(1)).unwrap();
         assert!(singles.patterns.iter().all(|p| p.len() == 1));
         assert_eq!(singles.stats.intersections, 0);
         // A zero cap forbids even singletons.
-        let nothing = mine_vertical(&view, 2, MiningLimits::with_max_len(0), 1).unwrap();
+        let nothing =
+            mine_vertical(&view, 2, MiningLimits::with_max_len(0), &Exec::scoped(1)).unwrap();
         assert!(nothing.patterns.is_empty());
         assert_eq!(nothing.stats.intersections, 0);
     }
@@ -311,18 +332,24 @@ mod tests {
             4,
         ))
         .unwrap();
-        assert!(
-            mine_vertical(&empty.view().unwrap(), 1, MiningLimits::UNBOUNDED, 1)
-                .unwrap()
-                .patterns
-                .is_empty()
-        );
+        assert!(mine_vertical(
+            &empty.view().unwrap(),
+            1,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1)
+        )
+        .unwrap()
+        .patterns
+        .is_empty());
         let mut m = paper_matrix();
-        assert!(
-            mine_vertical(&m.view().unwrap(), 7, MiningLimits::UNBOUNDED, 1)
-                .unwrap()
-                .patterns
-                .is_empty()
-        );
+        assert!(mine_vertical(
+            &m.view().unwrap(),
+            7,
+            MiningLimits::UNBOUNDED,
+            &Exec::scoped(1)
+        )
+        .unwrap()
+        .patterns
+        .is_empty());
     }
 }

@@ -15,7 +15,74 @@
 //! deterministic regardless of thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+pub use fsm_pool::WorkerPool;
+
+/// How a mine call fans its top-level subtree tasks out over threads.
+///
+/// The single-tenant shape is [`Exec::Scoped`]: spawn `threads` scoped
+/// workers for this one mine and join them before returning — exactly the
+/// behaviour every algorithm had before the service layer existed.  The
+/// multi-tenant shape is [`Exec::Pool`]: the calling thread participates
+/// while a process-wide [`WorkerPool`] lends however many of its fixed
+/// workers are idle, so a thousand concurrent tenant mines share one worker
+/// set instead of spawning a thousand scoped sets.
+///
+/// Either way tasks are claimed off an atomic counter and results return in
+/// task-index order, so the merged pattern list — and therefore the final
+/// output — is byte-identical across executors, thread counts and pool
+/// sizes.  The `miner_agreement` / `epoch_agreement` / `tenant_isolation`
+/// property suites pin this.
+#[derive(Clone)]
+pub enum Exec {
+    /// Spawn `threads` scoped workers per mine (`0` = all cores) and join
+    /// them before returning.  The pre-service default.
+    Scoped {
+        /// Worker threads per mine; `0` resolves to all available cores.
+        threads: usize,
+    },
+    /// Participate from the calling thread while the shared pool's fixed
+    /// workers help with whatever capacity is idle.
+    Pool(Arc<WorkerPool>),
+}
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exec::Scoped { threads } => f.debug_struct("Scoped").field("threads", threads).finish(),
+            Exec::Pool(pool) => f.debug_tuple("Pool").field(pool).finish(),
+        }
+    }
+}
+
+impl Exec {
+    /// Per-mine scoped workers (`0` = all cores) — the single-tenant shape.
+    pub fn scoped(threads: usize) -> Self {
+        Exec::Scoped { threads }
+    }
+
+    /// Shared-pool execution — the multi-tenant shape.
+    pub fn pool(pool: Arc<WorkerPool>) -> Self {
+        Exec::Pool(pool)
+    }
+
+    /// Runs `task(0..tasks)` under this executor and returns the results in
+    /// index order; see [`run_indexed_stateful`] for the state contract.
+    pub fn run_indexed_stateful<T, S, I, F>(&self, tasks: usize, init: I, task: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        match self {
+            Exec::Scoped { threads } => {
+                run_indexed_stateful(tasks, effective_threads(*threads, tasks), init, task)
+            }
+            Exec::Pool(pool) => pool.run_indexed_stateful(tasks, init, task),
+        }
+    }
+}
 
 /// Resolves a user-facing thread-count knob: `0` means "all available
 /// cores", and the result is clamped to `[1, tasks]` so tiny workloads never
@@ -127,6 +194,21 @@ mod tests {
             |(), _| (),
         );
         assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn exec_variants_agree_with_each_other() {
+        let expected: Vec<usize> = (0..53).map(|i| i * 7 + 1).collect();
+        for exec in [
+            Exec::scoped(1),
+            Exec::scoped(4),
+            Exec::scoped(0),
+            Exec::pool(Arc::new(WorkerPool::inline_only())),
+            Exec::pool(Arc::new(WorkerPool::new(3))),
+        ] {
+            let results = exec.run_indexed_stateful(53, || (), |(), i| i * 7 + 1);
+            assert_eq!(results, expected, "executor {exec:?} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,659 @@
+//! Multi-tenant session layer: many independent sliding windows served by
+//! one process.
+//!
+//! A [`Session`] owns what a single-tenant process owned implicitly — one
+//! window (a [`StreamMiner`]) plus its miner configuration and optional
+//! delta/durable state — behind a lock, so ingest producers, on-demand mine
+//! callers and subscription consumers can share it from different threads.
+//! The [`SessionRegistry`] keys sessions by tenant id and owns the
+//! process-wide resources every session draws from:
+//!
+//! * one [`Exec`] — typically [`Exec::pool`] over a fixed
+//!   [`crate::WorkerPool`], so a thousand concurrent tenant mines multiplex
+//!   their subtree tasks over one worker set instead of spawning a thousand
+//!   scoped sets;
+//! * one optional [`BudgetGovernor`] — the process-wide chunk-cache cap the
+//!   disk-backed tenants lease from;
+//! * one optional durable root — each durable tenant's WAL/checkpoints live
+//!   under `durable_root/<tenant>/`, so recovery is per tenant
+//!   ([`SessionRegistry::recover_tenant`]) and a tenant id is all an
+//!   operator needs to find its artifacts.
+//!
+//! Per-tenant output is **byte-identical to a standalone single-tenant
+//! run** of the same batch/mine sequence, for every backend, pool size and
+//! cross-tenant interleaving — property-tested in
+//! `crates/core/tests/tenant_isolation.rs`.  The ingredients: sessions
+//! never share mutable mining state, pool tasks return in task-index order,
+//! and the budget governor only moves bytes between disk and cache.
+//!
+//! # Ingest, backpressure and subscriptions
+//!
+//! [`Session::ingest`] applies the batch immediately when the window is
+//! free; while another caller holds the window (a long mine, a recovery),
+//! batches park in a bounded per-tenant queue and are drained — in arrival
+//! order — by whichever caller next acquires the window.  A full queue is
+//! the backpressure signal ([`fsm_types::FsmError::Backpressure`]): the
+//! producer must retry, nothing is dropped, and one slow tenant cannot
+//! queue unboundedly while others starve.
+//!
+//! [`Session::subscribe`] registers a consumer for mine-on-every-slide
+//! output: whenever an ingest completes a window slide, the session mines
+//! the new epoch — through a frozen [`MinerSnapshot`](crate::MinerSnapshot)
+//! ([`StreamMiner::snapshot`]), the same reader path the concurrent-mining
+//! layer uses — and publishes the result; subscribers [`Subscription::poll`]
+//! or block on [`Subscription::wait`] for it.  Delta-enabled tenants
+//! publish through their maintained [`crate::DeltaMiner`] state instead
+//! (it requires exclusive access); either way the published patterns are
+//! the ones a stop-the-world mine at that epoch would return.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use fsm_storage::BudgetGovernor;
+use fsm_stream::SlideOutcome;
+use fsm_types::{Batch, FsmError, Result};
+
+use crate::config::MinerConfig;
+use crate::miner::StreamMiner;
+use crate::parallel::Exec;
+use crate::result::MiningResult;
+
+/// Process-wide resources and policies shared by every tenant of a
+/// [`SessionRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Executor every tenant mine runs under.  The service shape is
+    /// [`Exec::pool`] over one fixed [`crate::WorkerPool`]; the default
+    /// ([`Exec::scoped`]`(1)`) mines each tenant sequentially on the calling
+    /// thread.
+    pub exec: Exec,
+    /// Process-wide chunk-cache cap the disk-backed tenants lease from
+    /// (see [`MinerConfig::cache_governor`]).  `None` leaves each tenant's
+    /// configured budget private — the sum is then unmanaged.
+    pub governor: Option<Arc<BudgetGovernor>>,
+    /// Root directory for durable tenants: a tenant configured with a disk
+    /// backend and durability gets `durable_root/<tenant>/` as its durable
+    /// directory.  `None` forbids durable tenants.
+    pub durable_root: Option<PathBuf>,
+    /// Per-tenant ingest queue bound — the backpressure threshold.
+    pub max_pending_batches: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            exec: Exec::scoped(1),
+            governor: None,
+            durable_root: None,
+            max_pending_batches: Self::DEFAULT_MAX_PENDING,
+        }
+    }
+}
+
+impl RegistryConfig {
+    /// Default per-tenant ingest queue bound.
+    pub const DEFAULT_MAX_PENDING: usize = 64;
+}
+
+/// The tenant table: creates, recovers, serves and drops [`Session`]s.
+///
+/// Shared by reference ([`Arc<SessionRegistry>`]) between every server
+/// thread; all methods take `&self`.
+pub struct SessionRegistry {
+    config: RegistryConfig,
+    sessions: Mutex<BTreeMap<String, Arc<Session>>>,
+}
+
+impl SessionRegistry {
+    /// Maximum tenant-id length accepted by [`validate_tenant_id`].
+    pub const MAX_TENANT_ID_LEN: usize = 64;
+
+    /// Creates an empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        Self {
+            config,
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Creates a fresh tenant.
+    ///
+    /// The per-tenant `config` must leave [`MinerConfig::durable_dir`] and
+    /// [`MinerConfig::cache_governor`] unset — the registry owns durable
+    /// namespacing (`durable_root/<tenant>/`) and budget arbitration; a
+    /// tenant naming its own directory could alias another tenant's state.
+    /// Set `durable` to root this tenant under the registry's durable root
+    /// (requires one to be configured and a disk backend).
+    pub fn create_tenant(
+        &self,
+        tenant: &str,
+        config: MinerConfig,
+        durable: bool,
+    ) -> Result<Arc<Session>> {
+        self.admit(tenant, config, durable, false)
+    }
+
+    /// Recovers a durable tenant from `durable_root/<tenant>/` (newest
+    /// verifiable checkpoint plus WAL-tail replay; see
+    /// [`StreamMiner::recover`]).  The configuration must match the run
+    /// being recovered, exactly as in the single-tenant case.
+    pub fn recover_tenant(&self, tenant: &str, config: MinerConfig) -> Result<Arc<Session>> {
+        self.admit(tenant, config, true, true)
+    }
+
+    fn admit(
+        &self,
+        tenant: &str,
+        mut config: MinerConfig,
+        durable: bool,
+        recovering: bool,
+    ) -> Result<Arc<Session>> {
+        validate_tenant_id(tenant)?;
+        if config.durable_dir.is_some() {
+            return Err(FsmError::config(
+                "tenant configurations must not set durable_dir: the registry \
+                 namespaces durable state under durable_root/<tenant>/",
+            ));
+        }
+        if config.cache_governor.is_some() {
+            return Err(FsmError::config(
+                "tenant configurations must not set cache_governor: the \
+                 registry's governor arbitrates every tenant's budget",
+            ));
+        }
+        if durable {
+            let root =
+                self.config.durable_root.as_ref().ok_or_else(|| {
+                    FsmError::config("durable tenants need a registry durable_root")
+                })?;
+            config.durable_dir = Some(root.join(tenant));
+        }
+        config.cache_governor = self.config.governor.clone();
+        let mut sessions = lock_unpoisoned(&self.sessions);
+        if sessions.contains_key(tenant) {
+            return Err(FsmError::tenant_exists(tenant));
+        }
+        let miner = if recovering {
+            StreamMiner::recover(config)?
+        } else {
+            StreamMiner::new(config)?
+        };
+        let session = Arc::new(Session::new(
+            tenant.to_string(),
+            miner,
+            self.config.exec.clone(),
+            self.config.max_pending_batches,
+        ));
+        sessions.insert(tenant.to_string(), Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Looks a live tenant up.
+    pub fn get(&self, tenant: &str) -> Result<Arc<Session>> {
+        lock_unpoisoned(&self.sessions)
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| FsmError::unknown_tenant(tenant))
+    }
+
+    /// Removes a tenant from the registry.  In-flight operations on clones
+    /// of its [`Arc<Session>`] complete normally; the session's resources
+    /// (worker-pool access aside, which is shared) are freed when the last
+    /// clone drops — including its budget lease, whose grant flows back to
+    /// the surviving tenants.
+    pub fn drop_tenant(&self, tenant: &str) -> Result<()> {
+        lock_unpoisoned(&self.sessions)
+            .remove(tenant)
+            .map(|_| ())
+            .ok_or_else(|| FsmError::unknown_tenant(tenant))
+    }
+
+    /// Live tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        lock_unpoisoned(&self.sessions).keys().cloned().collect()
+    }
+
+    /// Tenant ids with durable state under the registry's durable root —
+    /// what [`SessionRegistry::recover_tenant`] can resurrect after a crash.
+    /// Empty without a durable root; ids that fail validation (a stray
+    /// directory) are skipped.
+    pub fn durable_tenants(&self) -> Result<Vec<String>> {
+        let Some(root) = &self.config.durable_root else {
+            return Ok(Vec::new());
+        };
+        let mut tenants = Vec::new();
+        if !root.exists() {
+            return Ok(tenants);
+        }
+        for entry in std::fs::read_dir(root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if validate_tenant_id(&name).is_ok() {
+                tenants.push(name);
+            }
+        }
+        tenants.sort();
+        Ok(tenants)
+    }
+}
+
+impl std::fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRegistry")
+            .field("tenants", &self.tenants())
+            .field("exec", &self.config.exec)
+            .finish()
+    }
+}
+
+/// Accepts `[A-Za-z0-9_-]{1,64}` — ids double as durable directory names
+/// and wire-protocol tokens, so nothing path- or whitespace-like gets in.
+pub fn validate_tenant_id(tenant: &str) -> Result<()> {
+    if tenant.is_empty() || tenant.len() > SessionRegistry::MAX_TENANT_ID_LEN {
+        return Err(FsmError::config(format!(
+            "tenant id must be 1..={} characters, got {}",
+            SessionRegistry::MAX_TENANT_ID_LEN,
+            tenant.len()
+        )));
+    }
+    if let Some(bad) = tenant
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return Err(FsmError::config(format!(
+            "tenant id may only contain [A-Za-z0-9_-], got {bad:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// What [`Session::ingest`] did with the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch reached the window immediately (possibly after draining
+    /// earlier queued batches); the slide outcome is the window's.
+    Applied(SlideOutcome),
+    /// The window was busy (another caller mining or recovering); the batch
+    /// parked in the ingest queue and will be applied, in order, by the next
+    /// caller that acquires the window.
+    Queued,
+}
+
+/// One tenant: one sliding window, its miner configuration, and its
+/// delta/durable state, shareable across threads.
+///
+/// Created through [`SessionRegistry::create_tenant`] /
+/// [`SessionRegistry::recover_tenant`]; all methods take `&self`.
+pub struct Session {
+    tenant: String,
+    exec: Exec,
+    max_pending: usize,
+    /// The window.  Held only for the duration of one operation (an ingest
+    /// drain, one mine); producers meeting a held lock park their batches in
+    /// `pending` instead of blocking on it.
+    miner: Mutex<StreamMiner>,
+    /// Bounded arrival-order ingest queue (see the module docs).
+    pending: Mutex<VecDeque<Batch>>,
+    /// Latest mine-on-slide publication plus subscriber bookkeeping.
+    published: Mutex<Published>,
+    publish_signal: Condvar,
+}
+
+#[derive(Default)]
+struct Published {
+    /// Monotone publication counter; `0` = nothing published yet.
+    seq: u64,
+    result: Option<MiningResult>,
+    subscribers: usize,
+}
+
+impl Session {
+    fn new(tenant: String, miner: StreamMiner, exec: Exec, max_pending: usize) -> Self {
+        Self {
+            tenant,
+            exec,
+            max_pending: max_pending.max(1),
+            miner: Mutex::new(miner),
+            pending: Mutex::new(VecDeque::new()),
+            published: Mutex::new(Published::default()),
+            publish_signal: Condvar::new(),
+        }
+    }
+
+    /// This session's tenant id.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Ingests one batch: applied immediately when the window is free,
+    /// queued (bounded) when it is busy, [`FsmError::Backpressure`] when the
+    /// queue is full — see the module docs for the exact protocol.
+    pub fn ingest(&self, batch: &Batch) -> Result<IngestOutcome> {
+        let Ok(mut miner) = self.miner.try_lock() else {
+            let mut pending = lock_unpoisoned(&self.pending);
+            if pending.len() >= self.max_pending {
+                return Err(FsmError::backpressure(&self.tenant));
+            }
+            pending.push_back(batch.clone());
+            return Ok(IngestOutcome::Queued);
+        };
+        self.drain_into(&mut miner)?;
+        let outcome = miner.ingest_batch(batch)?;
+        if self.has_subscribers() {
+            self.publish(&mut miner)?;
+        }
+        Ok(IngestOutcome::Applied(outcome))
+    }
+
+    /// Mines the current window (draining any queued ingests first) under
+    /// the registry's executor.  Equivalent to [`StreamMiner::mine`] on a
+    /// standalone miner fed the same batches.
+    pub fn mine(&self) -> Result<MiningResult> {
+        let mut miner = lock_unpoisoned(&self.miner);
+        self.drain_into(&mut miner)?;
+        miner.mine_with(&self.exec)
+    }
+
+    /// Registers a mine-on-every-slide consumer; see the module docs.
+    /// Publication work is only performed while at least one subscription
+    /// is alive.
+    pub fn subscribe(self: &Arc<Self>) -> Subscription {
+        let mut published = lock_unpoisoned(&self.published);
+        published.subscribers += 1;
+        Subscription {
+            session: Arc::clone(self),
+            last_seen: published.seq,
+        }
+    }
+
+    /// Runs `f` under the window lock after draining queued ingests —
+    /// the escape hatch for callers needing [`StreamMiner`] surface the
+    /// session does not wrap (recovery reports, memory accounting).
+    pub fn with_miner<R>(&self, f: impl FnOnce(&mut StreamMiner) -> R) -> R {
+        let mut miner = lock_unpoisoned(&self.miner);
+        let _ = self.drain_into(&mut miner);
+        f(&mut miner)
+    }
+
+    /// Queued batches not yet applied to the window.
+    pub fn pending_batches(&self) -> usize {
+        lock_unpoisoned(&self.pending).len()
+    }
+
+    /// Applies every queued batch in arrival order; returns the last slide
+    /// outcome (`None` when the queue was empty).  Publishes to subscribers
+    /// after any slide.
+    fn drain_into(&self, miner: &mut StreamMiner) -> Result<Option<SlideOutcome>> {
+        let mut last = None;
+        loop {
+            let batch = {
+                let mut pending = lock_unpoisoned(&self.pending);
+                match pending.pop_front() {
+                    Some(batch) => batch,
+                    None => break,
+                }
+            };
+            last = Some(miner.ingest_batch(&batch)?);
+        }
+        if last.is_some() && self.has_subscribers() {
+            self.publish(miner)?;
+        }
+        Ok(last)
+    }
+
+    fn has_subscribers(&self) -> bool {
+        lock_unpoisoned(&self.published).subscribers > 0
+    }
+
+    /// Mines the just-slid window and publishes the result: through a
+    /// frozen epoch snapshot for full-mine tenants, through the maintained
+    /// delta state for delta tenants.
+    fn publish(&self, miner: &mut StreamMiner) -> Result<()> {
+        let result = if miner.config().delta {
+            miner.mine_with(&self.exec)?
+        } else {
+            miner.snapshot()?.mine_with(&self.exec)?
+        };
+        let mut published = lock_unpoisoned(&self.published);
+        published.seq += 1;
+        published.result = Some(result);
+        drop(published);
+        self.publish_signal.notify_all();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tenant", &self.tenant)
+            .field("pending", &self.pending_batches())
+            .finish()
+    }
+}
+
+/// A mine-on-every-slide consumer handle (see [`Session::subscribe`]).
+#[derive(Debug)]
+pub struct Subscription {
+    session: Arc<Session>,
+    last_seen: u64,
+}
+
+impl Subscription {
+    /// The newest published result this handle has not seen yet, if any.
+    /// Slides between polls coalesce: only the latest epoch's result is
+    /// retained, mirroring how a dashboard consumes a stream.
+    pub fn poll(&mut self) -> Option<MiningResult> {
+        let published = lock_unpoisoned(&self.session.published);
+        if published.seq == self.last_seen {
+            return None;
+        }
+        self.last_seen = published.seq;
+        published.result.clone()
+    }
+
+    /// Blocks until a result newer than the last seen one is published,
+    /// then returns it.
+    pub fn wait(&mut self) -> MiningResult {
+        let mut published = lock_unpoisoned(&self.session.published);
+        while published.seq == self.last_seen || published.result.is_none() {
+            published = self
+                .session
+                .publish_signal
+                .wait(published)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        self.last_seen = published.seq;
+        published
+            .result
+            .clone()
+            .expect("loop exits only with a published result")
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut published = lock_unpoisoned(&self.session.published);
+        published.subscribers = published.subscribers.saturating_sub(1);
+    }
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use fsm_types::{EdgeCatalog, MinSup, Transaction};
+
+    fn tenant_config() -> MinerConfig {
+        MinerConfig {
+            algorithm: Algorithm::DirectVertical,
+            window: fsm_stream::WindowConfig::new(2).unwrap(),
+            min_support: MinSup::absolute(2),
+            catalog: Some(EdgeCatalog::complete(4)),
+            ..MinerConfig::default()
+        }
+    }
+
+    fn paper_batches() -> Vec<Batch> {
+        let e = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+        vec![
+            Batch::from_transactions(0, vec![e(&[2, 3, 5]), e(&[0, 4, 5]), e(&[0, 2, 5])]),
+            Batch::from_transactions(1, vec![e(&[0, 2, 3, 5]), e(&[0, 3, 4, 5]), e(&[0, 1, 2])]),
+            Batch::from_transactions(2, vec![e(&[0, 2, 5]), e(&[0, 2, 3, 5]), e(&[1, 2, 3])]),
+        ]
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_match_standalone_miners() {
+        let registry = SessionRegistry::new(RegistryConfig::default());
+        let a = registry.create_tenant("a", tenant_config(), false).unwrap();
+        let b = registry.create_tenant("b", tenant_config(), false).unwrap();
+        let batches = paper_batches();
+        // Interleave: a gets all three batches, b only the first.
+        a.ingest(&batches[0]).unwrap();
+        b.ingest(&batches[0]).unwrap();
+        a.ingest(&batches[1]).unwrap();
+        a.ingest(&batches[2]).unwrap();
+        let mut standalone_a = StreamMiner::new(tenant_config()).unwrap();
+        let mut standalone_b = StreamMiner::new(tenant_config()).unwrap();
+        for batch in &batches {
+            standalone_a.ingest_batch(batch).unwrap();
+        }
+        standalone_b.ingest_batch(&batches[0]).unwrap();
+        assert!(a
+            .mine()
+            .unwrap()
+            .same_patterns_as(&standalone_a.mine().unwrap()));
+        assert!(b
+            .mine()
+            .unwrap()
+            .same_patterns_as(&standalone_b.mine().unwrap()));
+    }
+
+    #[test]
+    fn registry_rejects_bad_ids_duplicates_and_reserved_config() {
+        let registry = SessionRegistry::new(RegistryConfig::default());
+        assert!(registry.create_tenant("", tenant_config(), false).is_err());
+        assert!(registry
+            .create_tenant("a/../b", tenant_config(), false)
+            .is_err());
+        assert!(registry
+            .create_tenant(&"x".repeat(65), tenant_config(), false)
+            .is_err());
+        registry
+            .create_tenant("dup", tenant_config(), false)
+            .unwrap();
+        assert!(matches!(
+            registry.create_tenant("dup", tenant_config(), false),
+            Err(FsmError::TenantExists(_))
+        ));
+        let mut config = tenant_config();
+        config.durable_dir = Some("/tmp/evil".into());
+        assert!(registry.create_tenant("evil", config, false).is_err());
+        assert!(matches!(
+            registry.get("missing"),
+            Err(FsmError::UnknownTenant(_))
+        ));
+        registry.drop_tenant("dup").unwrap();
+        assert!(registry.get("dup").is_err());
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure_and_drains_in_order() {
+        let registry = SessionRegistry::new(RegistryConfig {
+            max_pending_batches: 2,
+            ..RegistryConfig::default()
+        });
+        let session = registry.create_tenant("t", tenant_config(), false).unwrap();
+        let batches = paper_batches();
+        // Hold the window hostage on another thread so ingests queue.
+        let hostage = Arc::clone(&session);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            hostage.with_miner(|_| {
+                ready_tx.send(()).unwrap();
+                rx.recv().unwrap();
+            });
+        });
+        ready_rx.recv().unwrap();
+        assert_eq!(session.ingest(&batches[0]).unwrap(), IngestOutcome::Queued);
+        assert_eq!(session.ingest(&batches[1]).unwrap(), IngestOutcome::Queued);
+        assert!(matches!(
+            session.ingest(&batches[2]),
+            Err(FsmError::Backpressure { .. })
+        ));
+        tx.send(()).unwrap();
+        holder.join().unwrap();
+        // The third batch applies now; the queued two drain first, in order.
+        assert!(matches!(
+            session.ingest(&batches[2]).unwrap(),
+            IngestOutcome::Applied(_)
+        ));
+        assert_eq!(session.pending_batches(), 0);
+        let mut standalone = StreamMiner::new(tenant_config()).unwrap();
+        for batch in &batches {
+            standalone.ingest_batch(batch).unwrap();
+        }
+        assert!(session
+            .mine()
+            .unwrap()
+            .same_patterns_as(&standalone.mine().unwrap()));
+    }
+
+    #[test]
+    fn subscriptions_publish_on_every_slide() {
+        let registry = SessionRegistry::new(RegistryConfig::default());
+        let session = registry
+            .create_tenant("sub", tenant_config(), false)
+            .unwrap();
+        let mut subscription = session.subscribe();
+        assert!(subscription.poll().is_none());
+        let batches = paper_batches();
+        let mut standalone = StreamMiner::new(tenant_config()).unwrap();
+        for batch in &batches {
+            session.ingest(&batch.clone()).unwrap();
+            standalone.ingest_batch(batch).unwrap();
+            let published = subscription.poll().expect("every slide publishes");
+            assert!(published.same_patterns_as(&standalone.mine().unwrap()));
+        }
+        // A late subscriber only sees publications after it joined.
+        let mut late = session.subscribe();
+        assert!(late.poll().is_none());
+        drop(subscription);
+        drop(late);
+        // With no subscribers, slides stop publishing.
+        let seq_before = lock_unpoisoned(&session.published).seq;
+        session.ingest(&batches[0]).unwrap();
+        assert_eq!(lock_unpoisoned(&session.published).seq, seq_before);
+    }
+
+    #[test]
+    fn pool_execution_matches_scoped_execution() {
+        let pooled = SessionRegistry::new(RegistryConfig {
+            exec: Exec::pool(Arc::new(crate::WorkerPool::new(3))),
+            ..RegistryConfig::default()
+        });
+        let scoped = SessionRegistry::new(RegistryConfig::default());
+        let a = pooled.create_tenant("t", tenant_config(), false).unwrap();
+        let b = scoped.create_tenant("t", tenant_config(), false).unwrap();
+        for batch in paper_batches() {
+            a.ingest(&batch).unwrap();
+            b.ingest(&batch).unwrap();
+        }
+        assert!(a.mine().unwrap().same_patterns_as(&b.mine().unwrap()));
+    }
+}

@@ -186,7 +186,7 @@ proptest! {
             // must fall back to a full rebuild exactly once per switch.
             let threshold = if i >= batches.len() / 2 { switched } else { minsup };
             let snapshot = miner.matrix_mut().snapshot_epoch().unwrap();
-            let mut found = state.advance(&snapshot, threshold, MiningLimits::UNBOUNDED);
+            let mut found = state.advance(&snapshot, threshold, MiningLimits::UNBOUNDED).unwrap();
             rebuilds_seen += state.stats().full_rebuilds;
 
             let window_tx = window_transactions(&batches, i, window);

@@ -4,7 +4,9 @@
 //! for all five algorithms, horizontal and vertical alike — every thread
 //! count produces byte-identical output.
 
-use fsm_core::{miners, Algorithm, ConnectivityChecker, ConnectivityMode};
+use std::sync::Arc;
+
+use fsm_core::{miners, Algorithm, ConnectivityChecker, ConnectivityMode, Exec, WorkerPool};
 use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
 use fsm_fptree::MiningLimits;
 use fsm_storage::StorageBackend;
@@ -77,7 +79,7 @@ proptest! {
             &catalog,
             minsup,
             MiningLimits::UNBOUNDED,
-            1,
+            &Exec::scoped(1),
         )
         .unwrap();
         let checker = ConnectivityChecker::new(&catalog, ConnectivityMode::Exact);
@@ -89,7 +91,7 @@ proptest! {
             &catalog,
             minsup,
             MiningLimits::UNBOUNDED,
-            1,
+            &Exec::scoped(1),
         )
         .unwrap();
 
@@ -120,25 +122,32 @@ proptest! {
                 &catalog,
                 minsup,
                 MiningLimits::UNBOUNDED,
-                1,
+                &Exec::scoped(1),
             )
             .unwrap();
-            for threads in [2usize, 3, 8, 0] {
+            for exec in [
+                Exec::scoped(2),
+                Exec::scoped(3),
+                Exec::scoped(8),
+                Exec::scoped(0),
+                Exec::pool(Arc::new(WorkerPool::new(2))),
+                Exec::pool(Arc::new(WorkerPool::inline_only())),
+            ] {
                 let parallel = miners::run_algorithm(
                     algorithm,
                     &mut matrix,
                     &catalog,
                     minsup,
                     MiningLimits::UNBOUNDED,
-                    threads,
+                    &exec,
                 )
                 .unwrap();
                 prop_assert_eq!(
                     &parallel.patterns,
                     &sequential.patterns,
-                    "{} with {} threads",
+                    "{} under {:?}",
                     algorithm,
-                    threads
+                    &exec
                 );
                 // Byte-identical statistics too: intersection counts, tree
                 // footprints, pattern counts — nothing may depend on the
@@ -146,9 +155,9 @@ proptest! {
                 prop_assert_eq!(
                     &parallel.stats,
                     &sequential.stats,
-                    "{} with {} threads",
+                    "{} under {:?}",
                     algorithm,
-                    threads
+                    &exec
                 );
             }
         }

@@ -13,7 +13,7 @@
 //! steady-state mine-after-slide on the memory backend materialises *zero*
 //! words of window data, regardless of how large the window is.
 
-use fsm_core::{miners, Algorithm, StreamMinerBuilder};
+use fsm_core::{miners, Algorithm, Exec, StreamMinerBuilder};
 use fsm_dsmatrix::{DsMatrix, DsMatrixConfig};
 use fsm_fptree::MiningLimits;
 use fsm_storage::StorageBackend;
@@ -73,10 +73,12 @@ proptest! {
         let mut eager = ingest(&raw, window, StorageBackend::DiskTemp);
         for algorithm in Algorithm::ALL {
             let via_view = miners::run_algorithm(
-                algorithm, &mut zero_copy, &catalog, minsup, MiningLimits::UNBOUNDED, 1,
+                algorithm, &mut zero_copy, &catalog, minsup, MiningLimits::UNBOUNDED,
+                &Exec::scoped(1),
             ).unwrap();
             let via_assembly = miners::run_algorithm(
-                algorithm, &mut eager, &catalog, minsup, MiningLimits::UNBOUNDED, 1,
+                algorithm, &mut eager, &catalog, minsup, MiningLimits::UNBOUNDED,
+                &Exec::scoped(1),
             ).unwrap();
             // Not just as sets: order and supports must match exactly.
             prop_assert_eq!(

@@ -4,8 +4,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use fsm_storage::{
-    scan_segment_files, BitVec, CaptureStats, Checkpoint, CheckpointRow, CheckpointSegment,
-    MemoryTracker, SegmentedWindowStore, StorageBackend, Wal,
+    scan_segment_files, BitVec, BudgetGovernor, BudgetLease, CaptureStats, Checkpoint,
+    CheckpointRow, CheckpointSegment, MemoryTracker, SegmentedWindowStore, StorageBackend, Wal,
 };
 use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, BatchId, EdgeId, FsmError, Result, Support, Transaction};
@@ -119,6 +119,14 @@ pub struct DsMatrixConfig {
     /// [`DurabilityConfig::dir`] (segment files move to its `segments/`
     /// subdirectory regardless of the backend's own path).
     pub durability: Option<DurabilityConfig>,
+    /// Process-wide cache-budget arbiter.  `None`, the default, treats
+    /// [`DsMatrixConfig::cache_budget_bytes`] as this matrix's own budget
+    /// (the single-tenant behaviour).  With a governor, the configured
+    /// budget becomes this matrix's *desired* budget: the matrix registers a
+    /// [`BudgetLease`] and re-requests at ingest/view boundaries, applying
+    /// whatever the governor's process-wide cap and fair-share rule grant.
+    /// Ignored by the memory backend, which has no chunk cache to budget.
+    pub governor: Option<Arc<BudgetGovernor>>,
 }
 
 impl DsMatrixConfig {
@@ -130,6 +138,7 @@ impl DsMatrixConfig {
             expected_edges,
             cache_budget_bytes: 0,
             durability: None,
+            governor: None,
         }
     }
 
@@ -143,6 +152,13 @@ impl DsMatrixConfig {
     /// given configuration's directory.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Subordinates this matrix's chunk-cache budget to a process-wide
+    /// [`BudgetGovernor`] (see [`DsMatrixConfig::governor`]).
+    pub fn with_budget_governor(mut self, governor: Arc<BudgetGovernor>) -> Self {
+        self.governor = Some(governor);
         self
     }
 }
@@ -192,6 +208,11 @@ pub struct DsMatrix {
     /// by every ingest: repeated snapshot calls within one epoch return the
     /// same `Arc` (and prove it with pointer equality in tests).
     last_snapshot: Option<Arc<EpochSnapshot>>,
+    /// The chunk-cache budget this matrix *wants*; what it actually gets is
+    /// `lease.request(desired)` when governed, `desired` otherwise.
+    desired_cache_budget: usize,
+    /// Membership in a process-wide [`BudgetGovernor`], if configured.
+    lease: Option<BudgetLease>,
 }
 
 impl DsMatrix {
@@ -220,7 +241,8 @@ impl DsMatrix {
             }
         };
         let mut store = SegmentedWindowStore::open(backend)?;
-        store.set_cache_budget(config.cache_budget_bytes);
+        let lease = Self::lease_for(&config.governor, &store);
+        store.set_cache_budget(Self::granted(&lease, config.cache_budget_bytes));
         let cache = RowCache {
             rows: Vec::new(),
             offset: 0,
@@ -243,7 +265,43 @@ impl DsMatrix {
             pin_flags: Vec::new(),
             durable,
             last_snapshot: None,
+            desired_cache_budget: config.cache_budget_bytes,
+            lease,
         })
+    }
+
+    /// Registers with the configured governor — disk backends only: the
+    /// memory backend holds the window resident and ignores cache budgets.
+    fn lease_for(
+        governor: &Option<Arc<BudgetGovernor>>,
+        store: &SegmentedWindowStore,
+    ) -> Option<BudgetLease> {
+        if store.is_memory_resident() {
+            return None;
+        }
+        governor.as_ref().map(|governor| governor.register())
+    }
+
+    /// The budget to apply right now: the lease's grant when governed, the
+    /// desired budget otherwise.
+    fn granted(lease: &Option<BudgetLease>, desired: usize) -> usize {
+        match lease {
+            Some(lease) => lease.request(desired),
+            None => desired,
+        }
+    }
+
+    /// Re-requests this matrix's desired budget from the governor and
+    /// applies the (possibly changed) grant.  Called at ingest and view
+    /// boundaries so every tenant's grant converges as members come and go;
+    /// never called per row read.
+    fn rebalance_cache_budget(&mut self) {
+        if self.lease.is_some() {
+            let grant = Self::granted(&self.lease, self.desired_cache_budget);
+            if grant != self.store.cache_budget() {
+                self.store.set_cache_budget(grant);
+            }
+        }
     }
 
     /// Rejects configurations durability cannot honour.
@@ -337,7 +395,8 @@ impl DsMatrix {
                 SegmentedWindowStore::restore(segments_dir.clone(), &[], 0)?,
             ),
         };
-        store.set_cache_budget(config.cache_budget_bytes);
+        let lease = Self::lease_for(&config.governor, &store);
+        store.set_cache_budget(Self::granted(&lease, config.cache_budget_bytes));
 
         // Rebuild the in-memory bookkeeping the checkpoint captured.
         let num_items = (ckpt.num_items as usize).max(config.expected_edges);
@@ -393,6 +452,8 @@ impl DsMatrix {
             pin_flags: Vec::new(),
             durable: Some(durable),
             last_snapshot: None,
+            desired_cache_budget: config.cache_budget_bytes,
+            lease,
         };
 
         // Replay the WAL tail through the ordinary (post-WAL) ingest path.
@@ -558,6 +619,7 @@ impl DsMatrix {
     /// retained checkpoint covers, and unlinks evicted segment files that no
     /// retained checkpoint references any more.
     pub fn ingest_batch(&mut self, batch: &Batch) -> Result<SlideOutcome> {
+        self.rebalance_cache_budget();
         if let Some(durable) = &mut self.durable {
             let seq = durable.applied_seq + 1;
             durable.wal.append(seq, &encode_batch(batch))?;
@@ -865,6 +927,7 @@ impl DsMatrix {
     /// budget of `0` (the default) every row does, reproducing the original
     /// fully-eager read path byte for byte.
     pub fn view(&mut self) -> Result<WindowView<'_>> {
+        self.rebalance_cache_budget();
         if self.cache.enabled {
             debug_assert_eq!(
                 self.cache.generation,
@@ -1023,7 +1086,9 @@ impl DsMatrix {
     /// no-op on the memory backend).  Exposed so long-lived matrices can be
     /// re-tuned without rebuilding the window.
     pub fn set_cache_budget(&mut self, budget_bytes: usize) {
-        self.store.set_cache_budget(budget_bytes);
+        self.desired_cache_budget = budget_bytes;
+        self.store
+            .set_cache_budget(Self::granted(&self.lease, budget_bytes));
         self.report_memory();
     }
 
@@ -1768,5 +1833,61 @@ mod tests {
         drop(m);
         let recovered = DsMatrix::recover(durable_config(dir.path(), 1)).unwrap();
         assert!(recovered.is_empty());
+    }
+
+    #[test]
+    fn governed_matrices_share_one_cap_and_read_identically() {
+        let governor = fsm_storage::BudgetGovernor::new(1200);
+        let build = |gov: Option<&std::sync::Arc<fsm_storage::BudgetGovernor>>| {
+            let mut config =
+                DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::DiskTemp, 6)
+                    .with_cache_budget(usize::MAX);
+            if let Some(gov) = gov {
+                config = config.with_budget_governor(std::sync::Arc::clone(gov));
+            }
+            DsMatrix::new(config).unwrap()
+        };
+        let mut a = build(Some(&governor));
+        // A lone governed tenant may use the whole cap.
+        a.ingest_batch(&paper_batches()[0]).unwrap();
+        assert_eq!(a.cache_budget(), 1200);
+        // A second tenant halves the pie; both converge to fair shares at
+        // their next ingest/view boundary.
+        let mut b = build(Some(&governor));
+        for batch in paper_batches() {
+            a.ingest_batch(&batch).unwrap();
+            b.ingest_batch(&batch).unwrap();
+        }
+        assert_eq!(b.cache_budget(), 600);
+        assert_eq!(a.cache_budget(), 600);
+        assert!(governor.granted_bytes() <= 1200);
+        // Budget arbitration must never change what reads return.
+        let mut ungoverned = build(None);
+        for batch in paper_batches() {
+            ungoverned.ingest_batch(&batch).unwrap();
+        }
+        for item in 0..6 {
+            assert_eq!(
+                row_string(&mut a, item),
+                row_string(&mut ungoverned, item),
+                "row {item}"
+            );
+        }
+        // A departing tenant's share flows back.
+        drop(b);
+        a.ingest_batch(&paper_batches()[0]).unwrap();
+        assert_eq!(a.cache_budget(), 1200);
+    }
+
+    #[test]
+    fn memory_backend_ignores_the_governor() {
+        let governor = fsm_storage::BudgetGovernor::new(1 << 20);
+        let config = DsMatrixConfig::new(WindowConfig::new(2).unwrap(), StorageBackend::Memory, 6)
+            .with_cache_budget(usize::MAX)
+            .with_budget_governor(std::sync::Arc::clone(&governor));
+        let mut m = DsMatrix::new(config).unwrap();
+        m.ingest_batch(&paper_batches()[0]).unwrap();
+        assert_eq!(governor.members(), 0, "memory matrices never register");
+        assert_eq!(m.cache_budget(), 0);
     }
 }

@@ -25,6 +25,9 @@
 //! * [`ChunkCache`] — the budgeted `(segment, row) → decoded chunk` cache
 //!   with clock eviction and a pin surface (pinned entries are immune to
 //!   eviction for the duration of a borrow epoch) behind that read path;
+//! * [`BudgetGovernor`] — process-wide arbitration of those chunk-cache
+//!   budgets across many matrices (the multi-tenant service's one cap), with
+//!   per-member [`BudgetLease`]s granted under a fair-share rule;
 //! * [`MemoryTracker`] — per-structure resident/peak byte accounting used by
 //!   the space-efficiency experiment (E2);
 //! * [`TempDir`] — a small self-cleaning temporary directory helper so the
@@ -42,6 +45,7 @@ pub mod bitvec;
 pub mod checkpoint;
 pub mod checksum;
 pub mod chunkcache;
+pub mod governor;
 pub mod paged;
 pub mod rowstore;
 pub mod segment;
@@ -53,6 +57,7 @@ pub use bitvec::BitVec;
 pub use checkpoint::{Checkpoint, CheckpointRow, CheckpointSegment};
 pub use checksum::crc32;
 pub use chunkcache::{ChunkCache, ChunkCacheStats};
+pub use governor::{BudgetGovernor, BudgetLease};
 pub use paged::PagedFile;
 pub use rowstore::{RowStore, StorageBackend};
 pub use segment::{

@@ -54,6 +54,17 @@ pub enum FsmError {
         /// What validation failed (checksum mismatch, truncated body, …).
         detail: String,
     },
+    /// A service request named a tenant the registry does not know.
+    UnknownTenant(String),
+    /// A tenant-creation request reused an id the registry already serves.
+    TenantExists(String),
+    /// A tenant's ingest queue is full; the producer must retry (or slow
+    /// down).  Carrying a dedicated variant lets the wire protocol map this
+    /// to a retryable status instead of a generic failure.
+    Backpressure {
+        /// The tenant whose queue is full.
+        tenant: String,
+    },
     /// Underlying I/O failure (disk-backed structures, dataset readers).
     Io(io::Error),
 }
@@ -85,6 +96,23 @@ impl FsmError {
         Self::CorruptStructure(message.into())
     }
 
+    /// Shorthand for an unknown-tenant error.
+    pub fn unknown_tenant(tenant: impl Into<String>) -> Self {
+        Self::UnknownTenant(tenant.into())
+    }
+
+    /// Shorthand for a duplicate-tenant error.
+    pub fn tenant_exists(tenant: impl Into<String>) -> Self {
+        Self::TenantExists(tenant.into())
+    }
+
+    /// Shorthand for an ingest-backpressure signal.
+    pub fn backpressure(tenant: impl Into<String>) -> Self {
+        Self::Backpressure {
+            tenant: tenant.into(),
+        }
+    }
+
     /// Shorthand for a corrupt durable-artifact error.
     pub fn corrupt_artifact(artifact: impl Into<String>, detail: impl Into<String>) -> Self {
         Self::CorruptArtifact {
@@ -112,6 +140,11 @@ impl fmt::Display for FsmError {
             } => write!(f, "parse error: {message}"),
             Self::CorruptArtifact { artifact, detail } => {
                 write!(f, "corrupt durable artifact {artifact}: {detail}")
+            }
+            Self::UnknownTenant(tenant) => write!(f, "unknown tenant {tenant:?}"),
+            Self::TenantExists(tenant) => write!(f, "tenant {tenant:?} already exists"),
+            Self::Backpressure { tenant } => {
+                write!(f, "tenant {tenant:?} ingest queue is full; retry later")
             }
             Self::Io(err) => write!(f, "I/O error: {err}"),
         }
