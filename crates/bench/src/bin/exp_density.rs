@@ -1,0 +1,232 @@
+//! Tenant-density experiment: how many tenants one process can hold when
+//! the resident-set policy keeps only a fixed number of windows in memory.
+//!
+//! A fleet of [`TENANTS`] identical tenants is driven round-robin through
+//! one [`fsm_core::SessionRegistry`] capped at [`MAX_RESIDENT`] resident
+//! windows; colder tenants spill to a throwaway root and thaw
+//! transparently when the rotation returns to them.  After every touch the
+//! registry is sampled, tracking the peak resident count and the peak
+//! summed resident bytes the cap actually allowed.
+//!
+//! Asserted (the experiment fails loudly, it does not just report):
+//!
+//! * the resident count never exceeds the cap — density is real, the
+//!   registry is not quietly keeping the whole fleet in memory;
+//! * every tenant's final window is byte-identical to a standalone
+//!   single-tenant run — spill/thaw cycling may move bytes, never results.
+//!
+//! Reported: peak resident count/bytes, the estimated bytes a fully
+//! resident fleet would have needed, total thaws and thaw-latency p50/p99.
+//! `--json-out PATH` persists the numbers (hand-rolled JSON — the
+//! workspace carries no serde); CI commits them as `BENCH_density.json`.
+
+use std::time::Instant;
+
+use fsm_bench::report::markdown_table;
+use fsm_bench::Workload;
+use fsm_core::{
+    Algorithm, LifecycleState, MinerConfig, RegistryConfig, SessionRegistry, StreamMiner,
+};
+use fsm_storage::{StorageBackend, TempDir};
+use fsm_stream::WindowConfig;
+use fsm_types::MinSup;
+
+const TENANTS: usize = 64;
+const MAX_RESIDENT: usize = 8;
+const WINDOW: usize = 5;
+
+fn main() {
+    let mut scale = None;
+    let mut json_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let parsed = if arg == "--json-out" {
+            args.next().map(|path| json_out = Some(path))
+        } else if scale.is_none() {
+            arg.parse().ok().map(|n| scale = Some(n))
+        } else {
+            None
+        };
+        if parsed.is_none() {
+            eprintln!("usage: exp_density [SCALE] [--json-out PATH]");
+            std::process::exit(2);
+        }
+    }
+    let scale = scale.unwrap_or(1);
+    let workload = Workload::graph_model(scale, 42);
+
+    let stats = density_run(&workload);
+
+    if let Some(path) = json_out {
+        std::fs::write(&path, render_json(&stats)).expect("write --json-out file");
+        println!("wrote density numbers to {path}");
+    }
+}
+
+fn tenant_config(catalog: &fsm_types::EdgeCatalog) -> MinerConfig {
+    MinerConfig {
+        algorithm: Algorithm::DirectVertical,
+        window: WindowConfig::new(WINDOW).expect("window"),
+        min_support: MinSup::relative(0.05),
+        backend: StorageBackend::Memory,
+        catalog: Some(catalog.clone()),
+        ..MinerConfig::default()
+    }
+}
+
+/// The density run's measured numbers.
+struct DensityStats {
+    peak_resident: usize,
+    peak_resident_bytes: u64,
+    full_fleet_bytes_estimate: u64,
+    total_thaws: u64,
+    thaw_p50_us: f64,
+    thaw_p99_us: f64,
+    wall_ms: f64,
+}
+
+fn density_run(workload: &Workload) -> DensityStats {
+    println!(
+        "# Tenant density — {} tenants, {} resident windows, {} stream\n",
+        TENANTS, MAX_RESIDENT, workload.name
+    );
+
+    let spill_root = TempDir::new("exp-density-spill").expect("spill root");
+    let registry = SessionRegistry::new(RegistryConfig {
+        max_resident: Some(MAX_RESIDENT),
+        spill_root: Some(spill_root.path().into()),
+        ..RegistryConfig::default()
+    });
+    let sessions: Vec<_> = (0..TENANTS)
+        .map(|i| {
+            registry
+                .create_tenant(
+                    &format!("tenant-{i:02}"),
+                    tenant_config(&workload.catalog),
+                    false,
+                )
+                .expect("create tenant")
+        })
+        .collect();
+
+    // Round-robin drive: each batch visits every tenant before the next
+    // batch starts, so all but MAX_RESIDENT tenants are cold at each visit
+    // and the rotation forces a thaw almost every touch.
+    let mut peak_resident = 0usize;
+    let mut peak_resident_bytes = 0u64;
+    let start = Instant::now();
+    for batch in &workload.batches {
+        for session in &sessions {
+            session.ingest(batch).expect("ingest");
+            let statuses = registry.statuses();
+            let resident = statuses
+                .iter()
+                .filter(|(_, s)| s.state != LifecycleState::Spilled)
+                .count();
+            let bytes: u64 = statuses.iter().map(|(_, s)| s.resident_bytes).sum();
+            peak_resident = peak_resident.max(resident);
+            peak_resident_bytes = peak_resident_bytes.max(bytes);
+        }
+    }
+    let wall = start.elapsed();
+
+    assert!(
+        peak_resident <= MAX_RESIDENT,
+        "resident-set cap violated: {peak_resident} windows resident under \
+         a cap of {MAX_RESIDENT}"
+    );
+
+    // Correctness across the whole fleet: every tenant's final window must
+    // equal a standalone run of the stream, whatever spill/thaw history it
+    // accumulated.
+    let mut oracle = StreamMiner::new(tenant_config(&workload.catalog)).expect("miner");
+    for batch in &workload.batches {
+        oracle.ingest_batch(batch).expect("ingest");
+    }
+    let expected = oracle.mine().expect("mine");
+    for (i, session) in sessions.iter().enumerate() {
+        let served = session.mine().expect("final mine");
+        assert!(
+            served.same_patterns_as(&expected),
+            "tenant {i} diverged after spill/thaw cycling: {:?}",
+            expected.diff(&served)
+        );
+    }
+
+    // Thaw statistics over the whole fleet.
+    let mut latencies: Vec<u64> = sessions
+        .iter()
+        .flat_map(|session| session.thaw_latencies())
+        .collect();
+    latencies.sort_unstable();
+    let total_thaws: u64 = registry.statuses().iter().map(|(_, s)| s.thaws).sum();
+    let p = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[rank.min(latencies.len() - 1)] as f64 / 1e3
+    };
+    let per_resident = peak_resident_bytes / peak_resident.max(1) as u64;
+    let stats = DensityStats {
+        peak_resident,
+        peak_resident_bytes,
+        full_fleet_bytes_estimate: per_resident * TENANTS as u64,
+        total_thaws,
+        thaw_p50_us: p(0.50),
+        thaw_p99_us: p(0.99),
+        wall_ms: wall.as_secs_f64() * 1e3,
+    };
+
+    println!(
+        "{}",
+        markdown_table(
+            &["metric", "value"],
+            &[
+                vec!["tenants".into(), TENANTS.to_string()],
+                vec!["resident cap".into(), MAX_RESIDENT.to_string()],
+                vec![
+                    "peak resident windows".into(),
+                    stats.peak_resident.to_string()
+                ],
+                vec![
+                    "peak resident bytes".into(),
+                    stats.peak_resident_bytes.to_string()
+                ],
+                vec![
+                    "fully-resident fleet estimate".into(),
+                    stats.full_fleet_bytes_estimate.to_string()
+                ],
+                vec!["total thaws".into(), stats.total_thaws.to_string()],
+                vec!["thaw p50 µs".into(), format!("{:.0}", stats.thaw_p50_us)],
+                vec!["thaw p99 µs".into(), format!("{:.0}", stats.thaw_p99_us)],
+                vec!["wall ms".into(), format!("{:.1}", stats.wall_ms)],
+            ]
+        )
+    );
+    println!(
+        "resident set stayed within the cap and all {TENANTS} tenants served \
+         byte-identical windows (asserted)\n"
+    );
+    stats
+}
+
+/// Hand-rolled JSON (the workspace carries no serde).
+fn render_json(stats: &DensityStats) -> String {
+    format!(
+        "{{\n  \"tenants\": {},\n  \"max_resident\": {},\n  \
+         \"peak_resident\": {},\n  \"peak_resident_bytes\": {},\n  \
+         \"full_fleet_bytes_estimate\": {},\n  \"total_thaws\": {},\n  \
+         \"thaw_p50_us\": {:.1},\n  \"thaw_p99_us\": {:.1},\n  \
+         \"wall_ms\": {:.1}\n}}\n",
+        TENANTS,
+        MAX_RESIDENT,
+        stats.peak_resident,
+        stats.peak_resident_bytes,
+        stats.full_fleet_bytes_estimate,
+        stats.total_thaws,
+        stats.thaw_p50_us,
+        stats.thaw_p99_us,
+        stats.wall_ms,
+    )
+}

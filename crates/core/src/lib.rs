@@ -105,5 +105,6 @@ pub use postprocess::{closed_patterns, maximal_patterns, top_k};
 pub use result::MiningResult;
 pub use scratch::ScratchArena;
 pub use session::{
-    validate_tenant_id, IngestOutcome, RegistryConfig, Session, SessionRegistry, Subscription,
+    validate_tenant_id, IngestOutcome, LifecycleState, RegistryConfig, Session, SessionRegistry,
+    SessionStatus, Subscription,
 };

@@ -2,6 +2,7 @@
 //! demand — or snapshot an epoch ([`StreamMiner::snapshot`]) and mine it on
 //! another thread while ingest continues.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -18,6 +19,16 @@ use crate::delta::DeltaMiner;
 use crate::miners;
 use crate::parallel::Exec;
 use crate::result::MiningResult;
+
+/// Where [`StreamMiner::build`] gets its matrix from.
+enum BuildSource<'a> {
+    /// A brand-new, empty window.
+    Fresh,
+    /// WAL + checkpoints under the durable directory.
+    Recover,
+    /// A hibernation image under the given spill directory.
+    Thaw(&'a Path),
+}
 
 /// A streaming frequent connected subgraph miner.
 ///
@@ -44,7 +55,7 @@ impl StreamMiner {
     /// WAL, checkpoints or segment files a previous run left in the
     /// directory are discarded.  Use [`StreamMiner::recover`] to resume.
     pub fn new(config: MinerConfig) -> Result<Self> {
-        Self::build(config, false)
+        Self::build(config, BuildSource::Fresh)
     }
 
     /// Rebuilds a miner from the durable directory of a previous (possibly
@@ -57,10 +68,35 @@ impl StreamMiner {
     /// replayed, artifacts it had to distrust) is available through
     /// [`StreamMiner::recovery_report`].
     pub fn recover(config: MinerConfig) -> Result<Self> {
-        Self::build(config, true)
+        Self::build(config, BuildSource::Recover)
     }
 
-    fn build(mut config: MinerConfig, recovering: bool) -> Result<Self> {
+    /// Spills the miner's window to disk: a checkpoint for durable miners
+    /// (their artifacts already live under [`MinerConfig::durable_dir`]), a
+    /// full-payload hibernation image under `spill_dir` otherwise
+    /// ([`DsMatrix::hibernate`]).  The miner stays usable; the session layer
+    /// drops it right after, releasing the resident state and its budget
+    /// lease.  [`StreamMiner::thaw`] rebuilds a byte-identical miner.
+    pub fn hibernate(&mut self, spill_dir: &Path) -> Result<()> {
+        self.matrix.hibernate(spill_dir)
+    }
+
+    /// Rebuilds a hibernated miner: [`StreamMiner::recover`] for durable
+    /// configurations, the spill image under `spill_dir` otherwise.
+    ///
+    /// The configuration must carry the catalog the original miner held (the
+    /// session layer clones it back in at spill time).  Delta-mining state is
+    /// *not* hibernated: the first delta mine after a thaw performs the full
+    /// rebuild, which is byte-identical to the maintained state by the
+    /// delta-agreement property.
+    pub fn thaw(config: MinerConfig, spill_dir: &Path) -> Result<Self> {
+        if config.durable_dir.is_some() {
+            return Self::recover(config);
+        }
+        Self::build(config, BuildSource::Thaw(spill_dir))
+    }
+
+    fn build(mut config: MinerConfig, source: BuildSource<'_>) -> Result<Self> {
         let catalog = config.catalog.take().unwrap_or_default();
         let mut matrix_config =
             DsMatrixConfig::new(config.window, config.backend.clone(), catalog.num_edges())
@@ -73,10 +109,10 @@ impl StreamMiner {
                 DurabilityConfig::new(dir).with_checkpoint_every(config.checkpoint_every),
             );
         }
-        let matrix = if recovering {
-            DsMatrix::recover(matrix_config)?
-        } else {
-            DsMatrix::new(matrix_config)?
+        let matrix = match source {
+            BuildSource::Fresh => DsMatrix::new(matrix_config)?,
+            BuildSource::Recover => DsMatrix::recover(matrix_config)?,
+            BuildSource::Thaw(spill_dir) => DsMatrix::thaw(matrix_config, spill_dir)?,
         };
         let tracker = MemoryTracker::new();
         let next_batch_id = matrix.last_batch_id().map_or(0, |id| id + 1);
@@ -106,6 +142,12 @@ impl StreamMiner {
     /// The memory tracker observing the capture structure.
     pub fn memory(&self) -> &MemoryTracker {
         &self.tracker
+    }
+
+    /// Bytes the capture structure currently keeps resident in main memory
+    /// (what a spill releases).
+    pub fn resident_bytes(&self) -> usize {
+        self.matrix.resident_bytes()
     }
 
     /// Number of transactions currently in the window.

@@ -45,10 +45,50 @@
 //! publish through their maintained [`crate::DeltaMiner`] state instead
 //! (it requires exclusive access); either way the published patterns are
 //! the ones a stop-the-world mine at that epoch would return.
+//!
+//! # Tenant lifecycle: resident set, spill and thaw
+//!
+//! Each session is a small state machine ([`LifecycleState`]):
+//!
+//! ```text
+//!              touch                  evicted (clock sweep)
+//!   Active ◄────────── Idle ────────────► Draining ──► Spilled
+//!     ▲  │  hand passes: touched cleared      ▲           │
+//!     │  └────────────────────────────────────┘           │
+//!     └──────────── request arrives: transparent thaw ◄───┘
+//! ```
+//!
+//! When [`RegistryConfig::max_resident`] or
+//! [`RegistryConfig::max_resident_bytes`] is set, the registry keeps only
+//! that many windows resident.  Residency enforcement is clock-style
+//! second chance: every completed operation stamps its session *touched*;
+//! the sweep (run opportunistically after each touch, never blocking the
+//! toucher) rotates a hand over the tenant table, demoting touched
+//! sessions to [`LifecycleState::Idle`] and spilling the first session it
+//! finds cold.  A spill drains the pending queue into the window first
+//! (publishing to subscribers exactly as a normal drain would), then
+//! serialises the window via [`StreamMiner::hibernate`] — a full-payload
+//! [`fsm_storage::Hibernation`] image under `spill_root/<tenant>/` for
+//! volatile tenants, a checkpoint under the durable root for durable ones —
+//! and drops the resident state.  Dropping the window releases its
+//! [`fsm_storage::BudgetLease`], so the governor re-expands the warm
+//! tenants' caches automatically.
+//!
+//! A spilled tenant stays fully addressable: the next request against it
+//! (ingest, mine, subscribe-driven publish, [`Session::with_miner`])
+//! **transparently thaws** the window ([`StreamMiner::thaw`]) and proceeds;
+//! thaw latency is recorded per session ([`SessionStatus`]), never surfaced
+//! as an error.  Queued ingests and armed subscriptions survive the
+//! spill/thaw cycle unreordered — the pending queue and publication channel
+//! live outside the window.  The gating property (the `max_resident = 1`
+//! axis of `tenant_isolation.rs`): a fleet served under eviction pressure
+//! is byte-identical to the same fleet fully resident.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::Instant;
 
 use fsm_storage::BudgetGovernor;
 use fsm_stream::SlideOutcome;
@@ -78,6 +118,19 @@ pub struct RegistryConfig {
     pub durable_root: Option<PathBuf>,
     /// Per-tenant ingest queue bound — the backpressure threshold.
     pub max_pending_batches: usize,
+    /// Resident-window cap: at most this many tenants keep their window in
+    /// memory; colder ones spill (see the module docs).  `None` disables
+    /// count-based eviction.
+    pub max_resident: Option<usize>,
+    /// Resident-byte cap: tenants spill until the summed
+    /// [`SessionStatus::resident_bytes`] of resident windows fits.  `None`
+    /// disables byte-based eviction.
+    pub max_resident_bytes: Option<usize>,
+    /// Root directory for *volatile* tenants' spill images
+    /// (`spill_root/<tenant>/`).  Without it, non-durable tenants are
+    /// pinned resident — the sweep skips them.  Durable tenants spill
+    /// through their checkpoints and never need it.
+    pub spill_root: Option<PathBuf>,
 }
 
 impl Default for RegistryConfig {
@@ -87,6 +140,9 @@ impl Default for RegistryConfig {
             governor: None,
             durable_root: None,
             max_pending_batches: Self::DEFAULT_MAX_PENDING,
+            max_resident: None,
+            max_resident_bytes: None,
+            spill_root: None,
         }
     }
 }
@@ -96,13 +152,35 @@ impl RegistryConfig {
     pub const DEFAULT_MAX_PENDING: usize = 64;
 }
 
-/// The tenant table: creates, recovers, serves and drops [`Session`]s.
+/// The tenant table: creates, recovers, serves, spills and drops
+/// [`Session`]s.
 ///
 /// Shared by reference ([`Arc<SessionRegistry>`]) between every server
 /// thread; all methods take `&self`.
 pub struct SessionRegistry {
+    shared: Arc<Shared>,
+}
+
+/// The registry state sessions point back into (via [`Weak`], so a session
+/// outliving its registry simply stops sweeping): tenant table, residency
+/// policy, the logical clock behind last-touch stamps and the sweep hand.
+struct Shared {
     config: RegistryConfig,
     sessions: Mutex<BTreeMap<String, Arc<Session>>>,
+    /// Logical time: bumped on every touch, stamped into
+    /// [`Lifecycle::last_touch`].
+    clock: AtomicU64,
+    /// The clock-sweep hand.  `try_lock`ed by [`Shared::enforce`] so at most
+    /// one thread sweeps and a toucher never blocks on residency
+    /// enforcement.
+    sweep: Mutex<SweepHand>,
+}
+
+#[derive(Default)]
+struct SweepHand {
+    /// Tenant id the next sweep starts from (first id `>=` it; the table
+    /// may have changed since the hand last moved).
+    cursor: Option<String>,
 }
 
 impl SessionRegistry {
@@ -112,14 +190,18 @@ impl SessionRegistry {
     /// Creates an empty registry.
     pub fn new(config: RegistryConfig) -> Self {
         Self {
-            config,
-            sessions: Mutex::new(BTreeMap::new()),
+            shared: Arc::new(Shared {
+                config,
+                sessions: Mutex::new(BTreeMap::new()),
+                clock: AtomicU64::new(0),
+                sweep: Mutex::new(SweepHand::default()),
+            }),
         }
     }
 
     /// The shared configuration.
     pub fn config(&self) -> &RegistryConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// Creates a fresh tenant.
@@ -169,13 +251,31 @@ impl SessionRegistry {
         }
         if durable {
             let root =
-                self.config.durable_root.as_ref().ok_or_else(|| {
+                self.shared.config.durable_root.as_ref().ok_or_else(|| {
                     FsmError::config("durable tenants need a registry durable_root")
                 })?;
             config.durable_dir = Some(root.join(tenant));
         }
-        config.cache_governor = self.config.governor.clone();
-        let mut sessions = lock_unpoisoned(&self.sessions);
+        config.cache_governor = self.shared.config.governor.clone();
+        // Durable tenants spill through their checkpoints (the durable dir
+        // *is* the cold copy); volatile tenants need an explicit spill root.
+        let spill_dir = if durable {
+            config.durable_dir.clone()
+        } else {
+            let dir = self
+                .shared
+                .config
+                .spill_root
+                .as_ref()
+                .map(|root| root.join(tenant));
+            if let Some(dir) = &dir {
+                // A dropped predecessor of the same name may have left a
+                // spill image behind; it must never thaw into this tenant.
+                let _ = std::fs::remove_file(fsm_storage::Hibernation::artifact_path(dir));
+            }
+            dir
+        };
+        let mut sessions = lock_unpoisoned(&self.shared.sessions);
         if sessions.contains_key(tenant) {
             return Err(FsmError::tenant_exists(tenant));
         }
@@ -187,16 +287,21 @@ impl SessionRegistry {
         let session = Arc::new(Session::new(
             tenant.to_string(),
             miner,
-            self.config.exec.clone(),
-            self.config.max_pending_batches,
+            self.shared.config.exec.clone(),
+            self.shared.config.max_pending_batches,
+            spill_dir,
+            Arc::downgrade(&self.shared),
         ));
         sessions.insert(tenant.to_string(), Arc::clone(&session));
+        drop(sessions);
+        session.stamp_touch();
+        self.shared.enforce();
         Ok(session)
     }
 
     /// Looks a live tenant up.
     pub fn get(&self, tenant: &str) -> Result<Arc<Session>> {
-        lock_unpoisoned(&self.sessions)
+        lock_unpoisoned(&self.shared.sessions)
             .get(tenant)
             .cloned()
             .ok_or_else(|| FsmError::unknown_tenant(tenant))
@@ -208,7 +313,7 @@ impl SessionRegistry {
     /// clone drops — including its budget lease, whose grant flows back to
     /// the surviving tenants.
     pub fn drop_tenant(&self, tenant: &str) -> Result<()> {
-        lock_unpoisoned(&self.sessions)
+        lock_unpoisoned(&self.shared.sessions)
             .remove(tenant)
             .map(|_| ())
             .ok_or_else(|| FsmError::unknown_tenant(tenant))
@@ -216,7 +321,30 @@ impl SessionRegistry {
 
     /// Live tenant ids, sorted.
     pub fn tenants(&self) -> Vec<String> {
-        lock_unpoisoned(&self.sessions).keys().cloned().collect()
+        lock_unpoisoned(&self.shared.sessions)
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Every tenant's id and lifecycle status, sorted by id — what the
+    /// service's `list` verb reports.
+    pub fn statuses(&self) -> Vec<(String, SessionStatus)> {
+        let sessions: Vec<(String, Arc<Session>)> = lock_unpoisoned(&self.shared.sessions)
+            .iter()
+            .map(|(tenant, session)| (tenant.clone(), Arc::clone(session)))
+            .collect();
+        sessions
+            .into_iter()
+            .map(|(tenant, session)| (tenant, session.status()))
+            .collect()
+    }
+
+    /// Applies the resident-set policy now.  Normally unnecessary — every
+    /// completed session operation triggers an opportunistic sweep — but
+    /// deterministic for tests and operators.
+    pub fn enforce_residency(&self) {
+        self.shared.enforce();
     }
 
     /// Tenant ids with durable state under the registry's durable root —
@@ -224,7 +352,7 @@ impl SessionRegistry {
     /// Empty without a durable root; ids that fail validation (a stray
     /// directory) are skipped.
     pub fn durable_tenants(&self) -> Result<Vec<String>> {
-        let Some(root) = &self.config.durable_root else {
+        let Some(root) = &self.shared.config.durable_root else {
             return Ok(Vec::new());
         };
         let mut tenants = Vec::new();
@@ -246,11 +374,97 @@ impl SessionRegistry {
     }
 }
 
+impl Shared {
+    /// Spills cold tenants until the resident set fits the configured caps.
+    /// `try_lock` on the sweep hand keeps this single-flight and keeps the
+    /// triggering request from ever blocking on another tenant's spill.
+    fn enforce(&self) {
+        if self.config.max_resident.is_none() && self.config.max_resident_bytes.is_none() {
+            return;
+        }
+        let Ok(mut hand) = self.sweep.try_lock() else {
+            return;
+        };
+        // Tenants already tried this sweep (spilled, or failed to): never
+        // re-selected, so an unspillable resident set terminates the loop.
+        let mut attempted = BTreeSet::new();
+        loop {
+            let sessions: Vec<(String, Arc<Session>)> = lock_unpoisoned(&self.sessions)
+                .iter()
+                .map(|(tenant, session)| (tenant.clone(), Arc::clone(session)))
+                .collect();
+            let mut resident = 0usize;
+            let mut resident_bytes = 0usize;
+            for (_, session) in &sessions {
+                let lifecycle = lock_unpoisoned(&session.lifecycle);
+                if lifecycle.state != LifecycleState::Spilled {
+                    resident += 1;
+                    resident_bytes += lifecycle.resident_bytes;
+                }
+            }
+            let over = self.config.max_resident.is_some_and(|cap| resident > cap)
+                || self
+                    .config
+                    .max_resident_bytes
+                    .is_some_and(|cap| resident_bytes > cap);
+            if !over {
+                return;
+            }
+            let Some(victim) = Self::select_victim(&sessions, &mut hand, &attempted) else {
+                return;
+            };
+            attempted.insert(victim.tenant().to_string());
+            // A failed spill (I/O error) leaves the tenant resident and
+            // usable; `attempted` stops us retrying it this sweep.
+            let _ = victim.spill();
+        }
+    }
+
+    /// One clock rotation, second-chance style: touched residents lose
+    /// their bit (and demote `Active → Idle`); the first cold, spillable
+    /// resident past the hand is the victim.  Two full cycles guarantee a
+    /// pick when any eligible session exists.
+    fn select_victim(
+        sessions: &[(String, Arc<Session>)],
+        hand: &mut SweepHand,
+        attempted: &BTreeSet<String>,
+    ) -> Option<Arc<Session>> {
+        if sessions.is_empty() {
+            return None;
+        }
+        let start = hand
+            .cursor
+            .as_ref()
+            .and_then(|cursor| sessions.iter().position(|(tenant, _)| tenant >= cursor))
+            .unwrap_or(0);
+        for step in 0..sessions.len() * 2 {
+            let index = (start + step) % sessions.len();
+            let (tenant, session) = &sessions[index];
+            if attempted.contains(tenant) || session.spill_dir.is_none() {
+                continue;
+            }
+            let mut lifecycle = lock_unpoisoned(&session.lifecycle);
+            match lifecycle.state {
+                LifecycleState::Spilled | LifecycleState::Draining => continue,
+                LifecycleState::Active | LifecycleState::Idle => {}
+            }
+            if lifecycle.touched {
+                lifecycle.touched = false;
+                lifecycle.state = LifecycleState::Idle;
+                continue;
+            }
+            hand.cursor = Some(sessions[(index + 1) % sessions.len()].0.clone());
+            return Some(Arc::clone(session));
+        }
+        None
+    }
+}
+
 impl std::fmt::Debug for SessionRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionRegistry")
             .field("tenants", &self.tenants())
-            .field("exec", &self.config.exec)
+            .field("exec", &self.shared.config.exec)
             .finish()
     }
 }
@@ -288,24 +502,138 @@ pub enum IngestOutcome {
     Queued,
 }
 
+/// Where a session is in its residency lifecycle (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Window resident and recently touched.
+    Active,
+    /// Window resident; the clock hand passed without a touch since the
+    /// last rotation — the next pass spills it.
+    Idle,
+    /// Mid-transition: spilling or thawing under the window lock.
+    Draining,
+    /// Window serialised to disk; the next request thaws it transparently.
+    Spilled,
+}
+
+impl LifecycleState {
+    /// Stable lower-case name (wire protocol, CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Active => "active",
+            Self::Idle => "idle",
+            Self::Draining => "draining",
+            Self::Spilled => "spilled",
+        }
+    }
+
+    /// Stable single-byte wire encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Active => 0,
+            Self::Idle => 1,
+            Self::Draining => 2,
+            Self::Spilled => 3,
+        }
+    }
+
+    /// Inverse of [`LifecycleState::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Active),
+            1 => Some(Self::Idle),
+            2 => Some(Self::Draining),
+            3 => Some(Self::Spilled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LifecycleState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point-in-time snapshot of one session's lifecycle bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Current lifecycle state.
+    pub state: LifecycleState,
+    /// Bytes of resident window state (`0` while spilled).
+    pub resident_bytes: u64,
+    /// Transparent thaws performed over the session's lifetime.
+    pub thaws: u64,
+    /// Total nanoseconds spent in those thaws (the thawing latency the
+    /// service reports; divide by [`SessionStatus::thaws`] for the mean).
+    pub thaw_nanos: u64,
+}
+
 /// One tenant: one sliding window, its miner configuration, and its
 /// delta/durable state, shareable across threads.
 ///
 /// Created through [`SessionRegistry::create_tenant`] /
-/// [`SessionRegistry::recover_tenant`]; all methods take `&self`.
+/// [`SessionRegistry::recover_tenant`]; all methods take `&self`.  The
+/// window may be resident ([`StreamMiner`]) or spilled to disk — every
+/// entry point re-hydrates it transparently, which is why the miner-facing
+/// methods return [`Result`].
 pub struct Session {
     tenant: String,
     exec: Exec,
     max_pending: usize,
-    /// The window.  Held only for the duration of one operation (an ingest
-    /// drain, one mine); producers meeting a held lock park their batches in
-    /// `pending` instead of blocking on it.
-    miner: Mutex<StreamMiner>,
+    /// The window — live or spilled.  Held only for the duration of one
+    /// operation (an ingest drain, one mine, a spill or thaw); producers
+    /// meeting a held lock park their batches in `pending` instead of
+    /// blocking on it.
+    window: Mutex<Window>,
+    /// Residency bookkeeping.  Lock order: `window` before `lifecycle`;
+    /// never the reverse.
+    lifecycle: Mutex<Lifecycle>,
+    /// Where this tenant spills: `spill_root/<tenant>/` for volatile
+    /// tenants, the durable directory for durable ones, `None` when the
+    /// tenant is pinned resident (volatile, no spill root configured).
+    spill_dir: Option<PathBuf>,
+    /// Back-pointer for touch stamps and sweep triggering.
+    shared: Weak<Shared>,
     /// Bounded arrival-order ingest queue (see the module docs).
     pending: Mutex<VecDeque<Batch>>,
     /// Latest mine-on-slide publication plus subscriber bookkeeping.
     published: Mutex<Published>,
     publish_signal: Condvar,
+}
+
+/// The two residency states of a window, behind [`Session::window`].
+enum Window {
+    // Boxed: a resident miner is ~1.5 KiB, a spilled stub a fraction of
+    // that — keep the enum small so the mutex guard stays cheap to move.
+    Live(Box<StreamMiner>),
+    Spilled(Box<SpilledWindow>),
+}
+
+/// Everything needed to rebuild a spilled window: the full miner
+/// configuration (catalog cloned back in — the miner moves it out at build
+/// time) and the directory holding the cold copy.
+struct SpilledWindow {
+    config: MinerConfig,
+    dir: PathBuf,
+}
+
+struct Lifecycle {
+    state: LifecycleState,
+    /// Clock-sweep reference bit: set on every completed operation, cleared
+    /// by a passing hand.
+    touched: bool,
+    /// Logical-clock stamp of the last completed operation (diagnostic;
+    /// the sweep keys off `touched`).
+    #[allow(dead_code)]
+    last_touch: u64,
+    resident_bytes: usize,
+    thaws: u64,
+    thaw_nanos: u64,
+    /// Individual thaw latencies (nanoseconds), capped at
+    /// [`Session::THAW_SAMPLE_CAP`] — enough for the density experiment's
+    /// percentiles without unbounded growth.
+    thaw_samples: Vec<u64>,
 }
 
 #[derive(Default)]
@@ -317,12 +645,34 @@ struct Published {
 }
 
 impl Session {
-    fn new(tenant: String, miner: StreamMiner, exec: Exec, max_pending: usize) -> Self {
+    /// Per-session cap on retained thaw-latency samples.
+    const THAW_SAMPLE_CAP: usize = 1024;
+
+    fn new(
+        tenant: String,
+        miner: StreamMiner,
+        exec: Exec,
+        max_pending: usize,
+        spill_dir: Option<PathBuf>,
+        shared: Weak<Shared>,
+    ) -> Self {
+        let resident_bytes = miner.resident_bytes();
         Self {
             tenant,
             exec,
             max_pending: max_pending.max(1),
-            miner: Mutex::new(miner),
+            window: Mutex::new(Window::Live(Box::new(miner))),
+            lifecycle: Mutex::new(Lifecycle {
+                state: LifecycleState::Active,
+                touched: true,
+                last_touch: 0,
+                resident_bytes,
+                thaws: 0,
+                thaw_nanos: 0,
+                thaw_samples: Vec::new(),
+            }),
+            spill_dir,
+            shared,
             pending: Mutex::new(VecDeque::new()),
             published: Mutex::new(Published::default()),
             publish_signal: Condvar::new(),
@@ -334,38 +684,72 @@ impl Session {
         &self.tenant
     }
 
-    /// Ingests one batch: applied immediately when the window is free,
-    /// queued (bounded) when it is busy, [`FsmError::Backpressure`] when the
-    /// queue is full — see the module docs for the exact protocol.
-    pub fn ingest(&self, batch: &Batch) -> Result<IngestOutcome> {
-        let Ok(mut miner) = self.miner.try_lock() else {
-            let mut pending = lock_unpoisoned(&self.pending);
-            if pending.len() >= self.max_pending {
-                return Err(FsmError::backpressure(&self.tenant));
-            }
-            pending.push_back(batch.clone());
-            return Ok(IngestOutcome::Queued);
-        };
-        self.drain_into(&mut miner)?;
-        let outcome = miner.ingest_batch(batch)?;
-        if self.has_subscribers() {
-            self.publish(&mut miner)?;
+    /// Current lifecycle state.
+    pub fn state(&self) -> LifecycleState {
+        lock_unpoisoned(&self.lifecycle).state
+    }
+
+    /// Lifecycle bookkeeping snapshot: state, resident bytes, thaw stats.
+    pub fn status(&self) -> SessionStatus {
+        let lifecycle = lock_unpoisoned(&self.lifecycle);
+        SessionStatus {
+            state: lifecycle.state,
+            resident_bytes: lifecycle.resident_bytes as u64,
+            thaws: lifecycle.thaws,
+            thaw_nanos: lifecycle.thaw_nanos,
         }
+    }
+
+    /// Individual thaw latencies in nanoseconds (capped retention; see
+    /// [`SessionStatus`] for the running totals).
+    pub fn thaw_latencies(&self) -> Vec<u64> {
+        lock_unpoisoned(&self.lifecycle).thaw_samples.clone()
+    }
+
+    /// Ingests one batch: applied immediately when the window is free
+    /// (thawing it first if spilled), queued (bounded) when it is busy,
+    /// [`FsmError::Backpressure`] when the queue is full — see the module
+    /// docs for the exact protocol.
+    pub fn ingest(&self, batch: &Batch) -> Result<IngestOutcome> {
+        let (outcome, resident_bytes) = {
+            let Ok(mut window) = self.window.try_lock() else {
+                let mut pending = lock_unpoisoned(&self.pending);
+                if pending.len() >= self.max_pending {
+                    return Err(FsmError::backpressure(&self.tenant));
+                }
+                pending.push_back(batch.clone());
+                return Ok(IngestOutcome::Queued);
+            };
+            let miner = self.live(&mut window)?;
+            self.drain_into(miner)?;
+            let outcome = miner.ingest_batch(batch)?;
+            if self.has_subscribers() {
+                self.publish(miner)?;
+            }
+            (outcome, miner.resident_bytes())
+        };
+        self.after_touch(resident_bytes);
         Ok(IngestOutcome::Applied(outcome))
     }
 
-    /// Mines the current window (draining any queued ingests first) under
-    /// the registry's executor.  Equivalent to [`StreamMiner::mine`] on a
-    /// standalone miner fed the same batches.
+    /// Mines the current window (thawing it if spilled and draining any
+    /// queued ingests first) under the registry's executor.  Equivalent to
+    /// [`StreamMiner::mine`] on a standalone miner fed the same batches.
     pub fn mine(&self) -> Result<MiningResult> {
-        let mut miner = lock_unpoisoned(&self.miner);
-        self.drain_into(&mut miner)?;
-        miner.mine_with(&self.exec)
+        let (result, resident_bytes) = {
+            let mut window = lock_unpoisoned(&self.window);
+            let miner = self.live(&mut window)?;
+            self.drain_into(miner)?;
+            (miner.mine_with(&self.exec)?, miner.resident_bytes())
+        };
+        self.after_touch(resident_bytes);
+        Ok(result)
     }
 
     /// Registers a mine-on-every-slide consumer; see the module docs.
     /// Publication work is only performed while at least one subscription
-    /// is alive.
+    /// is alive.  Subscribing does not thaw a spilled session — the next
+    /// slide (an ingest) does, and publishes as usual.
     pub fn subscribe(self: &Arc<Self>) -> Subscription {
         let mut published = lock_unpoisoned(&self.published);
         published.subscribers += 1;
@@ -375,18 +759,132 @@ impl Session {
         }
     }
 
-    /// Runs `f` under the window lock after draining queued ingests —
-    /// the escape hatch for callers needing [`StreamMiner`] surface the
-    /// session does not wrap (recovery reports, memory accounting).
-    pub fn with_miner<R>(&self, f: impl FnOnce(&mut StreamMiner) -> R) -> R {
-        let mut miner = lock_unpoisoned(&self.miner);
-        let _ = self.drain_into(&mut miner);
-        f(&mut miner)
+    /// Runs `f` under the window lock after thawing (if spilled) and
+    /// draining queued ingests — the escape hatch for callers needing
+    /// [`StreamMiner`] surface the session does not wrap (recovery reports,
+    /// memory accounting).
+    pub fn with_miner<R>(&self, f: impl FnOnce(&mut StreamMiner) -> R) -> Result<R> {
+        let (value, resident_bytes) = {
+            let mut window = lock_unpoisoned(&self.window);
+            let miner = self.live(&mut window)?;
+            let _ = self.drain_into(miner);
+            let value = f(miner);
+            (value, miner.resident_bytes())
+        };
+        self.after_touch(resident_bytes);
+        Ok(value)
+    }
+
+    /// Spills the window to disk: drains the pending queue (publishing to
+    /// subscribers exactly as a normal drain would), hibernates the miner
+    /// ([`StreamMiner::hibernate`]) and drops the resident state — its
+    /// budget lease flows back to the governor.  Returns `Ok(false)` when
+    /// there is nothing to do: already spilled, or the tenant is pinned
+    /// resident (volatile with no spill root).
+    ///
+    /// Blocks on the window lock, so a spill racing an in-flight mine
+    /// simply waits for the mine (and the drain that follows it) to finish.
+    pub fn spill(&self) -> Result<bool> {
+        let Some(dir) = &self.spill_dir else {
+            return Ok(false);
+        };
+        let mut window = lock_unpoisoned(&self.window);
+        let Window::Live(miner) = &mut *window else {
+            return Ok(false);
+        };
+        self.set_state(LifecycleState::Draining);
+        let sealed = self.drain_into(miner).and_then(|_| miner.hibernate(dir));
+        if let Err(err) = sealed {
+            self.set_state(LifecycleState::Active);
+            return Err(err);
+        }
+        let mut config = miner.config().clone();
+        config.catalog = Some(miner.catalog().clone());
+        *window = Window::Spilled(Box::new(SpilledWindow {
+            config,
+            dir: dir.clone(),
+        }));
+        drop(window);
+        let mut lifecycle = lock_unpoisoned(&self.lifecycle);
+        lifecycle.state = LifecycleState::Spilled;
+        lifecycle.resident_bytes = 0;
+        lifecycle.touched = false;
+        Ok(true)
     }
 
     /// Queued batches not yet applied to the window.
     pub fn pending_batches(&self) -> usize {
         lock_unpoisoned(&self.pending).len()
+    }
+
+    /// Returns the live miner behind `window`, transparently thawing a
+    /// spilled one first.  Thaw latency lands in the lifecycle bookkeeping;
+    /// a failed thaw leaves the session spilled and surfaces the error (a
+    /// proven-corrupt image was already deleted down in the matrix layer,
+    /// so the operator can drop and recreate the tenant).
+    fn live<'a>(&self, window: &'a mut Window) -> Result<&'a mut StreamMiner> {
+        if let Window::Spilled(spilled) = window {
+            let config = spilled.config.clone();
+            let dir = spilled.dir.clone();
+            self.set_state(LifecycleState::Draining);
+            let started = Instant::now();
+            match StreamMiner::thaw(config, &dir) {
+                Ok(miner) => {
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    *window = Window::Live(Box::new(miner));
+                    let mut lifecycle = lock_unpoisoned(&self.lifecycle);
+                    lifecycle.state = LifecycleState::Active;
+                    lifecycle.thaws += 1;
+                    lifecycle.thaw_nanos += nanos;
+                    if lifecycle.thaw_samples.len() < Self::THAW_SAMPLE_CAP {
+                        lifecycle.thaw_samples.push(nanos);
+                    }
+                }
+                Err(err) => {
+                    self.set_state(LifecycleState::Spilled);
+                    return Err(err);
+                }
+            }
+        }
+        match window {
+            Window::Live(miner) => Ok(&mut **miner),
+            Window::Spilled(_) => unreachable!("window was thawed above"),
+        }
+    }
+
+    fn set_state(&self, state: LifecycleState) {
+        lock_unpoisoned(&self.lifecycle).state = state;
+    }
+
+    /// Post-operation bookkeeping, called strictly *after* the window lock
+    /// is released: stamp the touch, then give the registry a chance to
+    /// re-balance the resident set (it `try_lock`s the sweep hand, so this
+    /// never blocks the completing request).
+    fn after_touch(&self, resident_bytes: usize) {
+        let shared = self.shared.upgrade();
+        {
+            let mut lifecycle = lock_unpoisoned(&self.lifecycle);
+            lifecycle.touched = true;
+            lifecycle.resident_bytes = resident_bytes;
+            if lifecycle.state == LifecycleState::Idle {
+                lifecycle.state = LifecycleState::Active;
+            }
+            if let Some(shared) = &shared {
+                lifecycle.last_touch = shared.clock.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(shared) = &shared {
+            shared.enforce();
+        }
+    }
+
+    /// Admission-time variant of [`Session::after_touch`]: stamps the
+    /// clock without sweeping (the registry sweeps right after insert).
+    fn stamp_touch(&self) {
+        if let Some(shared) = self.shared.upgrade() {
+            lock_unpoisoned(&self.lifecycle).last_touch =
+                shared.clock.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Applies every queued batch in arrival order; returns the last slide
@@ -436,6 +934,7 @@ impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("tenant", &self.tenant)
+            .field("state", &self.state())
             .field("pending", &self.pending_batches())
             .finish()
     }
@@ -495,6 +994,7 @@ fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 mod tests {
     use super::*;
     use crate::algorithm::Algorithm;
+    use fsm_storage::TempDir;
     use fsm_types::{EdgeCatalog, MinSup, Transaction};
 
     fn tenant_config() -> MinerConfig {
@@ -584,10 +1084,12 @@ mod tests {
         let (tx, rx) = std::sync::mpsc::channel::<()>();
         let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
         let holder = std::thread::spawn(move || {
-            hostage.with_miner(|_| {
-                ready_tx.send(()).unwrap();
-                rx.recv().unwrap();
-            });
+            hostage
+                .with_miner(|_| {
+                    ready_tx.send(()).unwrap();
+                    rx.recv().unwrap();
+                })
+                .unwrap();
         });
         ready_rx.recv().unwrap();
         assert_eq!(session.ingest(&batches[0]).unwrap(), IngestOutcome::Queued);
@@ -655,5 +1157,114 @@ mod tests {
             b.ingest(&batch).unwrap();
         }
         assert!(a.mine().unwrap().same_patterns_as(&b.mine().unwrap()));
+    }
+
+    #[test]
+    fn resident_cap_spills_cold_tenants_and_thaws_on_demand() {
+        let spill_root = TempDir::new("session-spill").unwrap();
+        let registry = SessionRegistry::new(RegistryConfig {
+            max_resident: Some(1),
+            spill_root: Some(spill_root.path().to_path_buf()),
+            ..RegistryConfig::default()
+        });
+        let a = registry.create_tenant("a", tenant_config(), false).unwrap();
+        let b = registry.create_tenant("b", tenant_config(), false).unwrap();
+        let batches = paper_batches();
+        a.ingest(&batches[0]).unwrap();
+        a.ingest(&batches[1]).unwrap();
+        // Touch b repeatedly: the sweep must eventually evict cold a.
+        for _ in 0..4 {
+            b.ingest(&batches[0]).unwrap();
+            registry.enforce_residency();
+        }
+        assert_eq!(a.state(), LifecycleState::Spilled);
+        assert_eq!(a.status().resident_bytes, 0);
+        assert!(
+            fsm_storage::Hibernation::artifact_path(&spill_root.path().join("a")).exists(),
+            "volatile spill must leave an image under spill_root/<tenant>/"
+        );
+        // A request against the spilled tenant thaws it transparently and
+        // the output is byte-identical to a never-spilled run.
+        a.ingest(&batches[2]).unwrap();
+        // (The sweep triggered by a's own touch may already have demoted it
+        // back to Idle — resident either way.)
+        assert_ne!(a.state(), LifecycleState::Spilled);
+        assert!(a.status().thaws >= 1);
+        assert!(a.status().resident_bytes > 0);
+        let mut standalone = StreamMiner::new(tenant_config()).unwrap();
+        for batch in &batches {
+            standalone.ingest_batch(batch).unwrap();
+        }
+        assert!(a
+            .mine()
+            .unwrap()
+            .same_patterns_as(&standalone.mine().unwrap()));
+    }
+
+    #[test]
+    fn tenants_without_a_spill_root_are_pinned_resident() {
+        let registry = SessionRegistry::new(RegistryConfig {
+            max_resident: Some(1),
+            ..RegistryConfig::default()
+        });
+        let a = registry.create_tenant("a", tenant_config(), false).unwrap();
+        let b = registry.create_tenant("b", tenant_config(), false).unwrap();
+        for _ in 0..4 {
+            a.ingest(&paper_batches()[0]).unwrap();
+            b.ingest(&paper_batches()[0]).unwrap();
+            registry.enforce_residency();
+        }
+        assert_ne!(a.state(), LifecycleState::Spilled);
+        assert_ne!(b.state(), LifecycleState::Spilled);
+        assert!(!a.spill().unwrap());
+    }
+
+    #[test]
+    fn spill_drains_pending_and_preserves_subscriptions() {
+        let spill_root = TempDir::new("session-spill-drain").unwrap();
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_root: Some(spill_root.path().to_path_buf()),
+            ..RegistryConfig::default()
+        });
+        let session = registry.create_tenant("t", tenant_config(), false).unwrap();
+        let mut subscription = session.subscribe();
+        let batches = paper_batches();
+        session.ingest(&batches[0]).unwrap();
+        assert!(subscription.poll().is_some());
+        // Park a batch in the queue while the window is held hostage, then
+        // spill: the spill must drain (and publish) it before hibernating.
+        let hostage = Arc::clone(&session);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            hostage
+                .with_miner(|_| {
+                    ready_tx.send(()).unwrap();
+                    rx.recv().unwrap();
+                })
+                .unwrap();
+        });
+        ready_rx.recv().unwrap();
+        assert_eq!(session.ingest(&batches[1]).unwrap(), IngestOutcome::Queued);
+        tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert!(session.spill().unwrap());
+        assert_eq!(session.state(), LifecycleState::Spilled);
+        assert_eq!(session.pending_batches(), 0);
+        // The queued batch was published on its way into the spill image.
+        let mut standalone = StreamMiner::new(tenant_config()).unwrap();
+        standalone.ingest_batch(&batches[0]).unwrap();
+        standalone.ingest_batch(&batches[1]).unwrap();
+        assert!(subscription
+            .poll()
+            .expect("drain inside spill publishes")
+            .same_patterns_as(&standalone.mine().unwrap()));
+        // The armed subscription keeps working across the thaw.
+        session.ingest(&batches[2]).unwrap();
+        standalone.ingest_batch(&batches[2]).unwrap();
+        assert!(subscription
+            .poll()
+            .expect("post-thaw slide publishes")
+            .same_patterns_as(&standalone.mine().unwrap()));
     }
 }

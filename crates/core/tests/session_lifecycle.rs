@@ -1,0 +1,198 @@
+//! Spill/thaw lifecycle corners that the headline isolation property
+//! cannot reach on its own: a corrupt spill artifact surfacing (and the
+//! tenant staying recreatable), a spill racing an in-flight mine, and a
+//! delta tenant's incremental state rebuilding exactly across a
+//! spill/thaw cycle.
+
+use std::sync::{mpsc, Arc};
+
+use fsm_core::{
+    Algorithm, Exec, LifecycleState, MinerConfig, RegistryConfig, SessionRegistry, StreamMiner,
+    WorkerPool,
+};
+use fsm_storage::{Hibernation, StorageBackend, TempDir};
+use fsm_stream::WindowConfig;
+use fsm_types::{Batch, EdgeCatalog, FsmError, MinSup, Transaction};
+
+fn config(delta: bool) -> MinerConfig {
+    MinerConfig {
+        algorithm: Algorithm::DirectVertical,
+        window: WindowConfig::new(2).unwrap(),
+        min_support: MinSup::absolute(2),
+        backend: StorageBackend::Memory,
+        catalog: Some(EdgeCatalog::complete(4)),
+        delta,
+        ..MinerConfig::default()
+    }
+}
+
+fn batches() -> Vec<Batch> {
+    let t = |raw: &[u32]| Transaction::from_raw(raw.iter().copied());
+    vec![
+        Batch::from_transactions(0, vec![t(&[2, 3, 5]), t(&[0, 4, 5]), t(&[0, 2, 5])]),
+        Batch::from_transactions(1, vec![t(&[0, 2, 3, 5]), t(&[0, 3, 4, 5]), t(&[0, 1, 2])]),
+        Batch::from_transactions(2, vec![t(&[0, 2, 5]), t(&[0, 2, 3, 5]), t(&[1, 2, 3])]),
+    ]
+}
+
+fn spilling_registry(root: &TempDir) -> SessionRegistry {
+    SessionRegistry::new(RegistryConfig {
+        spill_root: Some(root.path().into()),
+        ..RegistryConfig::default()
+    })
+}
+
+/// A corrupt spill artifact follows the recovery discipline: the thaw
+/// fails with an error naming `window.hib`, the proven-corrupt artifact is
+/// deleted so it cannot be retried into, and the tenant id stays usable —
+/// drop it and create it afresh.
+#[test]
+fn corrupt_spill_artifact_is_named_and_tenant_is_recreatable() {
+    let root = TempDir::new("lifecycle-corrupt").unwrap();
+    let registry = spilling_registry(&root);
+    let session = registry
+        .create_tenant("victim", config(false), false)
+        .unwrap();
+    for batch in &batches() {
+        session.ingest(batch).unwrap();
+    }
+    assert!(session.spill().unwrap());
+    assert_eq!(session.state(), LifecycleState::Spilled);
+
+    // Flip a byte in the middle of the artifact body.
+    let artifact = Hibernation::artifact_path(&root.path().join("victim"));
+    let mut bytes = std::fs::read(&artifact).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&artifact, &bytes).unwrap();
+
+    let err = session.mine().unwrap_err();
+    match &err {
+        FsmError::CorruptArtifact { artifact, .. } => {
+            assert!(
+                artifact.contains("window.hib"),
+                "error must name the spill artifact, got: {artifact:?}"
+            );
+        }
+        other => panic!("expected CorruptArtifact, got: {other}"),
+    }
+    assert!(
+        !artifact.exists(),
+        "a proven-corrupt spill artifact must be deleted, not retried into"
+    );
+
+    // The tenant id is not poisoned: drop and recreate, and the fresh
+    // tenant serves the stream like nothing happened.
+    registry.drop_tenant("victim").unwrap();
+    let fresh = registry
+        .create_tenant("victim", config(false), false)
+        .unwrap();
+    let mut oracle = StreamMiner::new(config(false)).unwrap();
+    for batch in &batches() {
+        fresh.ingest(batch).unwrap();
+        oracle.ingest_batch(batch).unwrap();
+    }
+    assert!(fresh
+        .mine()
+        .unwrap()
+        .same_patterns_as(&oracle.mine().unwrap()));
+}
+
+/// A spill issued while a mine holds the window drains cleanly: the spill
+/// blocks until the in-flight work releases the window, then lands, and
+/// the next request thaws back to the exact same window.
+#[test]
+fn spill_racing_an_in_flight_mine_drains_cleanly() {
+    let root = TempDir::new("lifecycle-race").unwrap();
+    let registry = SessionRegistry::new(RegistryConfig {
+        exec: Exec::pool(Arc::new(WorkerPool::new(2))),
+        spill_root: Some(root.path().into()),
+        ..RegistryConfig::default()
+    });
+    let session = registry
+        .create_tenant("racer", config(false), false)
+        .unwrap();
+    for batch in &batches() {
+        session.ingest(batch).unwrap();
+    }
+    let expected = session.mine().unwrap();
+
+    // Hold the window hostage from another thread, issue the spill while
+    // it is held, and only then release the hostage.
+    let (hold_tx, hold_rx) = mpsc::channel::<()>();
+    let (held_tx, held_rx) = mpsc::channel::<()>();
+    let hostage = {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            session
+                .with_miner(move |_| {
+                    held_tx.send(()).unwrap();
+                    hold_rx.recv().unwrap();
+                })
+                .unwrap();
+        })
+    };
+    held_rx.recv().unwrap();
+    let spiller = {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || session.spill())
+    };
+    // The spill is now queued on the window lock; let the mine finish.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    hold_tx.send(()).unwrap();
+    hostage.join().unwrap();
+    assert!(
+        spiller.join().unwrap().unwrap(),
+        "the queued spill must land"
+    );
+    assert_eq!(session.state(), LifecycleState::Spilled);
+
+    // Thaw-on-demand serves the exact pre-spill window.
+    assert!(session.mine().unwrap().same_patterns_as(&expected));
+    assert_ne!(session.state(), LifecycleState::Spilled);
+    assert_eq!(session.status().thaws, 1);
+}
+
+/// A delta tenant's incremental pattern set rebuilds exactly on thaw: the
+/// spill drops the `DeltaMiner` state, the first post-thaw mine rebuilds
+/// it, and every subsequent slide maintains it — byte-identical to an
+/// uninterrupted delta run and to a from-scratch mine of the same window.
+#[test]
+fn delta_state_rebuilds_exactly_on_thaw() {
+    let root = TempDir::new("lifecycle-delta").unwrap();
+    let registry = spilling_registry(&root);
+    let session = registry
+        .create_tenant("delta", config(true), false)
+        .unwrap();
+    let stream = batches();
+    let mut oracle = StreamMiner::new(config(true)).unwrap();
+
+    // Prime both with two batches and a mine so delta state exists.
+    for batch in &stream[..2] {
+        session.ingest(batch).unwrap();
+        oracle.ingest_batch(batch).unwrap();
+    }
+    assert!(session
+        .mine()
+        .unwrap()
+        .same_patterns_as(&oracle.mine().unwrap()));
+
+    // Spill (dropping the delta state with the window), thaw by serving.
+    assert!(session.spill().unwrap());
+    assert!(session
+        .mine()
+        .unwrap()
+        .same_patterns_as(&oracle.mine().unwrap()));
+
+    // The stream continues across the cycle: the maintained set must track
+    // both the uninterrupted delta oracle and a from-scratch miner.
+    session.ingest(&stream[2]).unwrap();
+    oracle.ingest_batch(&stream[2]).unwrap();
+    let served = session.mine().unwrap();
+    assert!(served.same_patterns_as(&oracle.mine().unwrap()));
+    let mut scratch = StreamMiner::new(config(false)).unwrap();
+    for batch in &stream {
+        scratch.ingest_batch(batch).unwrap();
+    }
+    assert!(served.same_patterns_as(&scratch.mine().unwrap()));
+}

@@ -4,10 +4,13 @@
 //! **byte-identical to a standalone single-tenant run** of its own batch
 //! sequence — regardless of which other tenants share the process, how
 //! their ingests interleave, which backend each tenant uses, how many
-//! threads the shared [`WorkerPool`] has, and whether a [`BudgetGovernor`]
-//! is arbitrating the cache cap.  The shared machinery (pool, governor,
-//! registry locks) may move work and bytes around; it must never move
-//! *results*.
+//! threads the shared [`WorkerPool`] has, whether a [`BudgetGovernor`]
+//! is arbitrating the cache cap, and whether a resident-set cap is forcing
+//! cold tenants to spill to disk and thaw on demand.  The shared machinery
+//! (pool, governor, registry locks, the spill/thaw lifecycle) may move work
+//! and bytes around; it must never move *results*.  The harshest corner is
+//! `max_resident = 1`: at most one tenant window is in memory at any time,
+//! so nearly every event lands on a spilled tenant and forces a thaw.
 //!
 //! The harness derives everything from proptest-chosen inputs: a random
 //! batch stream, a random per-tenant subsequence assignment, a random
@@ -108,10 +111,19 @@ proptest! {
         pool_threads in 1usize..4,
     ) {
         let batches = to_batches(&raw);
-        for governed in [false, true] {
+        for (governed, max_resident) in
+            [(false, None), (true, None), (false, Some(1)), (true, Some(1))]
+        {
+            // With the cap at 1 every cross-tenant visit evicts the
+            // previous tenant's window; volatile tenants spill under a
+            // throwaway root, which must outlive the registry.
+            let spill_root = max_resident
+                .map(|_| fsm_storage::TempDir::new("tenant-isolation-spill").unwrap());
             let registry = SessionRegistry::new(RegistryConfig {
                 exec: Exec::pool(Arc::new(WorkerPool::new(pool_threads))),
                 governor: governed.then(|| BudgetGovernor::new(2048)),
+                max_resident,
+                spill_root: spill_root.as_ref().map(|dir| dir.path().into()),
                 ..RegistryConfig::default()
             });
             let sessions: Vec<_> = (0..TENANTS)
@@ -156,8 +168,8 @@ proptest! {
                 let got = served[i].as_ref().unwrap();
                 prop_assert!(
                     got.same_patterns_as(&expected),
-                    "tenant {} (governed={}, pool={}) diverged: {:?}",
-                    i, governed, pool_threads, expected.diff(got)
+                    "tenant {} (governed={}, max_resident={:?}, pool={}) diverged: {:?}",
+                    i, governed, max_resident, pool_threads, expected.diff(got)
                 );
             }
         }

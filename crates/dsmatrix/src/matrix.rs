@@ -1,11 +1,13 @@
 //! DSMatrix implementation.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
 use std::sync::Arc;
 
 use fsm_storage::{
     scan_segment_files, BitVec, BudgetGovernor, BudgetLease, CaptureStats, Checkpoint,
-    CheckpointRow, CheckpointSegment, MemoryTracker, SegmentedWindowStore, StorageBackend, Wal,
+    CheckpointRow, CheckpointSegment, Hibernation, HibernationRow, HibernationSegment,
+    MemoryTracker, SegmentedWindowStore, StorageBackend, Wal,
 };
 use fsm_stream::{SlideOutcome, SlidingWindow, WindowConfig};
 use fsm_types::{Batch, BatchId, EdgeId, FsmError, Result, Support, Transaction};
@@ -760,6 +762,145 @@ impl DsMatrix {
         self.write_checkpoint()
     }
 
+    /// Serialises everything needed to rebuild this window — the
+    /// backend-agnostic half of tenant spill-to-disk.
+    ///
+    /// * **Durable matrices** already keep the full payload on disk under
+    ///   their durable root: hibernating one writes a checkpoint aligned
+    ///   with the present state (reusing [`Checkpoint`] — no second format,
+    ///   no second copy of the row data) and `spill_dir` is untouched.
+    /// * **Non-durable matrices** — the memory backend, or disk segments in
+    ///   a self-cleaning temp directory — write a full-payload
+    ///   [`Hibernation`] image (segments, batch boundaries, support
+    ///   counters) to `spill_dir/window.hib` under the same CRC-framed,
+    ///   temp+fsync+rename discipline as checkpoints.
+    ///
+    /// Either way, dropping the matrix afterwards releases its resident
+    /// state — and its [`BudgetLease`], returning the cache grant to the
+    /// governor for warm tenants to re-expand into.  [`DsMatrix::thaw`]
+    /// rebuilds a byte-identical window.
+    pub fn hibernate(&mut self, spill_dir: &Path) -> Result<()> {
+        if self.durable.is_some() {
+            return self.checkpoint();
+        }
+        let batch_ids = self.window.batch_ids();
+        if batch_ids.len() != self.store.num_segments() {
+            return Err(FsmError::corrupt(
+                "segment/window bookkeeping out of sync at hibernate",
+            ));
+        }
+        let mut segments = Vec::with_capacity(batch_ids.len());
+        let mut chunk = BitVec::new();
+        for (seg, batch_id) in batch_ids.into_iter().enumerate() {
+            let cols = self.store.segment_cols(seg).ok_or_else(|| {
+                FsmError::corrupt(format!("segment {seg} vanished mid-hibernate"))
+            })?;
+            let ids = self.store.segment_row_ids(seg).ok_or_else(|| {
+                FsmError::corrupt(format!("segment {seg} vanished mid-hibernate"))
+            })?;
+            let mut rows = Vec::with_capacity(ids.len());
+            for id in ids {
+                if !self.store.read_segment_chunk(seg, id, &mut chunk)? {
+                    return Err(FsmError::corrupt(format!(
+                        "segment {seg} lost row {id} between index and payload"
+                    )));
+                }
+                rows.push(HibernationRow {
+                    row: id as u64,
+                    chunk: chunk.to_bytes(),
+                });
+            }
+            segments.push(HibernationSegment {
+                batch_id,
+                cols: cols as u64,
+                rows,
+            });
+        }
+        let image = Hibernation {
+            num_items: self.num_items as u64,
+            window_batches: self.window.config().window_batches as u64,
+            supports: self.supports[..self.num_items].to_vec(),
+            segments,
+        };
+        image.write(spill_dir)?;
+        Ok(())
+    }
+
+    /// Rebuilds a hibernated window.
+    ///
+    /// Durable configurations recover from their WAL + checkpoints
+    /// ([`DsMatrix::recover`]); non-durable ones load
+    /// `spill_dir/window.hib` and replay the reconstructed batches through
+    /// the ordinary ingest path, which rebuilds the segments, the row cache
+    /// and the support counters exactly as the original ingests did — the
+    /// thawed window is byte-identical to the hibernated one (and a fresh
+    /// [`BudgetLease`] is registered when the config carries a governor).
+    ///
+    /// The corrupt-artifact discipline matches recovery: a damaged image
+    /// fails with [`FsmError::CorruptArtifact`] naming the file, and the
+    /// proven-corrupt artifact is deleted so the tenant can be dropped and
+    /// recreated cleanly instead of silently serving a different window.
+    pub fn thaw(config: DsMatrixConfig, spill_dir: &Path) -> Result<Self> {
+        if config.durability.is_some() {
+            return Self::recover(config);
+        }
+        let path = Hibernation::artifact_path(spill_dir);
+        let artifact = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(Hibernation::FILE_NAME)
+            .to_string();
+        let image = match Hibernation::load(&path) {
+            Ok(image) => image,
+            Err(err @ (FsmError::CorruptArtifact { .. } | FsmError::CorruptStructure(_))) => {
+                // Same discipline as recovery's checkpoint walk: a
+                // proven-corrupt artifact is removed so it cannot poison a
+                // later attempt; transient I/O errors leave it in place.
+                let _ = std::fs::remove_file(&path);
+                return Err(err);
+            }
+            Err(err) => return Err(err),
+        };
+        if image.window_batches as usize != config.window.window_batches {
+            return Err(FsmError::config(format!(
+                "hibernated window holds {} batches but the config asks for {} — \
+                 thaw must use the original window size",
+                image.window_batches, config.window.window_batches
+            )));
+        }
+        if image.segments.len() > image.window_batches as usize
+            || image.supports.len() != image.num_items as usize
+        {
+            let _ = std::fs::remove_file(&path);
+            return Err(FsmError::corrupt_artifact(
+                &artifact,
+                "segment or support counts disagree with the header",
+            ));
+        }
+        let mut config = config;
+        config.expected_edges = config.expected_edges.max(image.num_items as usize);
+        let mut matrix = Self::new(config)?;
+        for seg in &image.segments {
+            let batch = hibernated_batch(seg, &artifact)?;
+            matrix.ingest_batch(&batch)?;
+        }
+        // The image's counters are redundant with its payloads; divergence
+        // means damage the CRC could not see structurally (or a bug), and a
+        // silently different window is the one outcome thaw must never have.
+        let num_items = image.num_items as usize;
+        let rebuilt = matrix.supports.get(..num_items).unwrap_or(&[]);
+        if rebuilt != image.supports.as_slice()
+            || matrix.supports[num_items..].iter().any(|&s| s != 0)
+        {
+            let _ = std::fs::remove_file(&path);
+            return Err(FsmError::corrupt_artifact(
+                &artifact,
+                "support counters diverge from the segment payloads",
+            ));
+        }
+        Ok(matrix)
+    }
+
     fn write_checkpoint(&mut self) -> Result<()> {
         let durable = self
             .durable
@@ -1266,6 +1407,55 @@ impl DsMatrix {
             tracker.set(Self::TRACK_CATEGORY, self.resident_bytes() as u64);
         }
     }
+}
+
+/// Reconstructs the batch a hibernated segment captured: column `t` of the
+/// segment is transaction `t`, containing every row (edge) whose chunk has
+/// bit `t` set.  Feeding the result back through [`DsMatrix::ingest_batch`]
+/// rebuilds the segment bit for bit.
+fn hibernated_batch(seg: &HibernationSegment, artifact: &str) -> Result<Batch> {
+    let cols = seg.cols as usize;
+    let mut edges_per_col: Vec<Vec<u32>> = vec![Vec::new(); cols];
+    for row in &seg.rows {
+        let chunk = BitVec::from_bytes(&row.chunk).ok_or_else(|| {
+            FsmError::corrupt_artifact(
+                artifact,
+                format!(
+                    "row {} of batch {} has a malformed chunk",
+                    row.row, seg.batch_id
+                ),
+            )
+        })?;
+        if chunk.len() != cols {
+            return Err(FsmError::corrupt_artifact(
+                artifact,
+                format!(
+                    "row {} of batch {} spans {} columns, segment has {}",
+                    row.row,
+                    seg.batch_id,
+                    chunk.len(),
+                    cols
+                ),
+            ));
+        }
+        let row_id = u32::try_from(row.row).map_err(|_| {
+            FsmError::corrupt_artifact(
+                artifact,
+                format!(
+                    "row id {} of batch {} overflows the edge domain",
+                    row.row, seg.batch_id
+                ),
+            )
+        })?;
+        for col in chunk.iter_ones() {
+            edges_per_col[col].push(row_id);
+        }
+    }
+    let transactions = edges_per_col
+        .into_iter()
+        .map(Transaction::from_raw)
+        .collect();
+    Ok(Batch::from_transactions(seg.batch_id, transactions))
 }
 
 impl std::fmt::Debug for DsMatrix {

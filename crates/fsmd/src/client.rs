@@ -15,6 +15,7 @@ use fsm_types::{Batch, FrequentPattern, FsmError, Result};
 
 use crate::proto::{
     put_str, read_frame, take_patterns, write_frame, Cursor, Opcode, Status, TenantSpec,
+    TenantStatus,
 };
 
 /// A blocking client over one `fsmd` connection.
@@ -107,12 +108,22 @@ impl FsmdClient {
 
     /// Live tenant ids, sorted.
     pub fn list_tenants(&mut self) -> Result<Vec<String>> {
+        Ok(self
+            .list_tenants_detailed()?
+            .into_iter()
+            .map(|status| status.tenant)
+            .collect())
+    }
+
+    /// Live tenants with their lifecycle status — state, resident bytes
+    /// and thaw statistics — sorted by id.
+    pub fn list_tenants_detailed(&mut self) -> Result<Vec<TenantStatus>> {
         let body = self.call(&[Opcode::ListTenants as u8], "")?;
         let mut cursor = Cursor::new(&body);
         let count = cursor.take_u32()? as usize;
         let mut tenants = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
-            tenants.push(cursor.take_str()?);
+            tenants.push(TenantStatus::decode(&mut cursor)?);
         }
         cursor.finish()?;
         Ok(tenants)

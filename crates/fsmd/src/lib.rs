@@ -24,5 +24,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::FsmdClient;
-pub use proto::{Opcode, Status, TenantSpec};
+pub use proto::{Opcode, Status, TenantSpec, TenantStatus};
 pub use server::{serve, ServerHandle};

@@ -3,17 +3,21 @@
 //!
 //! ```text
 //! fsmd serve --listen 127.0.0.1:7878 [--pool N] [--cache-total BYTES]
-//!            [--durable-root DIR] [--max-pending N]
+//!            [--durable-root DIR] [--max-pending N] [--max-resident N]
+//!            [--resident-bytes BYTES] [--spill-root DIR]
 //! fsmd drive --addr 127.0.0.1:7878 --input FILE [--tenant NAME]
 //!            [--algorithm NAME] [--window W] [--minsup V] [--batch-size B]
 //!            [--backend memory|disk] [--cache-budget BYTES]
-//!            [--durable] [--recover] [--delta] [--keep]
+//!            [--durable] [--recover] [--delta] [--keep] [--verbose]
 //! ```
 //!
 //! `serve` hosts a [`fsm_core::SessionRegistry`]: every tenant mine
 //! multiplexes over one worker pool, disk-backed tenants lease chunk-cache
 //! bytes from one governor, durable tenants live under
-//! `--durable-root/<tenant>/`.
+//! `--durable-root/<tenant>/`.  With `--max-resident` / `--resident-bytes`
+//! the registry keeps only that much window state in memory, spilling cold
+//! tenants (volatile ones under `--spill-root/<tenant>/`, durable ones via
+//! their checkpoints) and thawing them transparently on the next request.
 //!
 //! `drive` replays a FIMI file into one tenant over the socket (honouring
 //! backpressure), mines the final window and prints the patterns in
@@ -44,6 +48,11 @@ SERVE OPTIONS:
   --cache-total <BYTES> process-wide chunk-cache cap leased to disk tenants
   --durable-root <DIR>  root for per-tenant WAL/checkpoint directories
   --max-pending <N>     per-tenant ingest queue bound (default 64)
+  --max-resident <N>    keep at most N tenant windows in memory; colder
+                        tenants spill and thaw transparently on demand
+  --resident-bytes <B>  byte cap on summed resident window state
+  --spill-root <DIR>    root for volatile tenants' spill images (without
+                        it only durable tenants are evictable)
 
 DRIVE OPTIONS:
   --addr <HOST:PORT>    running fsmd server
@@ -63,6 +72,8 @@ DRIVE OPTIONS:
   --recover             recover the tenant instead of creating it
   --delta               maintain the pattern set incrementally
   --keep                leave the tenant on the server after driving
+  --verbose             also print every tenant's lifecycle state,
+                        resident bytes and thaw stats after mining
 ";
 
 fn main() -> ExitCode {
@@ -146,6 +157,9 @@ fn run_serve(args: &[String]) -> Result<()> {
         "--cache-total",
         "--durable-root",
         "--max-pending",
+        "--max-resident",
+        "--resident-bytes",
+        "--spill-root",
     ])?;
     let listen = flags
         .value("--listen")?
@@ -163,6 +177,22 @@ fn run_serve(args: &[String]) -> Result<()> {
             .transpose()?,
         durable_root: flags.value("--durable-root")?.map(Into::into),
         max_pending_batches: flags.parsed("--max-pending", RegistryConfig::DEFAULT_MAX_PENDING)?,
+        max_resident: flags
+            .value("--max-resident")?
+            .map(|raw| {
+                raw.parse::<usize>()
+                    .map_err(|_| FsmError::config(format!("--max-resident: cannot parse {raw:?}")))
+            })
+            .transpose()?,
+        max_resident_bytes: flags
+            .value("--resident-bytes")?
+            .map(|raw| {
+                raw.parse::<usize>().map_err(|_| {
+                    FsmError::config(format!("--resident-bytes: cannot parse {raw:?}"))
+                })
+            })
+            .transpose()?,
+        spill_root: flags.value("--spill-root")?.map(Into::into),
     };
     let registry = Arc::new(SessionRegistry::new(config));
     let handle = serve(registry, listen)?;
@@ -176,7 +206,7 @@ fn run_serve(args: &[String]) -> Result<()> {
 fn run_drive(args: &[String]) -> Result<()> {
     let flags = Flags {
         args,
-        switches: &["--durable", "--recover", "--delta", "--keep"],
+        switches: &["--durable", "--recover", "--delta", "--keep", "--verbose"],
     };
     flags.check_known(&[
         "--addr",
@@ -193,6 +223,7 @@ fn run_drive(args: &[String]) -> Result<()> {
         "--recover",
         "--delta",
         "--keep",
+        "--verbose",
     ])?;
     let addr = flags
         .value("--addr")?
@@ -290,6 +321,15 @@ fn run_drive(args: &[String]) -> Result<()> {
     println!("{} frequent connected collections:", patterns.len());
     for pattern in &patterns {
         println!("  {pattern}");
+    }
+
+    if flags.present("--verbose") {
+        for status in client.list_tenants_detailed()? {
+            eprintln!(
+                "tenant {:?}: state {} resident {} B, {} thaws ({} ns total)",
+                status.tenant, status.state, status.resident_bytes, status.thaws, status.thaw_nanos
+            );
+        }
     }
 
     if !flags.present("--keep") {

@@ -19,6 +19,7 @@
 
 use std::io::{Read, Write};
 
+use fsm_core::LifecycleState;
 use fsm_types::{EdgeSet, FrequentPattern, FsmError, Result};
 
 /// Upper bound on a frame payload; a peer announcing more is treated as
@@ -43,7 +44,8 @@ pub enum Opcode {
     Mine = 0x05,
     /// Drop a tenant: tenant string; empty `Ok` response.
     DropTenant = 0x06,
-    /// List live tenants; `Ok` body is `u32` count + strings.
+    /// List live tenants; `Ok` body is `u32` count + one [`TenantStatus`]
+    /// record per tenant (id, lifecycle state, resident bytes, thaw stats).
     ListTenants = 0x07,
     /// Register this connection for the tenant's mine-on-every-slide
     /// output: tenant string; empty `Ok` response.
@@ -168,6 +170,48 @@ impl TenantSpec {
     }
 }
 
+/// One tenant's entry in a `list` response: id plus the lifecycle
+/// bookkeeping the registry reports ([`fsm_core::SessionStatus`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// Tenant id.
+    pub tenant: String,
+    /// Residency lifecycle state.
+    pub state: LifecycleState,
+    /// Bytes of resident window state (`0` while spilled).
+    pub resident_bytes: u64,
+    /// Transparent thaws performed over the tenant's lifetime.
+    pub thaws: u64,
+    /// Total nanoseconds spent in those thaws.
+    pub thaw_nanos: u64,
+}
+
+impl TenantStatus {
+    /// Serialises one status record.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.tenant);
+        out.push(self.state.code());
+        out.extend_from_slice(&self.resident_bytes.to_le_bytes());
+        out.extend_from_slice(&self.thaws.to_le_bytes());
+        out.extend_from_slice(&self.thaw_nanos.to_le_bytes());
+    }
+
+    /// Parses one status record.
+    pub fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        let tenant = cursor.take_str()?;
+        let code = cursor.take_u8()?;
+        let state = LifecycleState::from_code(code)
+            .ok_or_else(|| FsmError::parse(format!("unknown lifecycle state code {code}")))?;
+        Ok(Self {
+            tenant,
+            state,
+            resident_bytes: cursor.take_u64()?,
+            thaws: cursor.take_u64()?,
+            thaw_nanos: cursor.take_u64()?,
+        })
+    }
+}
+
 /// Writes one frame.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
@@ -274,23 +318,23 @@ impl<'a> Cursor<'a> {
 
     /// Little-endian `u16`.
     pub fn take_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        let mut bytes = [0u8; 2];
+        bytes.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(bytes))
     }
 
     /// Little-endian `u32`.
     pub fn take_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Little-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// `u16`-length-prefixed UTF-8 string.

@@ -28,6 +28,7 @@ use fsm_types::{EdgeCatalog, FsmError, MinSup, Result, VertexId};
 
 use crate::proto::{
     put_patterns, put_str, read_frame, write_frame, Cursor, Opcode, Status, TenantSpec,
+    TenantStatus,
 };
 
 /// A running server: the bound address plus the shutdown handle.
@@ -210,11 +211,18 @@ fn handle(
         }
         Opcode::ListTenants => {
             cursor.finish()?;
-            let tenants = registry.tenants();
+            let statuses = registry.statuses();
             let mut body = Vec::new();
-            body.extend_from_slice(&(tenants.len() as u32).to_le_bytes());
-            for tenant in &tenants {
-                put_str(&mut body, tenant);
+            body.extend_from_slice(&(statuses.len() as u32).to_le_bytes());
+            for (tenant, status) in &statuses {
+                TenantStatus {
+                    tenant: tenant.clone(),
+                    state: status.state,
+                    resident_bytes: status.resident_bytes,
+                    thaws: status.thaws,
+                    thaw_nanos: status.thaw_nanos,
+                }
+                .encode_into(&mut body);
             }
             Ok(body)
         }

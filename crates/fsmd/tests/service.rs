@@ -134,10 +134,12 @@ fn backpressure_is_reported_and_recoverable() {
     let (hold_tx, hold_rx) = mpsc::channel::<()>();
     let (held_tx, held_rx) = mpsc::channel::<()>();
     let hostage = std::thread::spawn(move || {
-        session.with_miner(move |_| {
-            held_tx.send(()).unwrap();
-            hold_rx.recv().unwrap();
-        });
+        session
+            .with_miner(move |_| {
+                held_tx.send(()).unwrap();
+                hold_rx.recv().unwrap();
+            })
+            .unwrap();
     });
     held_rx.recv().unwrap();
     assert!(!client.ingest("solo", &stream[1]).unwrap()); // queued
@@ -237,6 +239,84 @@ fn durable_tenants_recover_across_server_restarts() {
         client.mine("keeper").unwrap(),
         oracle.mine().unwrap().patterns().to_vec()
     );
+    handle.shutdown();
+}
+
+/// A resident-set cap on the served registry is invisible on the wire:
+/// with `max_resident = 1` every cross-tenant request lands on a spilled
+/// tenant and thaws it transparently, outputs stay byte-identical to the
+/// standalone oracles, and `list` reports lifecycle state, resident bytes
+/// and thaw counts per tenant.
+#[test]
+fn spilled_tenants_are_served_transparently_over_the_socket() {
+    let spill_root = fsm_storage::TempDir::new("fsmd-spill").unwrap();
+    let (_registry, handle) = start(RegistryConfig {
+        max_resident: Some(1),
+        spill_root: Some(spill_root.path().into()),
+        ..RegistryConfig::default()
+    });
+    let mut client = FsmdClient::connect(handle.local_addr()).unwrap();
+    let tenants = ["cold", "hot", "warm"];
+    for tenant in tenants {
+        client.create_tenant(&spec(tenant, 4, 0)).unwrap();
+    }
+    // Round-robin ingest: every visit to the next tenant evicts the one
+    // just touched, so every ingest after the first round hits a spilled
+    // window and must thaw it first.
+    for batch in &batches() {
+        for tenant in tenants {
+            assert!(client.ingest_retrying(tenant, batch).unwrap());
+        }
+    }
+    let statuses = client.list_tenants_detailed().unwrap();
+    assert_eq!(
+        statuses
+            .iter()
+            .map(|s| s.tenant.as_str())
+            .collect::<Vec<_>>(),
+        vec!["cold", "hot", "warm"]
+    );
+    let resident = statuses
+        .iter()
+        .filter(|s| s.state != fsm_core::LifecycleState::Spilled)
+        .count();
+    assert!(
+        resident <= 1,
+        "max_resident = 1 must leave at most one tenant resident, \
+         got states {:?}",
+        statuses
+            .iter()
+            .map(|s| (s.tenant.clone(), s.state))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        statuses.iter().all(|s| s.thaws > 0),
+        "round-robin over a cap of 1 must have thawed every tenant"
+    );
+    assert!(
+        statuses
+            .iter()
+            .filter(|s| s.state == fsm_core::LifecycleState::Spilled)
+            .all(|s| s.resident_bytes == 0),
+        "a spilled tenant holds no resident window bytes"
+    );
+    // Transparency: mines against mostly-spilled tenants serve exactly
+    // what a standalone run of the same stream would.
+    let mut oracle = standalone(
+        Algorithm::DirectVertical,
+        fsm_storage::StorageBackend::Memory,
+    );
+    for batch in &batches() {
+        oracle.ingest_batch(batch).unwrap();
+    }
+    let expected = oracle.mine().unwrap();
+    for tenant in tenants {
+        assert_eq!(
+            client.mine(tenant).unwrap(),
+            expected.patterns().to_vec(),
+            "tenant {tenant} diverged after spill/thaw cycles"
+        );
+    }
     handle.shutdown();
 }
 

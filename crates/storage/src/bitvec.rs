@@ -459,9 +459,12 @@ impl BitVec {
         }
         self.words.reserve(other.words.len());
         for &word in &other.words {
-            // Low bits fill the free space of the current last word; high
-            // bits spill into a fresh word.
-            *self.words.last_mut().expect("shift != 0 implies non-empty") |= word << shift;
+            // Low bits fill the free space of the current last word (which
+            // exists: shift != 0 implies a non-empty vector); high bits
+            // spill into a fresh word.
+            if let Some(last) = self.words.last_mut() {
+                *last |= word << shift;
+            }
             self.words.push(word >> (WORD_BITS - shift));
         }
         self.len += other.len;
@@ -579,10 +582,11 @@ impl BitVec {
         if body.len() != expected_words * 8 {
             return false;
         }
-        self.words.extend(
-            body.chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8"))),
-        );
+        self.words.extend(body.chunks_exact(8).map(|c| {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            u64::from_le_bytes(word)
+        }));
         self.len = len;
         self.clear_tail();
         true

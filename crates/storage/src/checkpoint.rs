@@ -171,8 +171,9 @@ impl Checkpoint {
             return Err(FsmError::corrupt_artifact(&name, "bad magic"));
         }
         let body = &bytes[MAGIC.len()..bytes.len() - 4];
-        let stored_crc =
-            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4-byte slice"));
+        let mut trailer = [0u8; 4];
+        trailer.copy_from_slice(&bytes[bytes.len() - 4..]);
+        let stored_crc = u32::from_le_bytes(trailer);
         let actual_crc = crc32(body);
         if stored_crc != actual_crc {
             return Err(FsmError::corrupt_artifact(
@@ -276,14 +277,16 @@ impl Checkpoint {
 }
 
 /// Bounds-checked little-endian field reader over a checksummed body.
-struct FieldReader<'a> {
+/// Shared by every CRC-framed artifact in this crate ([`Checkpoint`] and
+/// [`crate::spill::Hibernation`]) so they decode under one discipline.
+pub(crate) struct FieldReader<'a> {
     bytes: &'a [u8],
     offset: usize,
     artifact: &'a str,
 }
 
 impl<'a> FieldReader<'a> {
-    fn new(bytes: &'a [u8], artifact: &'a str) -> Self {
+    pub(crate) fn new(bytes: &'a [u8], artifact: &'a str) -> Self {
         Self {
             bytes,
             offset: 0,
@@ -291,24 +294,34 @@ impl<'a> FieldReader<'a> {
         }
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64> {
-        let end = self.offset + 8;
-        if end > self.bytes.len() {
-            return Err(FsmError::corrupt_artifact(
-                self.artifact,
-                format!("truncated body while reading {what}"),
-            ));
-        }
-        let value = u64::from_le_bytes(
-            self.bytes[self.offset..end]
-                .try_into()
-                .expect("8-byte slice"),
-        );
-        self.offset = end;
-        Ok(value)
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64> {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(self.bytes_inner(8, what)?);
+        Ok(u64::from_le_bytes(word))
     }
 
-    fn finish(&self) -> Result<()> {
+    /// Takes `len` raw bytes out of the body.
+    pub(crate) fn bytes(&mut self, len: usize, what: &str) -> Result<&'a [u8]> {
+        self.bytes_inner(len, what)
+    }
+
+    fn bytes_inner(&mut self, len: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self
+            .offset
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                FsmError::corrupt_artifact(
+                    self.artifact,
+                    format!("truncated body while reading {what}"),
+                )
+            })?;
+        let slice = &self.bytes[self.offset..end];
+        self.offset = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn finish(&self) -> Result<()> {
         if self.offset != self.bytes.len() {
             return Err(FsmError::corrupt_artifact(
                 self.artifact,

@@ -35,8 +35,12 @@
 //! * [`Wal`] — the write-ahead log (length-prefixed, checksummed,
 //!   fsync-on-commit records with torn-tail truncation on open) and
 //!   [`Checkpoint`] — segment-aligned metadata snapshots; together they make
-//!   the disk backend crash-recoverable (ROADMAP item 5).  Every durable
-//!   artifact is covered by the hand-rolled CRC-32 in [`checksum`].
+//!   the disk backend crash-recoverable (ROADMAP item 5);
+//! * [`Hibernation`] — the full-payload spill image a *non-durable* window
+//!   serialises itself into when the multi-tenant service evicts its tenant
+//!   from the resident set (durable tenants spill by checkpointing instead —
+//!   same framing, no second copy of the data).  Every durable artifact is
+//!   covered by the hand-rolled CRC-32 in [`checksum`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +53,7 @@ pub mod governor;
 pub mod paged;
 pub mod rowstore;
 pub mod segment;
+pub mod spill;
 pub mod temp;
 pub mod tracker;
 pub mod wal;
@@ -64,6 +69,7 @@ pub use segment::{
     remove_segment_file, scan_segment_files, CaptureStats, ChunkCursor, ChunkedRow, EpochSegment,
     ReadIoStats, RowRef, SegmentMeta, SegmentedWindowStore,
 };
+pub use spill::{Hibernation, HibernationRow, HibernationSegment};
 pub use temp::TempDir;
 pub use tracker::{MemoryReport, MemoryTracker};
 pub use wal::{TornTail, Wal, WalRecord, WalStats};

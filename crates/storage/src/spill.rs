@@ -1,0 +1,307 @@
+//! Hibernation artifacts: full-payload spill images for non-durable windows.
+//!
+//! A durable tenant spills by checkpointing — its segment files and WAL
+//! already live on disk, so dropping the resident state loses nothing.  A
+//! *non-durable* tenant (memory backend, or a disk backend rooted in a
+//! self-cleaning temp directory) has no such artifacts: spilling it means
+//! serialising the actual window payload — every segment's bit chunks, the
+//! batch boundaries and the ingest-time support counters — into one file the
+//! tenant can be rebuilt from.  [`Hibernation`] is that file.
+//!
+//! # File format
+//!
+//! Deliberately the same framing discipline as [`crate::Checkpoint`]: a
+//! magic, a body of u64 little-endian fields (chunk payloads are
+//! length-prefixed [`crate::BitVec`] images), and a trailing CRC-32 over the
+//! whole body.  Writes go to a temp path, fsync, then rename — a crash
+//! mid-spill leaves either no artifact or one complete artifact, never a
+//! half-written one that parses.  Decoding shares the checkpoint's
+//! bounds-checked `FieldReader`, so any damage surfaces as
+//! [`FsmError::CorruptArtifact`] naming the file.
+//!
+//! ```text
+//! ┌──────────────────┬──────────────────────────────┬──────────────┐
+//! │ magic "FSMSPIL1" │ body (u64 LE fields + chunks)│ crc32: u32 LE│
+//! └──────────────────┴──────────────────────────────┴──────────────┘
+//! ```
+//!
+//! The body is: `num_items`, `window_batches`, the support counters
+//! (count-prefixed), then the live segments oldest-first — each a
+//! `batch_id`, its column count, and its touched rows as
+//! `(row id, chunk byte length, chunk bytes)` triples.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use fsm_types::{FsmError, Result};
+
+use crate::checkpoint::FieldReader;
+use crate::checksum::crc32;
+use crate::paged::{annotate, artifact_name};
+
+const MAGIC: &[u8; 8] = b"FSMSPIL1";
+
+/// One touched row of one hibernated segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HibernationRow {
+    /// Row (edge) identifier.
+    pub row: u64,
+    /// The row's bit chunk for this segment, as [`crate::BitVec::to_bytes`]
+    /// output.
+    pub chunk: Vec<u8>,
+}
+
+/// One hibernated window segment (= one live batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HibernationSegment {
+    /// Stream-wide id of the batch this segment captured.
+    pub batch_id: u64,
+    /// Window columns (transactions) the segment contributes.
+    pub cols: u64,
+    /// Touched rows in ascending row order.
+    pub rows: Vec<HibernationRow>,
+}
+
+/// A complete, self-validating spill image of one non-durable window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hibernation {
+    /// Size of the row domain (number of catalogued edges) at spill time.
+    pub num_items: u64,
+    /// Window capacity in batches, recorded to reject a thaw under a
+    /// different configuration.
+    pub window_batches: u64,
+    /// Ingest-time support counter per row, `num_items` entries.  Redundant
+    /// with the chunk payloads — a thaw recomputes them and treats any
+    /// divergence as corruption the CRC happened not to catch structurally.
+    pub supports: Vec<u64>,
+    /// Live segments, oldest first.
+    pub segments: Vec<HibernationSegment>,
+}
+
+impl Hibernation {
+    /// File name every hibernation artifact is stored under (one window per
+    /// spill directory).
+    pub const FILE_NAME: &'static str = "window.hib";
+
+    /// The artifact path inside a tenant's spill directory.
+    pub fn artifact_path(dir: &Path) -> PathBuf {
+        dir.join(Self::FILE_NAME)
+    }
+
+    /// Writes the artifact into `dir` (temp file + fsync + rename),
+    /// returning the final path and the encoded size in bytes.
+    pub fn write(&self, dir: &Path) -> Result<(PathBuf, u64)> {
+        std::fs::create_dir_all(dir).map_err(|err| annotate(err, "create spill dir", dir))?;
+        let bytes = self.encode();
+        let path = Self::artifact_path(dir);
+        let tmp = dir.join(format!("{}.tmp", Self::FILE_NAME));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|err| annotate(err, "create hibernation temp", &tmp))?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &path)?;
+        Ok((path, bytes.len() as u64))
+    }
+
+    /// Loads and validates a hibernation artifact.
+    ///
+    /// Any damage — wrong magic, truncation, a flipped bit anywhere in the
+    /// body — fails with [`FsmError::CorruptArtifact`] naming the file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let name = artifact_name(path);
+        let bytes = std::fs::read(path).map_err(|err| annotate(err, "read hibernation", path))?;
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(FsmError::corrupt_artifact(
+                &name,
+                format!(
+                    "only {} bytes — too short to be a hibernation image",
+                    bytes.len()
+                ),
+            ));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(FsmError::corrupt_artifact(&name, "bad magic"));
+        }
+        let body = &bytes[MAGIC.len()..bytes.len() - 4];
+        let mut trailer = [0u8; 4];
+        trailer.copy_from_slice(&bytes[bytes.len() - 4..]);
+        let stored_crc = u32::from_le_bytes(trailer);
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(FsmError::corrupt_artifact(
+                &name,
+                format!(
+                    "checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+                ),
+            ));
+        }
+        let mut reader = FieldReader::new(body, &name);
+        let num_items = reader.u64("num_items")?;
+        let window_batches = reader.u64("window_batches")?;
+        let num_supports = reader.u64("supports count")?;
+        let mut supports = Vec::with_capacity(num_supports.min(1 << 20) as usize);
+        for _ in 0..num_supports {
+            supports.push(reader.u64("support")?);
+        }
+        let num_segments = reader.u64("segments count")?;
+        let mut segments = Vec::with_capacity(num_segments.min(1 << 16) as usize);
+        for _ in 0..num_segments {
+            let batch_id = reader.u64("segment batch id")?;
+            let cols = reader.u64("segment cols")?;
+            let num_rows = reader.u64("segment rows count")?;
+            let mut rows = Vec::with_capacity(num_rows.min(1 << 20) as usize);
+            for _ in 0..num_rows {
+                let row = reader.u64("row id")?;
+                let len = reader.u64("row chunk length")?;
+                let chunk = reader.bytes(len as usize, "row chunk bytes")?.to_vec();
+                rows.push(HibernationRow { row, chunk });
+            }
+            segments.push(HibernationSegment {
+                batch_id,
+                cols,
+                rows,
+            });
+        }
+        reader.finish()?;
+        Ok(Self {
+            num_items,
+            window_batches,
+            supports,
+            segments,
+        })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let push = |v: u64, body: &mut Vec<u8>| body.extend_from_slice(&v.to_le_bytes());
+        push(self.num_items, &mut body);
+        push(self.window_batches, &mut body);
+        push(self.supports.len() as u64, &mut body);
+        for &s in &self.supports {
+            push(s, &mut body);
+        }
+        push(self.segments.len() as u64, &mut body);
+        for seg in &self.segments {
+            push(seg.batch_id, &mut body);
+            push(seg.cols, &mut body);
+            push(seg.rows.len() as u64, &mut body);
+            for row in &seg.rows {
+                push(row.row, &mut body);
+                push(row.chunk.len() as u64, &mut body);
+                body.extend_from_slice(&row.chunk);
+            }
+        }
+        let mut bytes = Vec::with_capacity(MAGIC.len() + body.len() + 4);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use crate::temp::TempDir;
+
+    fn sample() -> Hibernation {
+        let chunk = |bits: &[bool]| BitVec::from_bools(bits.iter().copied()).to_bytes();
+        Hibernation {
+            num_items: 3,
+            window_batches: 2,
+            supports: vec![2, 0, 1],
+            segments: vec![
+                HibernationSegment {
+                    batch_id: 6,
+                    cols: 3,
+                    rows: vec![
+                        HibernationRow {
+                            row: 0,
+                            chunk: chunk(&[true, false, true]),
+                        },
+                        HibernationRow {
+                            row: 2,
+                            chunk: chunk(&[false, true, false]),
+                        },
+                    ],
+                },
+                HibernationSegment {
+                    batch_id: 7,
+                    cols: 1,
+                    rows: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = TempDir::new("hib").unwrap();
+        let hib = sample();
+        let (path, bytes) = hib.write(dir.path()).unwrap();
+        assert!(path.ends_with(Hibernation::FILE_NAME));
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(Hibernation::load(&path).unwrap(), hib);
+    }
+
+    #[test]
+    fn rewrite_replaces_the_previous_image() {
+        let dir = TempDir::new("hib").unwrap();
+        sample().write(dir.path()).unwrap();
+        let mut newer = sample();
+        newer.segments.pop();
+        let (path, _) = newer.write(dir.path()).unwrap();
+        assert_eq!(Hibernation::load(&path).unwrap(), newer);
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_the_body_is_detected() {
+        let dir = TempDir::new("hib").unwrap();
+        let (path, _) = sample().write(dir.path()).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for pos in (0..clean.len()).step_by(5) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x08;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = Hibernation::load(&path).unwrap_err();
+            assert!(
+                matches!(err, FsmError::CorruptArtifact { .. }),
+                "flip at {pos} must be CorruptArtifact, got: {err}"
+            );
+            assert!(
+                err.to_string().contains(Hibernation::FILE_NAME),
+                "error must name the file: {err}"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        Hibernation::load(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = TempDir::new("hib").unwrap();
+        let (path, _) = sample().write(dir.path()).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(Hibernation::load(&path).is_err());
+        std::fs::write(&path, b"").unwrap();
+        assert!(Hibernation::load(&path).is_err());
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_replaced() {
+        let dir = TempDir::new("hib").unwrap();
+        let stale = dir.path().join(format!("{}.tmp", Hibernation::FILE_NAME));
+        std::fs::write(&stale, b"half-written").unwrap();
+        let (path, _) = sample().write(dir.path()).unwrap();
+        assert_eq!(Hibernation::load(&path).unwrap(), sample());
+        assert!(!stale.exists());
+    }
+}

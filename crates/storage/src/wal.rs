@@ -279,8 +279,11 @@ fn decode_record(bytes: &[u8]) -> std::result::Result<(WalRecord, usize), String
             bytes.len()
         ));
     }
-    let body_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte slice")) as usize;
-    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[0..4]);
+    let body_len = u32::from_le_bytes(word) as usize;
+    word.copy_from_slice(&bytes[4..8]);
+    let stored_crc = u32::from_le_bytes(word);
     if body_len < SEQ_BYTES {
         return Err(format!(
             "body length {body_len} is shorter than the sequence number"
@@ -299,7 +302,9 @@ fn decode_record(bytes: &[u8]) -> std::result::Result<(WalRecord, usize), String
             "checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
         ));
     }
-    let seq = u64::from_le_bytes(body[..SEQ_BYTES].try_into().expect("8-byte slice"));
+    let mut seq_word = [0u8; 8];
+    seq_word.copy_from_slice(&body[..SEQ_BYTES]);
+    let seq = u64::from_le_bytes(seq_word);
     Ok((
         WalRecord {
             seq,
