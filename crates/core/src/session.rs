@@ -262,22 +262,25 @@ impl SessionRegistry {
         let spill_dir = if durable {
             config.durable_dir.clone()
         } else {
-            let dir = self
-                .shared
+            self.shared
                 .config
                 .spill_root
                 .as_ref()
-                .map(|root| root.join(tenant));
-            if let Some(dir) = &dir {
-                // A dropped predecessor of the same name may have left a
-                // spill image behind; it must never thaw into this tenant.
-                let _ = std::fs::remove_file(fsm_storage::Hibernation::artifact_path(dir));
-            }
-            dir
+                .map(|root| root.join(tenant))
         };
         let mut sessions = lock_unpoisoned(&self.shared.sessions);
         if sessions.contains_key(tenant) {
             return Err(FsmError::tenant_exists(tenant));
+        }
+        if !durable {
+            if let Some(dir) = &spill_dir {
+                // A dropped predecessor of the same name may have left a
+                // spill image behind; it must never thaw into this tenant.
+                // Removed only under the sessions lock and only once the
+                // name is known free: a *live* spilled tenant of this name
+                // owns that image, and a duplicate create must not eat it.
+                let _ = std::fs::remove_file(fsm_storage::Hibernation::artifact_path(dir));
+            }
         }
         let miner = if recovering {
             StreamMiner::recover(config)?
@@ -804,11 +807,17 @@ impl Session {
             config,
             dir: dir.clone(),
         }));
-        drop(window);
+        // Still under the window lock (lock order: `window` before
+        // `lifecycle`): releasing the window first would let a racing
+        // request thaw it back to Live in the gap, after which this tail
+        // would stamp Spilled/0 over an Active session — a state nothing
+        // downstream ever repairs.
         let mut lifecycle = lock_unpoisoned(&self.lifecycle);
         lifecycle.state = LifecycleState::Spilled;
         lifecycle.resident_bytes = 0;
         lifecycle.touched = false;
+        drop(lifecycle);
+        drop(window);
         Ok(true)
     }
 
@@ -831,9 +840,14 @@ impl Session {
             match StreamMiner::thaw(config, &dir) {
                 Ok(miner) => {
                     let nanos = started.elapsed().as_nanos() as u64;
+                    let resident_bytes = miner.resident_bytes();
                     *window = Window::Live(Box::new(miner));
                     let mut lifecycle = lock_unpoisoned(&self.lifecycle);
                     lifecycle.state = LifecycleState::Active;
+                    // Counted resident immediately — waiting for the
+                    // post-operation `after_touch` would let a concurrent
+                    // enforce() see this session Active with 0 bytes.
+                    lifecycle.resident_bytes = resident_bytes;
                     lifecycle.thaws += 1;
                     lifecycle.thaw_nanos += nanos;
                     if lifecycle.thaw_samples.len() < Self::THAW_SAMPLE_CAP {
@@ -1196,6 +1210,40 @@ mod tests {
             standalone.ingest_batch(batch).unwrap();
         }
         assert!(a
+            .mine()
+            .unwrap()
+            .same_patterns_as(&standalone.mine().unwrap()));
+    }
+
+    #[test]
+    fn duplicate_create_never_destroys_a_spilled_tenants_image() {
+        let spill_root = TempDir::new("session-dup-spill").unwrap();
+        let registry = SessionRegistry::new(RegistryConfig {
+            spill_root: Some(spill_root.path().to_path_buf()),
+            ..RegistryConfig::default()
+        });
+        let session = registry.create_tenant("t", tenant_config(), false).unwrap();
+        let batches = paper_batches();
+        session.ingest(&batches[0]).unwrap();
+        session.ingest(&batches[1]).unwrap();
+        assert!(session.spill().unwrap());
+        let artifact = fsm_storage::Hibernation::artifact_path(&spill_root.path().join("t"));
+        assert!(artifact.exists());
+        // The duplicate must bounce off the registry *before* the stale-
+        // image cleanup: while spilled, that image is the live tenant's
+        // only copy of its window.
+        assert!(matches!(
+            registry.create_tenant("t", tenant_config(), false),
+            Err(FsmError::TenantExists(_))
+        ));
+        assert!(
+            artifact.exists(),
+            "duplicate create destroyed a live tenant's spill image"
+        );
+        let mut standalone = StreamMiner::new(tenant_config()).unwrap();
+        standalone.ingest_batch(&batches[0]).unwrap();
+        standalone.ingest_batch(&batches[1]).unwrap();
+        assert!(session
             .mine()
             .unwrap()
             .same_patterns_as(&standalone.mine().unwrap()));

@@ -14,8 +14,8 @@ use std::time::Duration;
 use fsm_types::{Batch, FrequentPattern, FsmError, Result};
 
 use crate::proto::{
-    put_str, read_frame, take_patterns, write_frame, Cursor, Opcode, Status, TenantSpec,
-    TenantStatus,
+    check_hello, put_str, read_frame, take_patterns, write_frame, Cursor, Opcode, Status,
+    TenantSpec, TenantStatus,
 };
 
 /// A blocking client over one `fsmd` connection.
@@ -30,10 +30,16 @@ impl FsmdClient {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self {
+        let mut client = Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
-        })
+        };
+        // The server leads with a hello frame; refuse to speak to a peer
+        // from a different protocol era (or a non-fsmd listener).
+        let hello = read_frame(&mut client.reader)?
+            .ok_or_else(|| FsmError::config("server hung up before the protocol hello"))?;
+        check_hello(&hello)?;
+        Ok(client)
     }
 
     /// Liveness check.

@@ -6,6 +6,13 @@
 //! [payload length: u32 LE][payload bytes]
 //! ```
 //!
+//! Immediately after accepting a connection — before any request — the
+//! server sends one *hello* frame: the [`PROTO_MAGIC`] bytes followed by a
+//! `u16` [`PROTO_VERSION`].  The client checks both and hangs up with a
+//! clean version error on mismatch, so incompatible peers never get far
+//! enough to misparse each other's bodies (the `list` body changed shape
+//! in version 2, for instance).
+//!
 //! A request payload starts with an opcode byte; a response payload starts
 //! with a status byte ([`Status`]): `Ok` carries a request-specific body,
 //! `Err` a UTF-8 message, and `Backpressure` tells the producer to retry —
@@ -25,6 +32,44 @@ use fsm_types::{EdgeSet, FrequentPattern, FsmError, Result};
 /// Upper bound on a frame payload; a peer announcing more is treated as
 /// corrupt rather than allocated for.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// First bytes of the server's hello frame — identifies the protocol
+/// before any version arithmetic happens.
+pub const PROTO_MAGIC: [u8; 4] = *b"FSMD";
+
+/// Wire protocol version, announced in the hello frame.  History:
+///
+/// - 1 — initial protocol; `list` `Ok` body was `u32` count + tenant ids.
+/// - 2 — `list` `Ok` body is `u32` count + [`TenantStatus`] records
+///   (lifecycle state, resident bytes, thaw stats).
+pub const PROTO_VERSION: u16 = 2;
+
+/// Builds the hello payload the server sends on accept.
+pub fn encode_hello() -> Vec<u8> {
+    let mut out = Vec::with_capacity(PROTO_MAGIC.len() + 2);
+    out.extend_from_slice(&PROTO_MAGIC);
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out
+}
+
+/// Validates a received hello payload: right magic, same version.
+pub fn check_hello(payload: &[u8]) -> Result<()> {
+    let mut cursor = Cursor::new(payload);
+    let magic = cursor.take(PROTO_MAGIC.len())?;
+    if magic != PROTO_MAGIC {
+        return Err(FsmError::parse(
+            "peer did not send the fsmd protocol magic — not an fsmd server?",
+        ));
+    }
+    let version = cursor.take_u16()?;
+    if version != PROTO_VERSION {
+        return Err(FsmError::config(format!(
+            "fsmd protocol version mismatch: peer speaks {version}, this \
+             build speaks {PROTO_VERSION}"
+        )));
+    }
+    cursor.finish()
+}
 
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,6 +423,21 @@ mod tests {
         assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
         assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
         assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_mismatches() {
+        check_hello(&encode_hello()).unwrap();
+        // Wrong magic: not an fsmd server.
+        assert!(check_hello(b"HTTP\x02\x00").is_err());
+        // Right magic, different era: clean version error, not a misparse.
+        let mut stale = Vec::new();
+        stale.extend_from_slice(&PROTO_MAGIC);
+        stale.extend_from_slice(&(PROTO_VERSION - 1).to_le_bytes());
+        let err = check_hello(&stale).unwrap_err().to_string();
+        assert!(err.contains("version mismatch"), "{err}");
+        // Truncated hello.
+        assert!(check_hello(&PROTO_MAGIC).is_err());
     }
 
     #[test]

@@ -27,8 +27,8 @@ use fsm_stream::WindowConfig;
 use fsm_types::{EdgeCatalog, FsmError, MinSup, Result, VertexId};
 
 use crate::proto::{
-    put_patterns, put_str, read_frame, write_frame, Cursor, Opcode, Status, TenantSpec,
-    TenantStatus,
+    encode_hello, put_patterns, put_str, read_frame, write_frame, Cursor, Opcode, Status,
+    TenantSpec, TenantStatus,
 };
 
 /// A running server: the bound address plus the shutdown handle.
@@ -118,6 +118,9 @@ fn serve_connection(
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // Version handshake first: a peer from a different protocol era gets a
+    // clean mismatch error instead of misparsing response bodies.
+    write_frame(&mut writer, &encode_hello())?;
     let mut subscriptions: HashMap<String, Subscription> = HashMap::new();
     while !stop.load(Ordering::SeqCst) {
         let Some(request) = read_frame(&mut reader)? else {
